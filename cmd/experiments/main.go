@@ -1,0 +1,151 @@
+// Command experiments regenerates every figure of the paper's evaluation
+// (Fig. 2, 5a–c, 6, 7, 8 and the §V-A baselines) on the synthetic-dataset
+// reproduction, printing each figure's data series as a table.
+//
+// Usage:
+//
+//	experiments -quick                 # reduced sizes, minutes on a laptop
+//	experiments -fig 5b,7              # subset of figures
+//	experiments -cache .cache          # reuse trained baselines across runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"falvolt/internal/experiments"
+)
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "reduced model/dataset sizes")
+		figs    = flag.String("fig", "all", "comma-separated figures: baseline,2,5a,5b,5c,6,7,8,ablations or all (ablations excluded from all)")
+		cache   = flag.String("cache", "", "directory for baseline snapshots (reused across runs)")
+		seed    = flag.Int64("seed", 7, "experiment seed")
+		arrayN  = flag.Int("array", 64, "systolic array side (NxN)")
+		epochs  = flag.Int("epochs", 0, "retraining epochs (0 = default for mode)")
+		repeats = flag.Int("repeats", 0, "fault maps averaged per vulnerability point (0 = default)")
+		evalN   = flag.Int("eval", 0, "test samples per deployed evaluation (0 = default)")
+		verbose = flag.Bool("v", false, "progress logging")
+	)
+	flag.Parse()
+
+	opt := experiments.DefaultOptions()
+	if *quick {
+		opt = experiments.QuickOptions()
+	}
+	opt.Seed = *seed
+	opt.ArrayRows, opt.ArrayCols = *arrayN, *arrayN
+	opt.CacheDir = *cache
+	if *epochs > 0 {
+		opt.RetrainEpochs = *epochs
+	}
+	if *repeats > 0 {
+		opt.Repeats = *repeats
+	}
+	if *evalN > 0 {
+		opt.EvalSamples = *evalN
+	}
+	if *verbose {
+		opt.Log = os.Stderr
+	}
+	suite := experiments.NewSuite(opt)
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*figs, ",") {
+		want[strings.TrimSpace(strings.ToLower(f))] = true
+	}
+	all := want["all"]
+
+	run := func(name string, fn func() error) {
+		if !all && !want[name] {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("baseline", func() error {
+		fig, err := suite.Baselines()
+		if err != nil {
+			return err
+		}
+		fig.Print(os.Stdout)
+		return nil
+	})
+	run("2", func() error {
+		fig, err := suite.Fig2()
+		if err != nil {
+			return err
+		}
+		fig.Print(os.Stdout)
+		return nil
+	})
+	run("5a", func() error {
+		fig, err := suite.Fig5a()
+		if err != nil {
+			return err
+		}
+		fig.Print(os.Stdout)
+		return nil
+	})
+	run("5b", func() error {
+		fig, err := suite.Fig5b()
+		if err != nil {
+			return err
+		}
+		fig.Print(os.Stdout)
+		return nil
+	})
+	run("5c", func() error {
+		fig, err := suite.Fig5c()
+		if err != nil {
+			return err
+		}
+		fig.Print(os.Stdout)
+		return nil
+	})
+	run("6", func() error {
+		figs, err := suite.Fig6()
+		if err != nil {
+			return err
+		}
+		for _, f := range figs {
+			f.Print(os.Stdout)
+		}
+		return nil
+	})
+	run("7", func() error {
+		fig, err := suite.Fig7()
+		if err != nil {
+			return err
+		}
+		fig.Print(os.Stdout)
+		return nil
+	})
+	run("8", func() error {
+		figs, err := suite.Fig8()
+		if err != nil {
+			return err
+		}
+		for _, f := range figs {
+			f.Print(os.Stdout)
+		}
+		return nil
+	})
+	// Ablations are opt-in only (not part of "all").
+	if want["ablations"] {
+		figs, err := suite.Ablations()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: ablations: %v\n", err)
+			os.Exit(1)
+		}
+		for _, f := range figs {
+			f.Print(os.Stdout)
+		}
+	}
+}

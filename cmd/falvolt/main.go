@@ -1,0 +1,156 @@
+// Command falvolt runs the full FalVolt pipeline end to end on one
+// dataset: train a fault-free baseline PLIF-SNN, inject a stuck-at fault
+// map into the systolic array, then mitigate with FaP, FaPIT or FalVolt
+// and report the recovered accuracy and the optimized per-layer threshold
+// voltages.
+//
+// Usage:
+//
+//	falvolt -dataset mnist -rate 0.30 -method falvolt
+//	falvolt -dataset dvsgesture -rate 0.60 -method fapit -epochs 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"falvolt/internal/core"
+	"falvolt/internal/datasets"
+	"falvolt/internal/faults"
+	"falvolt/internal/fixed"
+	"falvolt/internal/snn"
+	"falvolt/internal/systolic"
+)
+
+func main() {
+	var (
+		dataset   = flag.String("dataset", "mnist", "mnist | nmnist | dvsgesture")
+		rate      = flag.Float64("rate", 0.30, "fraction of faulty PEs")
+		method    = flag.String("method", "falvolt", "fap | fapit | falvolt")
+		arrayN    = flag.Int("array", 64, "systolic array side (NxN)")
+		baseEp    = flag.Int("base-epochs", 12, "baseline training epochs")
+		epochs    = flag.Int("epochs", 8, "mitigation retraining epochs")
+		trainN    = flag.Int("train", 320, "training samples")
+		testN     = flag.Int("test", 128, "test samples")
+		seed      = flag.Int64("seed", 7, "seed")
+		stateOut  = flag.String("save", "", "save mitigated network state to file")
+		showVths  = flag.Bool("vths", true, "print optimized threshold voltages")
+		quickMode = flag.Bool("quick", true, "reduced model sizes")
+	)
+	flag.Parse()
+
+	if err := run(*dataset, *method, *rate, *arrayN, *baseEp, *epochs,
+		*trainN, *testN, *seed, *stateOut, *showVths, *quickMode); err != nil {
+		fmt.Fprintln(os.Stderr, "falvolt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset, methodName string, rate float64, arrayN, baseEpochs, epochs,
+	trainN, testN int, seed int64, stateOut string, showVths, quick bool) error {
+	var spec snn.ModelSpec
+	var gen func(datasets.Config) (*datasets.Dataset, error)
+	dcfg := datasets.Config{Train: trainN, Test: testN, Seed: seed}
+	switch strings.ToLower(dataset) {
+	case "mnist":
+		spec, gen = snn.MNISTSpec(), datasets.SyntheticMNIST
+		dcfg.T = spec.T
+	case "nmnist":
+		spec, gen = snn.NMNISTSpec(), datasets.SyntheticNMNIST
+		dcfg.T = spec.T
+	case "dvsgesture":
+		spec, gen = snn.DVSGestureSpec(), datasets.SyntheticDVSGesture
+		dcfg.H, dcfg.W, dcfg.T = spec.InH, spec.InW, spec.T
+	default:
+		return fmt.Errorf("unknown dataset %q", dataset)
+	}
+	if quick {
+		spec.EncoderC = 4
+		if len(spec.BlockC) > 2 {
+			spec.InH, spec.InW = 16, 16
+			spec.BlockC = []int{8, 8, 16}
+			dcfg.H, dcfg.W = 16, 16
+		} else {
+			spec.BlockC = []int{8, 8}
+		}
+		spec.FCHidden = 32
+	}
+
+	var method core.Method
+	switch strings.ToLower(methodName) {
+	case "fap":
+		method = core.FaP
+	case "fapit":
+		method = core.FaPIT
+	case "falvolt":
+		method = core.FalVolt
+	default:
+		return fmt.Errorf("unknown method %q", methodName)
+	}
+
+	fmt.Printf("dataset %s | model %s | array %dx%d | fault rate %.0f%% | method %s\n",
+		dataset, spec.Name, arrayN, arrayN, rate*100, method)
+
+	ds, err := gen(dcfg)
+	if err != nil {
+		return err
+	}
+	model, err := snn.Build(spec, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("training baseline (%d samples, %d epochs)...\n", len(ds.Train), baseEpochs)
+	baseAcc, err := core.TrainBaseline(model, ds.Train, ds.Test, baseEpochs, 0.02,
+		rand.New(rand.NewSource(seed+1)), true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("baseline accuracy: %.3f\n", baseAcc)
+
+	arr, err := systolic.New(systolic.Config{
+		Rows: arrayN, Cols: arrayN, Format: fixed.Q16x16, Saturate: true,
+	})
+	if err != nil {
+		return err
+	}
+	fm, err := faults.GenerateRate(arrayN, arrayN, rate, faults.GenSpec{
+		BitMode: faults.MSBBits, Pol: faults.StuckAt1, PolMode: faults.FixedPol,
+	}, rand.New(rand.NewSource(seed+2)))
+	if err != nil {
+		return err
+	}
+	fmt.Println(fm)
+
+	faultyAcc, err := core.EvaluateFaulty(model, arr, fm, ds.Test, false, 32)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("accuracy with unmitigated faults: %.3f\n", faultyAcc)
+
+	rep, err := core.Mitigate(model, arr, fm, ds.Train, ds.Test, core.Config{
+		Method: method, Epochs: epochs, LR: 0.01, BatchSize: 16, ClipNorm: 5,
+		Rng: rand.New(rand.NewSource(seed + 3)),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("after %s: accuracy %.3f (pruned %.1f%% of weights, retrain %.1fs)\n",
+		method, rep.Accuracy, rep.PrunedFraction*100, rep.RetrainDuration.Seconds())
+	if showVths {
+		fmt.Println("per-layer threshold voltages:")
+		for i, name := range model.SpikingNames {
+			fmt.Printf("  %-7s Vth = %.3f\n", name, rep.Vths[i])
+		}
+	}
+	if stateOut != "" {
+		if err := snn.SaveStateFile(model.Net.State(), stateOut); err != nil {
+			return err
+		}
+		fmt.Println("saved mitigated network state to", stateOut)
+	}
+	return nil
+}

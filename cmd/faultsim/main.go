@@ -1,0 +1,164 @@
+// Command faultsim explores stuck-at fault vulnerability of a systolicSNN
+// without any mitigation: sweep the stuck bit position, the number of
+// faulty PEs, or the array size, and report classification accuracy
+// (the paper's Fig. 5 family) for one dataset.
+//
+// Usage:
+//
+//	faultsim -sweep bits  -dataset mnist
+//	faultsim -sweep count -dataset nmnist -array 64
+//	faultsim -sweep size  -dataset mnist -faults 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"falvolt/internal/core"
+	"falvolt/internal/datasets"
+	"falvolt/internal/faults"
+	"falvolt/internal/fixed"
+	"falvolt/internal/snn"
+	"falvolt/internal/systolic"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "mnist", "mnist | nmnist | dvsgesture")
+		sweep   = flag.String("sweep", "bits", "bits | count | size")
+		arrayN  = flag.Int("array", 64, "systolic array side for bits/count sweeps")
+		nFaults = flag.Int("faults", 16, "faulty PEs for bits/size sweeps")
+		repeats = flag.Int("repeats", 3, "fault maps averaged per point")
+		baseEp  = flag.Int("base-epochs", 12, "baseline training epochs")
+		trainN  = flag.Int("train", 320, "training samples")
+		testN   = flag.Int("test", 128, "test samples")
+		seed    = flag.Int64("seed", 7, "seed")
+	)
+	flag.Parse()
+	if err := run(*dataset, *sweep, *arrayN, *nFaults, *repeats, *baseEp, *trainN, *testN, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "faultsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset, sweep string, arrayN, nFaults, repeats, baseEpochs, trainN, testN int, seed int64) error {
+	var spec snn.ModelSpec
+	var gen func(datasets.Config) (*datasets.Dataset, error)
+	dcfg := datasets.Config{Train: trainN, Test: testN, Seed: seed}
+	switch strings.ToLower(dataset) {
+	case "mnist":
+		spec, gen = snn.MNISTSpec(), datasets.SyntheticMNIST
+	case "nmnist":
+		spec, gen = snn.NMNISTSpec(), datasets.SyntheticNMNIST
+	case "dvsgesture":
+		spec, gen = snn.DVSGestureSpec(), datasets.SyntheticDVSGesture
+		spec.InH, spec.InW, spec.BlockC = 16, 16, []int{8, 8, 16}
+		dcfg.H, dcfg.W = 16, 16
+	default:
+		return fmt.Errorf("unknown dataset %q", dataset)
+	}
+	spec.EncoderC, spec.FCHidden = 4, 32
+	if len(spec.BlockC) == 2 {
+		spec.BlockC = []int{8, 8}
+	}
+	dcfg.T = spec.T
+
+	ds, err := gen(dcfg)
+	if err != nil {
+		return err
+	}
+	model, err := snn.Build(spec, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("training %s baseline...\n", dataset)
+	baseAcc, err := core.TrainBaseline(model, ds.Train, ds.Test, baseEpochs, 0.02,
+		rand.New(rand.NewSource(seed+1)), true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("baseline accuracy %.3f\n\n", baseAcc)
+
+	evalMap := func(arr *systolic.Array, genMap func(rep int) (*faults.Map, error)) (float64, error) {
+		var sum float64
+		for r := 0; r < repeats; r++ {
+			fm, err := genMap(r)
+			if err != nil {
+				return 0, err
+			}
+			acc, err := core.EvaluateFaulty(model, arr, fm, ds.Test, false, 32)
+			if err != nil {
+				return 0, err
+			}
+			sum += acc
+		}
+		return sum / float64(repeats), nil
+	}
+	newArr := func(side int) (*systolic.Array, error) {
+		return systolic.New(systolic.Config{Rows: side, Cols: side, Format: fixed.Q16x16, Saturate: true})
+	}
+
+	switch strings.ToLower(sweep) {
+	case "bits":
+		arr, err := newArr(arrayN)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-5s  %-8s  %-8s\n", "bit", "sa0", "sa1")
+		for bit := uint(0); bit <= 16; bit += 2 {
+			var accs [2]float64
+			for pi, pol := range []faults.Polarity{faults.StuckAt0, faults.StuckAt1} {
+				acc, err := evalMap(arr, func(rep int) (*faults.Map, error) {
+					return faults.Generate(arrayN, arrayN, faults.GenSpec{
+						NumFaulty: nFaults, BitMode: faults.FixedBit, Bit: bit, Pol: pol,
+					}, rand.New(rand.NewSource(seed+int64(1000*pi)+int64(bit*10)+int64(rep))))
+				})
+				if err != nil {
+					return err
+				}
+				accs[pi] = acc
+			}
+			fmt.Printf("%-5d  %-8.3f  %-8.3f\n", bit, accs[0], accs[1])
+		}
+	case "count":
+		arr, err := newArr(arrayN)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s  %-8s\n", "faulty", "accuracy")
+		for _, n := range []int{0, 4, 8, 16, 32, 40, 48, 56, 64} {
+			acc, err := evalMap(arr, func(rep int) (*faults.Map, error) {
+				return faults.Generate(arrayN, arrayN, faults.GenSpec{
+					NumFaulty: n, BitMode: faults.MSBBits, Pol: faults.StuckAt1,
+				}, rand.New(rand.NewSource(seed+int64(n*10+rep))))
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-8d  %-8.3f\n", n, acc)
+		}
+	case "size":
+		fmt.Printf("%-10s  %-8s\n", "totalPEs", "accuracy")
+		for _, side := range []int{4, 8, 16, 32, 256} {
+			arr, err := newArr(side)
+			if err != nil {
+				return err
+			}
+			acc, err := evalMap(arr, func(rep int) (*faults.Map, error) {
+				return faults.Generate(side, side, faults.GenSpec{
+					NumFaulty: nFaults, BitMode: faults.MSBBits, Pol: faults.StuckAt1,
+				}, rand.New(rand.NewSource(seed+int64(side*10+rep))))
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-10d  %-8.3f\n", side*side, acc)
+		}
+	default:
+		return fmt.Errorf("unknown sweep %q", sweep)
+	}
+	return nil
+}

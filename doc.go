@@ -1,0 +1,14 @@
+// Package falvolt is a from-scratch Go reproduction of "Improving
+// Reliability of Spiking Neural Networks through Fault Aware Threshold
+// Voltage Optimization" (Siddique & Hoque, DATE 2023).
+//
+// The library spans the full stack the paper depends on: a fixed-point
+// systolic-array SNN accelerator simulator with stuck-at fault injection
+// and bypass (internal/systolic, internal/fixed, internal/faults), a
+// surrogate-gradient PLIF-SNN training framework (internal/snn,
+// internal/tensor), fault-to-weight mapping (internal/mapping), synthetic
+// stand-ins for MNIST / N-MNIST / DVS Gesture (internal/datasets), the
+// FalVolt mitigation algorithm with its FaP and FaPIT baselines
+// (internal/core), and per-figure experiment harnesses
+// (internal/experiments). See README.md and DESIGN.md.
+package falvolt

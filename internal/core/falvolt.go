@@ -1,0 +1,283 @@
+// Package core implements the paper's contribution: FalVolt, fault-aware
+// retraining with per-layer threshold-voltage optimization for
+// systolic-array SNN accelerators, together with the two baselines it is
+// compared against:
+//
+//   - FaP    — fault-aware pruning: zero the weights mapped onto faulty
+//     PEs and bypass those PEs; no retraining (Algorithm 1 with
+//     trEpochs = 0).
+//   - FaPIT  — fault-aware pruning plus retraining of the surviving
+//     weights with the threshold voltage frozen (conventionally
+//     at 1.0).
+//   - FalVolt — fault-aware pruning plus retraining in which every spiking
+//     layer's threshold voltage is optimized by backpropagation
+//     alongside the weights (Algorithm 1).
+//
+// The pipeline follows the paper's tool flow (Fig. 4): derive the pruned
+// weight indices from the chip's fault map, zero them, retrain (re-zeroing
+// at the end of every epoch, Algorithm 1 line 13), then evaluate on the
+// faulty array with bypass enabled.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"falvolt/internal/faults"
+	"falvolt/internal/mapping"
+	"falvolt/internal/snn"
+	"falvolt/internal/systolic"
+)
+
+// Method selects the mitigation strategy.
+type Method int
+
+const (
+	// FaP is fault-aware pruning only.
+	FaP Method = iota
+	// FaPIT is fault-aware pruning with retraining, fixed threshold.
+	FaPIT
+	// FalVolt is fault-aware pruning with retraining and per-layer
+	// threshold-voltage optimization.
+	FalVolt
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case FaP:
+		return "FaP"
+	case FaPIT:
+		return "FaPIT"
+	case FalVolt:
+		return "FalVolt"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Config controls a mitigation run.
+type Config struct {
+	Method Method
+	// Epochs is the retraining budget (ignored for FaP).
+	Epochs int
+	// BatchSize and LR configure the retraining loop.
+	BatchSize int
+	LR        float64
+	// FixedVth, when non-zero, forces every spiking layer to this
+	// threshold before retraining — the Fig. 2 fixed-threshold sweeps.
+	// FaPIT conventionally uses 1.0 (the training default).
+	FixedVth float64
+	// ClipNorm caps the global gradient norm during retraining.
+	ClipNorm float64
+	// Rng drives batch shuffling (defaults to a fixed seed).
+	Rng *rand.Rand
+	// TrackCurve records float-path test accuracy after every retraining
+	// epoch (the Fig. 8 convergence curves). Costs one evaluation/epoch.
+	TrackCurve bool
+	// CurveEvalSize limits how many test samples the per-epoch curve uses
+	// (0 = all).
+	CurveEvalSize int
+	// Silent suppresses progress output.
+	Silent bool
+}
+
+// EpochPoint is one point of a retraining convergence curve.
+type EpochPoint struct {
+	Epoch    int
+	Loss     float64
+	Accuracy float64
+}
+
+// Report summarises a mitigation run.
+type Report struct {
+	Method    Method
+	FaultRate float64
+	// PrunedFraction is the overall fraction of weights pruned across all
+	// GEMM layers (array reuse can make this exceed the PE fault rate).
+	PrunedFraction float64
+	// PrunedPerLayer gives the pruned fraction of each GEMM layer.
+	PrunedPerLayer []float64
+	// Accuracy is the final test accuracy on the faulty array with bypass
+	// enabled and the retrained weights deployed.
+	Accuracy float64
+	// Vths is the per-spiking-layer threshold voltage after mitigation
+	// (the Fig. 6 quantities).
+	Vths []float64
+	// Curve is the per-epoch convergence trace when TrackCurve is set.
+	Curve []EpochPoint
+	// RetrainDuration is the wall-clock time spent retraining.
+	RetrainDuration time.Duration
+}
+
+// EpochsToReachTarget returns the first epoch at which a convergence curve
+// reaches the target accuracy, or -1 if it never does — the quantity
+// behind the paper's "FalVolt is 2x faster than FaPIT" claim (Fig. 8).
+func EpochsToReachTarget(curve []EpochPoint, target float64) int {
+	for _, p := range curve {
+		if p.Accuracy >= target {
+			return p.Epoch
+		}
+	}
+	return -1
+}
+
+// Mitigate runs Algorithm 1 on model against the fault map, retraining on
+// train and reporting accuracy on test. The model is modified in place
+// (snapshot with Network.State first if the original is still needed).
+// The array must have the same dimensions as the fault map; it is left
+// fault-injected with bypass enabled and the network deployed onto it.
+func Mitigate(model *snn.Model, arr *systolic.Array, fm *faults.Map,
+	train, test []snn.Sample, cfg Config) (*Report, error) {
+	net := model.Net
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 1e-3
+	}
+	if cfg.Rng == nil {
+		cfg.Rng = rand.New(rand.NewSource(1))
+	}
+
+	// Lines 1–2: derive pruned-weight indices from the fault map and zero
+	// them. One mask per GEMM layer.
+	gemms := net.GEMMLayers()
+	masks := make([]*mapping.PruneMask, len(gemms))
+	report := &Report{Method: cfg.Method, FaultRate: fm.FaultRate()}
+	totalW, totalP := 0, 0
+	for i, g := range gemms {
+		m, k := g.GEMMShape()
+		mask, err := mapping.Derive(fm, m, k)
+		if err != nil {
+			return nil, fmt.Errorf("core: mask for layer %d: %w", i, err)
+		}
+		masks[i] = mask
+		mask.Apply(g.WeightMatrix())
+		report.PrunedPerLayer = append(report.PrunedPerLayer, mask.Fraction())
+		totalW += m * k
+		totalP += mask.Count()
+	}
+	if totalW > 0 {
+		report.PrunedFraction = float64(totalP) / float64(totalW)
+	}
+	applyMasks := func() {
+		for i, g := range gemms {
+			masks[i].Apply(g.WeightMatrix())
+		}
+	}
+
+	// Line 3: threshold-voltage initialization. FalVolt learns V per
+	// layer; the others freeze it (optionally at a swept fixed value).
+	net.SetLearnVth(cfg.Method == FalVolt)
+	if cfg.FixedVth > 0 {
+		net.SetVths(cfg.FixedVth)
+	}
+
+	// Lines 4–14: retraining with epoch-end re-pruning.
+	epochs := cfg.Epochs
+	if cfg.Method == FaP {
+		epochs = 0
+	}
+	if epochs > 0 {
+		curveTest := test
+		if cfg.TrackCurve && cfg.CurveEvalSize > 0 && cfg.CurveEvalSize < len(test) {
+			curveTest = test[:cfg.CurveEvalSize]
+		}
+		start := time.Now()
+		_, err := snn.Train(net, train, snn.TrainConfig{
+			Epochs:    epochs,
+			BatchSize: cfg.BatchSize,
+			LR:        cfg.LR,
+			Classes:   model.Spec.Classes,
+			ClipNorm:  cfg.ClipNorm,
+			Rng:       cfg.Rng,
+			Silent:    true,
+			AfterEpoch: func(epoch int, loss float64) {
+				// Algorithm 1 line 13: re-zero pruned weights.
+				applyMasks()
+				if cfg.TrackCurve {
+					acc := snn.Evaluate(net, curveTest, cfg.BatchSize)
+					report.Curve = append(report.Curve, EpochPoint{Epoch: epoch, Loss: loss, Accuracy: acc})
+				}
+				if !cfg.Silent {
+					fmt.Printf("  [%s] epoch %2d loss %.4f\n", cfg.Method, epoch, loss)
+				}
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: retraining: %w", err)
+		}
+		report.RetrainDuration = time.Since(start)
+	}
+	applyMasks()
+
+	// Line 15: inference accuracy on the faulty hardware, bypass enabled.
+	if err := arr.InjectFaults(fm); err != nil {
+		return nil, fmt.Errorf("core: inject faults: %w", err)
+	}
+	arr.SetBypass(true)
+	net.Deploy(arr)
+	net.Redeploy() // quantize the retrained weights
+	report.Accuracy = snn.Evaluate(net, test, cfg.BatchSize)
+	report.Vths = net.Vths()
+	return report, nil
+}
+
+// EvaluateFaulty measures test accuracy of an unmitigated model deployed
+// on an array with the given fault map — the vulnerability analysis path
+// (Fig. 5 family). bypass selects whether faulty PEs are bypassed
+// (pruned contribution, no corruption) or left corrupting.
+// The model's float weights are not modified; the deployment is removed
+// before returning.
+func EvaluateFaulty(model *snn.Model, arr *systolic.Array, fm *faults.Map,
+	test []snn.Sample, bypass bool, batchSize int) (float64, error) {
+	if err := arr.InjectFaults(fm); err != nil {
+		return 0, fmt.Errorf("core: inject faults: %w", err)
+	}
+	arr.SetBypass(bypass)
+	model.Net.Deploy(arr)
+	acc := snn.Evaluate(model.Net, test, batchSize)
+	model.Net.Undeploy()
+	return acc, nil
+}
+
+// EvaluateWeightFaulty is EvaluateFaulty for stuck bits in the PE weight
+// registers instead of the accumulator outputs (an extension to the
+// paper's accumulator-output fault model; both registers exist in the
+// Fig. 3a datapath). Weight-register faults only corrupt when a spike
+// gates the faulty weight in, so at equal counts they are milder than
+// accumulator faults — the Ablation-FaultSite experiment quantifies this.
+func EvaluateWeightFaulty(model *snn.Model, arr *systolic.Array, fm *faults.Map,
+	test []snn.Sample, bypass bool, batchSize int) (float64, error) {
+	arr.ClearFaults()
+	if err := arr.InjectWeightFaults(fm); err != nil {
+		return 0, fmt.Errorf("core: inject weight faults: %w", err)
+	}
+	arr.SetBypass(bypass)
+	model.Net.Deploy(arr)
+	acc := snn.Evaluate(model.Net, test, batchSize)
+	model.Net.Undeploy()
+	arr.ClearFaults()
+	return acc, nil
+}
+
+// TrainBaseline trains a freshly built model to its fault-free baseline
+// (the paper's initial-training stage) and returns test accuracy.
+func TrainBaseline(model *snn.Model, train, test []snn.Sample,
+	epochs int, lr float64, rng *rand.Rand, silent bool) (float64, error) {
+	_, err := snn.Train(model.Net, train, snn.TrainConfig{
+		Epochs:    epochs,
+		BatchSize: 16,
+		LR:        lr,
+		Classes:   model.Spec.Classes,
+		ClipNorm:  5,
+		Rng:       rng,
+		Silent:    silent,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("core: baseline training: %w", err)
+	}
+	return snn.Evaluate(model.Net, test, 32), nil
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"falvolt/internal/faults"
+	"falvolt/internal/snn"
+	"falvolt/internal/systolic"
+)
+
+// Yield analysis.
+//
+// The paper's §I motivation: post-fabrication testing discards chips with
+// stuck-at faults, and at realistic defect densities that destroys yield;
+// FalVolt instead salvages faulty chips with a one-time, per-chip
+// retraining keyed to the chip's fault map. This file quantifies that
+// trade: sample a population of manufactured chips from a defect model,
+// apply a mitigation policy, and count the chips whose post-mitigation
+// accuracy clears a shipping threshold.
+
+// YieldConfig controls a yield study.
+type YieldConfig struct {
+	// Chips is the number of manufactured dies to simulate.
+	Chips int
+	// Defects models the per-die faulty-PE count (clustered defects).
+	Defects faults.DefectModel
+	// Clustered draws each die's fault map with spatial clustering
+	// instead of uniformly.
+	Clustered bool
+	// Threshold is the minimum accuracy for a die to ship.
+	Threshold float64
+	// Mitigation selects the salvage policy applied to faulty dies.
+	// Epochs/LR/BatchSize are passed through to Mitigate.
+	Mitigation Config
+	// EvalSamples caps evaluation cost per die (0 = all test samples).
+	EvalSamples int
+	// Rng drives the population sampling.
+	Rng *rand.Rand
+}
+
+// YieldReport summarises a yield study.
+type YieldReport struct {
+	Chips int
+	// FaultFree is the number of dies with zero faulty PEs.
+	FaultFree int
+	// ShippableNoMitigation counts dies clearing the threshold with
+	// faults left unmitigated (bypass off) — the discard-based flow.
+	ShippableNoMitigation int
+	// ShippableMitigated counts dies clearing the threshold after the
+	// salvage policy.
+	ShippableMitigated int
+	// MeanFaulty is the mean number of faulty PEs per die.
+	MeanFaulty float64
+}
+
+// YieldNoMitigation returns the yield fraction of the discard-based flow.
+func (r YieldReport) YieldNoMitigation() float64 {
+	if r.Chips == 0 {
+		return 0
+	}
+	return float64(r.ShippableNoMitigation) / float64(r.Chips)
+}
+
+// YieldMitigated returns the yield fraction after salvage.
+func (r YieldReport) YieldMitigated() float64 {
+	if r.Chips == 0 {
+		return 0
+	}
+	return float64(r.ShippableMitigated) / float64(r.Chips)
+}
+
+// String implements fmt.Stringer.
+func (r YieldReport) String() string {
+	return fmt.Sprintf("yield: %d dies, mean %.1f faulty PEs; no-mitigation %.1f%% -> mitigated %.1f%%",
+		r.Chips, r.MeanFaulty, 100*r.YieldNoMitigation(), 100*r.YieldMitigated())
+}
+
+// YieldStudy simulates cfg.Chips manufactured dies of the given array
+// size, evaluates each unmitigated and after the salvage policy, and
+// reports shippable counts. The model is restored from baseline before
+// every die, so dies are independent.
+func YieldStudy(model *snn.Model, baseline *snn.NetworkState, arr *systolic.Array,
+	train, test []snn.Sample, cfg YieldConfig) (*YieldReport, error) {
+	if cfg.Chips <= 0 {
+		return nil, fmt.Errorf("core: yield study needs chips > 0")
+	}
+	if cfg.Threshold <= 0 || cfg.Threshold > 1 {
+		return nil, fmt.Errorf("core: threshold %v outside (0,1]", cfg.Threshold)
+	}
+	if cfg.Rng == nil {
+		cfg.Rng = rand.New(rand.NewSource(1))
+	}
+	evalSet := test
+	if cfg.EvalSamples > 0 && cfg.EvalSamples < len(test) {
+		evalSet = test[:cfg.EvalSamples]
+	}
+	rows, cols := arr.Config().Rows, arr.Config().Cols
+	rep := &YieldReport{Chips: cfg.Chips}
+	var totalFaulty int
+	for die := 0; die < cfg.Chips; die++ {
+		n := cfg.Defects.SampleFaultyCount(cfg.Rng)
+		if n > rows*cols {
+			n = rows * cols
+		}
+		totalFaulty += n
+		var fm *faults.Map
+		var err error
+		if n == 0 {
+			fm = faults.NewMap(rows, cols)
+		} else if cfg.Clustered {
+			clusters := 1 + n/8
+			fm, err = faults.GenerateClustered(rows, cols, faults.ClusterSpec{
+				Clusters: clusters, MeanSize: (n + clusters - 1) / clusters,
+				Radius: 1.5, BitMode: faults.MSBBits, Pol: faults.StuckAt1,
+			}, cfg.Rng)
+		} else {
+			fm, err = faults.Generate(rows, cols, faults.GenSpec{
+				NumFaulty: n, BitMode: faults.MSBBits, Pol: faults.StuckAt1,
+			}, cfg.Rng)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: die %d: %w", die, err)
+		}
+		if fm.NumFaultyPEs() == 0 {
+			rep.FaultFree++
+			rep.ShippableNoMitigation++
+			rep.ShippableMitigated++
+			continue
+		}
+
+		// Discard-based flow: raw faulty accuracy.
+		model.Net.Undeploy()
+		if err := model.Net.LoadState(baseline); err != nil {
+			return nil, err
+		}
+		rawAcc, err := EvaluateFaulty(model, arr, fm, evalSet, false, 32)
+		if err != nil {
+			return nil, err
+		}
+		if rawAcc >= cfg.Threshold {
+			rep.ShippableNoMitigation++
+		}
+
+		// Salvage flow.
+		model.Net.Undeploy()
+		if err := model.Net.LoadState(baseline); err != nil {
+			return nil, err
+		}
+		mcfg := cfg.Mitigation
+		mcfg.Silent = true
+		if mcfg.Rng == nil {
+			mcfg.Rng = rand.New(rand.NewSource(int64(die)))
+		}
+		mrep, err := Mitigate(model, arr, fm, train, evalSet, mcfg)
+		if err != nil {
+			return nil, err
+		}
+		if mrep.Accuracy >= cfg.Threshold {
+			rep.ShippableMitigated++
+		}
+	}
+	rep.MeanFaulty = float64(totalFaulty) / float64(cfg.Chips)
+	return rep, nil
+}

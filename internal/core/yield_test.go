@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"falvolt/internal/faults"
+)
+
+func TestYieldStudyMechanics(t *testing.T) {
+	h := newHarness(t)
+	cfg := YieldConfig{
+		Chips:     6,
+		Defects:   faults.DefectModel{MeanFaulty: 20, Alpha: 1},
+		Threshold: 0.5,
+		// FaP salvage keeps the test fast (no retraining).
+		Mitigation:  Config{Method: FaP},
+		EvalSamples: 40,
+		Rng:         rand.New(rand.NewSource(42)),
+	}
+	rep, err := YieldStudy(h.model, h.baseline, h.arr, h.train, h.test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Chips != 6 {
+		t.Errorf("chips = %d", rep.Chips)
+	}
+	if rep.ShippableMitigated < rep.FaultFree {
+		t.Error("fault-free dies always ship")
+	}
+	if rep.ShippableMitigated > rep.Chips || rep.ShippableNoMitigation > rep.Chips {
+		t.Error("shippable counts exceed population")
+	}
+	if rep.YieldMitigated() < rep.YieldNoMitigation()-1e-9 {
+		// With bypass+pruning, salvage should never ship fewer dies than
+		// the discard flow on the same population (it strictly removes
+		// corruption). Equal is possible.
+		t.Errorf("salvage yield %.2f below discard yield %.2f",
+			rep.YieldMitigated(), rep.YieldNoMitigation())
+	}
+	if !strings.Contains(rep.String(), "yield:") {
+		t.Errorf("String() = %q", rep.String())
+	}
+}
+
+func TestYieldStudyClustered(t *testing.T) {
+	h := newHarness(t)
+	cfg := YieldConfig{
+		Chips:       3,
+		Defects:     faults.DefectModel{MeanFaulty: 15, Alpha: 0.7},
+		Clustered:   true,
+		Threshold:   0.5,
+		Mitigation:  Config{Method: FaP},
+		EvalSamples: 24,
+		Rng:         rand.New(rand.NewSource(43)),
+	}
+	rep, err := YieldStudy(h.model, h.baseline, h.arr, h.train, h.test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Chips != 3 {
+		t.Errorf("chips = %d", rep.Chips)
+	}
+}
+
+func TestYieldStudyValidation(t *testing.T) {
+	h := newHarness(t)
+	if _, err := YieldStudy(h.model, h.baseline, h.arr, h.train, h.test,
+		YieldConfig{Chips: 0, Threshold: 0.5}); err == nil {
+		t.Error("zero chips should error")
+	}
+	if _, err := YieldStudy(h.model, h.baseline, h.arr, h.train, h.test,
+		YieldConfig{Chips: 1, Threshold: 0}); err == nil {
+		t.Error("zero threshold should error")
+	}
+	if _, err := YieldStudy(h.model, h.baseline, h.arr, h.train, h.test,
+		YieldConfig{Chips: 1, Threshold: 1.5}); err == nil {
+		t.Error("threshold > 1 should error")
+	}
+}

@@ -1,0 +1,132 @@
+// Package datasets provides synthetic, procedurally generated stand-ins
+// for the three datasets the paper evaluates on — MNIST, N-MNIST and
+// DVS128 Gesture — since the environment is offline (see DESIGN.md §3 for
+// the substitution rationale). Each generator is deterministic under a
+// seed and produces falvolt/internal/snn.Sample values directly.
+//
+//   - SyntheticMNIST: rendered digit glyphs with random shift, intensity
+//     and noise — a static image dataset (StaticSequence).
+//   - SyntheticNMNIST: the same digits converted to ON/OFF event streams
+//     by a simulated three-saccade micro-motion, mirroring how the real
+//     N-MNIST was recorded from a moving sensor (EventSequence).
+//   - SyntheticDVSGesture: moving-blob event streams in 11 motion classes
+//     whose identity is only decodable from the event dynamics, mirroring
+//     the role of DVS128 Gesture (EventSequence).
+package datasets
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"falvolt/internal/snn"
+	"falvolt/internal/tensor"
+)
+
+// Config controls dataset generation.
+type Config struct {
+	// Train and Test are the number of samples per split.
+	Train, Test int
+	// H, W is the frame extent. MNIST-family generators require ≥ 14;
+	// the gesture generator requires ≥ 16.
+	H, W int
+	// T is the number of event frames for neuromorphic sequences.
+	T int
+	// Seed makes generation reproducible; train and test splits use
+	// derived, disjoint streams.
+	Seed int64
+	// NoiseStd is the pixel noise for static images (default 0.08) and
+	// the spurious-event probability for event streams (scaled by 0.05).
+	NoiseStd float64
+}
+
+// Dataset is a generated split pair.
+type Dataset struct {
+	Train, Test []snn.Sample
+	Classes     int
+	Name        string
+}
+
+func (c *Config) defaults(minHW int) error {
+	if c.Train <= 0 || c.Test <= 0 {
+		return fmt.Errorf("datasets: train/test sizes must be positive (%d/%d)", c.Train, c.Test)
+	}
+	if c.H == 0 {
+		c.H = 16
+	}
+	if c.W == 0 {
+		c.W = 16
+	}
+	if c.H < minHW || c.W < minHW {
+		return fmt.Errorf("datasets: frame %dx%d below minimum %d", c.H, c.W, minHW)
+	}
+	if c.T == 0 {
+		c.T = 8
+	}
+	if c.NoiseStd == 0 {
+		c.NoiseStd = 0.08
+	}
+	return nil
+}
+
+// clamp01 clips to the unit interval.
+func clamp01(v float64) float32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return float32(v)
+}
+
+// gauss2d renders an isotropic Gaussian blob of the given sigma centred at
+// (cy, cx) into frame (h, w), additively.
+func gauss2d(frame []float32, h, w int, cy, cx, sigma, amp float64) {
+	r := int(3*sigma) + 1
+	y0, y1 := int(cy)-r, int(cy)+r
+	x0, x1 := int(cx)-r, int(cx)+r
+	inv := 1 / (2 * sigma * sigma)
+	for y := y0; y <= y1; y++ {
+		if y < 0 || y >= h {
+			continue
+		}
+		for x := x0; x <= x1; x++ {
+			if x < 0 || x >= w {
+				continue
+			}
+			dy, dx := float64(y)-cy, float64(x)-cx
+			frame[y*w+x] += float32(amp * math.Exp(-(dy*dy+dx*dx)*inv))
+		}
+	}
+}
+
+// eventsFromFrames converts a sequence of luminance frames into 2-channel
+// (ON/OFF) binary event frames by thresholded temporal differencing — the
+// operating principle of a dynamic vision sensor.
+func eventsFromFrames(frames [][]float32, h, w int, threshold float64, noiseP float64, rng *rand.Rand) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, 0, len(frames)-1)
+	for t := 1; t < len(frames); t++ {
+		ev := tensor.New(1, 2, h, w)
+		on := ev.Data[:h*w]
+		off := ev.Data[h*w : 2*h*w]
+		for i := 0; i < h*w; i++ {
+			d := float64(frames[t][i] - frames[t-1][i])
+			switch {
+			case d > threshold:
+				on[i] = 1
+			case d < -threshold:
+				off[i] = 1
+			}
+			if noiseP > 0 && rng.Float64() < noiseP {
+				if rng.Intn(2) == 0 {
+					on[i] = 1
+				} else {
+					off[i] = 1
+				}
+			}
+		}
+		out = append(out, ev)
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+package datasets
+
+import (
+	"testing"
+
+	"falvolt/internal/snn"
+)
+
+func TestSyntheticMNISTShapes(t *testing.T) {
+	ds, err := SyntheticMNIST(Config{Train: 40, Test: 20, H: 16, W: 16, T: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Train) != 40 || len(ds.Test) != 20 {
+		t.Fatalf("split sizes %d/%d", len(ds.Train), len(ds.Test))
+	}
+	if ds.Classes != 10 {
+		t.Errorf("classes = %d", ds.Classes)
+	}
+	s := ds.Train[0]
+	x := s.Seq.At(0)
+	if x.Rank() != 4 || x.Shape[1] != 1 || x.Shape[2] != 16 || x.Shape[3] != 16 {
+		t.Errorf("frame shape %v", x.Shape)
+	}
+	// Static: same frame at every timestep.
+	if s.Seq.At(0) != s.Seq.At(3) {
+		t.Error("static sequence should reuse one frame")
+	}
+	for _, v := range x.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel %v outside [0,1]", v)
+		}
+	}
+}
+
+func TestSyntheticMNISTClassBalanceAndVariation(t *testing.T) {
+	ds, err := SyntheticMNIST(Config{Train: 100, Test: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 10)
+	for _, s := range ds.Train {
+		counts[s.Label]++
+	}
+	for c, n := range counts {
+		if n != 10 {
+			t.Errorf("class %d count %d, want 10 (balanced)", c, n)
+		}
+	}
+	// Two samples of the same class must differ (augmentation).
+	var a, b []float32
+	for _, s := range ds.Train {
+		if s.Label == 3 {
+			if a == nil {
+				a = s.Seq.At(0).Data
+			} else {
+				b = s.Seq.At(0).Data
+				break
+			}
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("augmentation produced identical samples")
+	}
+}
+
+func TestSyntheticMNISTDeterministic(t *testing.T) {
+	a, _ := SyntheticMNIST(Config{Train: 10, Test: 5, Seed: 3})
+	b, _ := SyntheticMNIST(Config{Train: 10, Test: 5, Seed: 3})
+	for i := range a.Train {
+		if a.Train[i].Label != b.Train[i].Label {
+			t.Fatal("same seed produced different labels")
+		}
+		xa, xb := a.Train[i].Seq.At(0), b.Train[i].Seq.At(0)
+		for j := range xa.Data {
+			if xa.Data[j] != xb.Data[j] {
+				t.Fatal("same seed produced different pixels")
+			}
+		}
+	}
+}
+
+func TestSyntheticNMNISTEvents(t *testing.T) {
+	ds, err := SyntheticNMNIST(Config{Train: 20, Test: 10, H: 16, W: 16, T: 6, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ds.Train[0]
+	seq, ok := s.Seq.(snn.EventSequence)
+	if !ok {
+		t.Fatal("N-MNIST samples must be EventSequence")
+	}
+	if seq.Steps() != 6 {
+		t.Errorf("steps = %d, want 6", seq.Steps())
+	}
+	totalEvents := 0.0
+	for t2 := 0; t2 < seq.Steps(); t2++ {
+		f := seq.At(t2)
+		if f.Shape[1] != 2 {
+			t.Fatalf("event frame needs 2 polarity channels, got %v", f.Shape)
+		}
+		for _, v := range f.Data {
+			if v != 0 && v != 1 {
+				t.Fatalf("event value %v not binary", v)
+			}
+			totalEvents += float64(v)
+		}
+	}
+	if totalEvents == 0 {
+		t.Error("saccade conversion emitted no events")
+	}
+}
+
+func TestSyntheticDVSGesture(t *testing.T) {
+	ds, err := SyntheticDVSGesture(Config{Train: 22, Test: 11, T: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Classes != 11 {
+		t.Errorf("classes = %d, want 11", ds.Classes)
+	}
+	seen := make(map[int]bool)
+	for _, s := range ds.Train {
+		seen[s.Label] = true
+		seq := s.Seq.(snn.EventSequence)
+		f := seq.At(0)
+		if f.Shape[1] != 2 || f.Shape[2] != 32 || f.Shape[3] != 32 {
+			t.Fatalf("gesture frame shape %v", f.Shape)
+		}
+	}
+	if len(seen) != 11 {
+		t.Errorf("train split covers %d classes, want 11", len(seen))
+	}
+}
+
+func TestGestureClassesAreDistinguishableByMotion(t *testing.T) {
+	// Clockwise vs counter-clockwise circles share every static frame
+	// statistic; verify their event streams differ substantially.
+	ds, err := SyntheticDVSGesture(Config{Train: 44, Test: 11, T: 8, Seed: 6, NoiseStd: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cw, ccw snn.Sample
+	var haveCW, haveCCW bool
+	for _, s := range ds.Train {
+		if s.Label == 3 && !haveCW {
+			cw, haveCW = s, true
+		}
+		if s.Label == 4 && !haveCCW {
+			ccw, haveCCW = s, true
+		}
+	}
+	if !haveCW || !haveCCW {
+		t.Fatal("missing circle classes")
+	}
+	var diff float64
+	for t2 := 0; t2 < 8; t2++ {
+		a, b := cw.Seq.At(t2), ccw.Seq.At(t2)
+		for i := range a.Data {
+			diff += float64((a.Data[i] - b.Data[i]) * (a.Data[i] - b.Data[i]))
+		}
+	}
+	if diff < 10 {
+		t.Errorf("cw/ccw event streams nearly identical (dist² %v)", diff)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := SyntheticMNIST(Config{Train: 0, Test: 5}); err == nil {
+		t.Error("zero train size should error")
+	}
+	if _, err := SyntheticMNIST(Config{Train: 5, Test: 5, H: 8, W: 8}); err == nil {
+		t.Error("frame below minimum should error")
+	}
+	if _, err := SyntheticDVSGesture(Config{Train: 5, Test: 5, H: 8, W: 8}); err == nil {
+		t.Error("gesture frame below minimum should error")
+	}
+}
+
+func TestSaccadePathClosed(t *testing.T) {
+	p := saccadePath(9)
+	if p[0] != p[len(p)-1] {
+		t.Errorf("saccade path should return to origin: %v vs %v", p[0], p[len(p)-1])
+	}
+}
+
+func TestShiftFrameIdentity(t *testing.T) {
+	src := make([]float32, 16)
+	src[5] = 1
+	dst := shiftFrame(src, 4, 4, 0, 0)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("zero shift changed frame at %d", i)
+		}
+	}
+	// Integer shift moves the pixel exactly.
+	dst = shiftFrame(src, 4, 4, 1, 0)
+	if dst[9] != 1 || dst[5] != 0 {
+		t.Errorf("shift by (1,0) wrong: %v", dst)
+	}
+}

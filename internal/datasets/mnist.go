@@ -1,0 +1,286 @@
+package datasets
+
+import (
+	"math/rand"
+
+	"falvolt/internal/snn"
+	"falvolt/internal/tensor"
+)
+
+// digitGlyphs are 8x10 bitmap prototypes of the ten digits; augmentation
+// (shift, intensity, thickness, noise) turns them into a classification
+// task with intra-class variation, standing in for MNIST.
+var digitGlyphs = [10][]string{
+	{ // 0
+		"..####..",
+		".#....#.",
+		"#......#",
+		"#......#",
+		"#......#",
+		"#......#",
+		"#......#",
+		"#......#",
+		".#....#.",
+		"..####..",
+	},
+	{ // 1
+		"...#....",
+		"..##....",
+		".#.#....",
+		"...#....",
+		"...#....",
+		"...#....",
+		"...#....",
+		"...#....",
+		"...#....",
+		".######.",
+	},
+	{ // 2
+		"..####..",
+		".#....#.",
+		"......#.",
+		"......#.",
+		".....#..",
+		"....#...",
+		"...#....",
+		"..#.....",
+		".#......",
+		".######.",
+	},
+	{ // 3
+		"..####..",
+		".#....#.",
+		"......#.",
+		"......#.",
+		"...###..",
+		"......#.",
+		"......#.",
+		"......#.",
+		".#....#.",
+		"..####..",
+	},
+	{ // 4
+		".....#..",
+		"....##..",
+		"...#.#..",
+		"..#..#..",
+		".#...#..",
+		"#....#..",
+		"########",
+		".....#..",
+		".....#..",
+		".....#..",
+	},
+	{ // 5
+		".######.",
+		".#......",
+		".#......",
+		".#......",
+		".#####..",
+		"......#.",
+		"......#.",
+		"......#.",
+		".#....#.",
+		"..####..",
+	},
+	{ // 6
+		"..####..",
+		".#....#.",
+		".#......",
+		".#......",
+		".#####..",
+		".#....#.",
+		".#....#.",
+		".#....#.",
+		".#....#.",
+		"..####..",
+	},
+	{ // 7
+		".######.",
+		"......#.",
+		"......#.",
+		".....#..",
+		".....#..",
+		"....#...",
+		"....#...",
+		"...#....",
+		"...#....",
+		"...#....",
+	},
+	{ // 8
+		"..####..",
+		".#....#.",
+		".#....#.",
+		".#....#.",
+		"..####..",
+		".#....#.",
+		".#....#.",
+		".#....#.",
+		".#....#.",
+		"..####..",
+	},
+	{ // 9
+		"..####..",
+		".#....#.",
+		".#....#.",
+		".#....#.",
+		"..#####.",
+		"......#.",
+		"......#.",
+		"......#.",
+		".#....#.",
+		"..####..",
+	},
+}
+
+const (
+	glyphW = 8
+	glyphH = 10
+)
+
+// renderDigit draws an augmented digit into an h x w luminance frame:
+// random placement (±2 px), per-sample stroke intensity, optional
+// 1-px dilation ("thickness"), and Gaussian pixel noise.
+func renderDigit(class, h, w int, noiseStd float64, rng *rand.Rand) []float32 {
+	frame := make([]float32, h*w)
+	offY := (h-glyphH)/2 + rng.Intn(5) - 2
+	offX := (w-glyphW)/2 + rng.Intn(5) - 2
+	amp := 0.7 + rng.Float64()*0.3
+	thick := rng.Float64() < 0.35
+
+	put := func(y, x int, v float64) {
+		if y >= 0 && y < h && x >= 0 && x < w {
+			if f := float32(v); f > frame[y*w+x] {
+				frame[y*w+x] = f
+			}
+		}
+	}
+	for gy, row := range digitGlyphs[class] {
+		for gx := 0; gx < glyphW && gx < len(row); gx++ {
+			if row[gx] != '#' {
+				continue
+			}
+			y, x := offY+gy, offX+gx
+			put(y, x, amp)
+			if thick {
+				put(y, x+1, amp*0.8)
+			}
+		}
+	}
+	if noiseStd > 0 {
+		for i := range frame {
+			frame[i] = clamp01(float64(frame[i]) + rng.NormFloat64()*noiseStd)
+		}
+	}
+	return frame
+}
+
+// SyntheticMNIST generates the static digit dataset. Samples are
+// StaticSequence frames of shape [1, 1, H, W] presented for T timesteps
+// (the network's spike encoder converts them to spikes, as in the paper).
+func SyntheticMNIST(cfg Config) (*Dataset, error) {
+	if err := cfg.defaults(14); err != nil {
+		return nil, err
+	}
+	gen := func(n int, rng *rand.Rand) []snn.Sample {
+		out := make([]snn.Sample, n)
+		for i := range out {
+			class := i % 10
+			frame := renderDigit(class, cfg.H, cfg.W, cfg.NoiseStd, rng)
+			x := tensor.FromSlice(frame, 1, 1, cfg.H, cfg.W)
+			out[i] = snn.Sample{Seq: snn.StaticSequence{X: x, T: cfg.T}, Label: class}
+		}
+		rng.Shuffle(len(out), func(a, b int) { out[a], out[b] = out[b], out[a] })
+		return out
+	}
+	return &Dataset{
+		Train:   gen(cfg.Train, rand.New(rand.NewSource(cfg.Seed))),
+		Test:    gen(cfg.Test, rand.New(rand.NewSource(cfg.Seed+1))),
+		Classes: 10,
+		Name:    "synthetic-mnist",
+	}, nil
+}
+
+// saccadePath is the three-saccade camera motion used by the N-MNIST
+// conversion: the sensor sweeps along a triangle, so every edge of the
+// static digit emits ON/OFF events as it moves across pixels.
+func saccadePath(steps int) [][2]float64 {
+	// Triangle vertices (in pixels of displacement).
+	verts := [][2]float64{{0, 0}, {2.5, 1.5}, {0, 3}, {0, 0}}
+	path := make([][2]float64, steps+1)
+	for i := 0; i <= steps; i++ {
+		// Position along the closed triangle, linear in arc index.
+		f := float64(i) / float64(steps) * 3
+		seg := int(f)
+		if seg > 2 {
+			seg = 2
+		}
+		frac := f - float64(seg)
+		a, b := verts[seg], verts[seg+1]
+		path[i] = [2]float64{a[0] + (b[0]-a[0])*frac, a[1] + (b[1]-a[1])*frac}
+	}
+	return path
+}
+
+// shiftFrame resamples a frame displaced by (dy, dx) with bilinear
+// interpolation (zero outside).
+func shiftFrame(src []float32, h, w int, dy, dx float64) []float32 {
+	dst := make([]float32, h*w)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			sy, sx := float64(y)-dy, float64(x)-dx
+			y0, x0 := int(sy), int(sx)
+			if sy < 0 {
+				y0--
+			}
+			if sx < 0 {
+				x0--
+			}
+			fy, fx := sy-float64(y0), sx-float64(x0)
+			var v float64
+			for _, p := range [4][3]float64{
+				{float64(y0), float64(x0), (1 - fy) * (1 - fx)},
+				{float64(y0), float64(x0 + 1), (1 - fy) * fx},
+				{float64(y0 + 1), float64(x0), fy * (1 - fx)},
+				{float64(y0 + 1), float64(x0 + 1), fy * fx},
+			} {
+				yy, xx := int(p[0]), int(p[1])
+				if yy >= 0 && yy < h && xx >= 0 && xx < w {
+					v += p[2] * float64(src[yy*w+xx])
+				}
+			}
+			dst[y*w+x] = float32(v)
+		}
+	}
+	return dst
+}
+
+// SyntheticNMNIST generates the saccade-converted event digit dataset:
+// EventSequence samples of T frames shaped [1, 2, H, W] (ON/OFF polarity).
+func SyntheticNMNIST(cfg Config) (*Dataset, error) {
+	if err := cfg.defaults(14); err != nil {
+		return nil, err
+	}
+	gen := func(n int, rng *rand.Rand) []snn.Sample {
+		out := make([]snn.Sample, n)
+		for i := range out {
+			class := i % 10
+			static := renderDigit(class, cfg.H, cfg.W, cfg.NoiseStd*0.5, rng)
+			path := saccadePath(cfg.T)
+			frames := make([][]float32, cfg.T+1)
+			for t := 0; t <= cfg.T; t++ {
+				frames[t] = shiftFrame(static, cfg.H, cfg.W, path[t][0], path[t][1])
+			}
+			evs := eventsFromFrames(frames, cfg.H, cfg.W, 0.12, cfg.NoiseStd*0.05, rng)
+			out[i] = snn.Sample{Seq: snn.EventSequence{Frames: evs}, Label: class}
+		}
+		rng.Shuffle(len(out), func(a, b int) { out[a], out[b] = out[b], out[a] })
+		return out
+	}
+	return &Dataset{
+		Train:   gen(cfg.Train, rand.New(rand.NewSource(cfg.Seed))),
+		Test:    gen(cfg.Test, rand.New(rand.NewSource(cfg.Seed+1))),
+		Classes: 10,
+		Name:    "synthetic-nmnist",
+	}, nil
+}

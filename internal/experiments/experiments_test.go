@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"falvolt/internal/core"
+)
+
+func TestNewSuiteFillsDefaults(t *testing.T) {
+	s := NewSuite(Options{})
+	if s.Opt.ArrayRows != 64 || s.Opt.ArrayCols != 64 {
+		t.Errorf("default array %dx%d, want 64x64", s.Opt.ArrayRows, s.Opt.ArrayCols)
+	}
+	if s.Opt.Repeats != 8 {
+		t.Errorf("default repeats %d, want 8", s.Opt.Repeats)
+	}
+	if s.Opt.RetrainEpochs != 20 {
+		t.Errorf("default retrain epochs %d, want 20", s.Opt.RetrainEpochs)
+	}
+	if s.Opt.Seed == 0 {
+		t.Error("seed should default non-zero")
+	}
+}
+
+func TestQuickOptionsSmaller(t *testing.T) {
+	q, d := QuickOptions(), DefaultOptions()
+	if !q.Quick {
+		t.Error("QuickOptions must set Quick")
+	}
+	if q.Repeats >= d.Repeats || q.RetrainEpochs >= d.RetrainEpochs {
+		t.Error("quick mode should use fewer repeats and epochs")
+	}
+}
+
+func TestUnknownDatasetErrors(t *testing.T) {
+	s := NewSuite(QuickOptions())
+	if _, err := s.Dataset("imagenet"); err == nil {
+		t.Error("unknown dataset should error")
+	}
+}
+
+func TestPlansCoverPaperDatasets(t *testing.T) {
+	s := NewSuite(QuickOptions())
+	var names []string
+	for _, p := range s.plans() {
+		names = append(names, p.name)
+	}
+	want := []string{"MNIST", "N-MNIST", "DVSGesture"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Errorf("plans = %v, want %v", names, want)
+	}
+}
+
+func TestMitigationFaultMapDeterministicAndRated(t *testing.T) {
+	s := NewSuite(QuickOptions())
+	a, err := s.mitigationFaultMap(1, 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.mitigationFaultMap(1, 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Faults) != len(b.Faults) {
+		t.Fatal("same cell should give identical fault maps")
+	}
+	for i := range a.Faults {
+		if a.Faults[i] != b.Faults[i] {
+			t.Fatal("fault maps differ for identical cell")
+		}
+	}
+	rate := 0.30
+	wantPEs := int(rate*float64(64*64) + 0.5)
+	if got := a.NumFaultyPEs(); got != wantPEs {
+		t.Errorf("30%% of 64x64 = %d faulty PEs, want %d", got, wantPEs)
+	}
+	c, err := s.mitigationFaultMap(2, 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a.Faults) == len(c.Faults)
+	if same {
+		identical := true
+		for i := range a.Faults {
+			if a.Faults[i] != c.Faults[i] {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			t.Error("different datasets should draw different fault maps")
+		}
+	}
+}
+
+func TestFigurePrintAlignment(t *testing.T) {
+	fig := &Figure{
+		ID: "FigX", Title: "demo", XLabel: "x", YLabel: "acc",
+		Notes:  []string{"a note"},
+		Series: []Series{{Label: "s1", X: []float64{0, 10}, Y: []float64{0.5, 0.25}}},
+	}
+	var buf bytes.Buffer
+	fig.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"FigX", "demo", "a note", "s1", "0.500", "0.250", "10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed figure missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigurePrintXTicks(t *testing.T) {
+	fig := &Figure{
+		ID: "Fig6-demo", Title: "vth", XLabel: "layer",
+		XTicks: []string{"Conv1", "FC1"},
+		Series: []Series{{Label: "30%", X: []float64{0, 1}, Y: []float64{0.7, 0.9}}},
+	}
+	var buf bytes.Buffer
+	fig.Print(&buf)
+	if !strings.Contains(buf.String(), "Conv1") || !strings.Contains(buf.String(), "FC1") {
+		t.Errorf("XTicks not rendered:\n%s", buf.String())
+	}
+}
+
+func TestFigurePrintEmpty(t *testing.T) {
+	fig := &Figure{ID: "FigE", Title: "empty"}
+	var buf bytes.Buffer
+	fig.Print(&buf)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Error("empty figure should say so")
+	}
+}
+
+func TestFigurePrintRaggedSeries(t *testing.T) {
+	fig := &Figure{
+		ID: "FigR", Title: "ragged", XLabel: "x",
+		Series: []Series{
+			{Label: "long", X: []float64{1, 2, 3}, Y: []float64{0.1, 0.2, 0.3}},
+			{Label: "short", X: []float64{1, 2, 3}, Y: []float64{0.9}},
+		},
+	}
+	var buf bytes.Buffer
+	fig.Print(&buf) // must not panic
+	if !strings.Contains(buf.String(), "-") {
+		t.Error("missing placeholder for short series")
+	}
+}
+
+func TestParallelMapCoversAllIndices(t *testing.T) {
+	var hits [57]int32
+	parallelMap(len(hits), func(worker, i int) {
+		atomic.AddInt32(&hits[i], 1)
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d executed %d times", i, h)
+		}
+	}
+	// n smaller than worker count.
+	var single int32
+	parallelMap(1, func(worker, i int) { atomic.AddInt32(&single, 1) })
+	if single != 1 {
+		t.Errorf("single job executed %d times", single)
+	}
+	// n == 0 is a no-op.
+	parallelMap(0, func(worker, i int) { t.Error("should not run") })
+}
+
+func TestEpochsToReachTarget(t *testing.T) {
+	curve := []core.EpochPoint{
+		{Epoch: 0, Accuracy: 0.3},
+		{Epoch: 1, Accuracy: 0.6},
+		{Epoch: 2, Accuracy: 0.9},
+	}
+	if e := core.EpochsToReachTarget(curve, 0.55); e != 1 {
+		t.Errorf("target 0.55 reached at %d, want 1", e)
+	}
+	if e := core.EpochsToReachTarget(curve, 0.95); e != -1 {
+		t.Errorf("unreached target should give -1, got %d", e)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(3) != "3" {
+		t.Errorf("trimFloat(3) = %q", trimFloat(3))
+	}
+	if trimFloat(0.5) != "0.5" {
+		t.Errorf("trimFloat(0.5) = %q", trimFloat(0.5))
+	}
+}

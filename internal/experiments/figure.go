@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Series is one labelled line of a figure: paired X/Y values.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Figure is the data behind one of the paper's plots, printable as a
+// table whose rows are X values and columns are series.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	// XTicks optionally names the X positions (e.g. layer names, Fig. 6).
+	XTicks []string
+	Series []Series
+	// Notes records experiment parameters worth keeping with the data.
+	Notes []string
+}
+
+// Print renders the figure as an aligned text table.
+func (f *Figure) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title)
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "   note: %s\n", n)
+	}
+	if len(f.Series) == 0 {
+		fmt.Fprintln(w, "   (no data)")
+		return
+	}
+	// Header.
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.Label)
+	}
+	widths := make([]int, len(cols))
+	rows := [][]string{cols}
+	for i := range f.Series[0].X {
+		row := make([]string, 0, len(cols))
+		if f.XTicks != nil && i < len(f.XTicks) {
+			row = append(row, f.XTicks[i])
+		} else {
+			row = append(row, trimFloat(f.Series[0].X[i]))
+		}
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				row = append(row, fmt.Sprintf("%.3f", s.Y[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	for _, row := range rows {
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		var sb strings.Builder
+		for c, cell := range row {
+			if c > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(pad(cell, widths[c]))
+		}
+		fmt.Fprintln(w, "   "+sb.String())
+		if ri == 0 {
+			fmt.Fprintln(w, "   "+strings.Repeat("-", lineWidth(widths)))
+		}
+	}
+}
+
+func pad(s string, w int) string {
+	for len(s) < w {
+		s += " "
+	}
+	return s
+}
+
+func lineWidth(widths []int) int {
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	if total >= 2 {
+		total -= 2
+	}
+	return total
+}
+
+func trimFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

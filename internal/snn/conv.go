@@ -1,0 +1,291 @@
+package snn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"falvolt/internal/systolic"
+	"falvolt/internal/tensor"
+)
+
+// Deployment routes a layer's GEMM through a (possibly faulty) systolic
+// array instead of the float reference path. Weights are quantized to the
+// array's fixed-point format when the deployment is installed.
+type Deployment struct {
+	Array *systolic.Array
+	// Binary marks the layer's input as binary spikes (the multiplier-less
+	// accumulate path); false uses the quantized-product path for the
+	// analog encoder layer.
+	Binary bool
+
+	weights *systolic.Matrix
+}
+
+// GEMMWeighted is implemented by layers whose weights are lowered onto the
+// systolic array as an [M, K] GEMM; the mitigation pipeline uses it to
+// derive prune masks and install deployments uniformly.
+type GEMMWeighted interface {
+	Layer
+	// WeightMatrix returns the live [M, K] weight tensor (not a copy).
+	WeightMatrix() *tensor.Tensor
+	// GEMMShape returns (M, K): output and reduction dimensions.
+	GEMMShape() (m, k int)
+	// SetDeployment installs (or removes, with nil) a systolic deployment.
+	SetDeployment(d *Deployment)
+	// Deployment returns the active deployment, if any.
+	Deployment() *Deployment
+}
+
+// Conv2D is a 2-D convolution lowered to im2col + GEMM. Weights are stored
+// directly in GEMM form [OutC, InC*KH*KW], the same layout that is mapped
+// onto the systolic array.
+type Conv2D struct {
+	Shape tensor.ConvShape
+
+	weight *Param
+	bias   *Param // nil when the conv is followed by batch norm
+
+	deploy *Deployment
+
+	cols  cacheStack // cached im2col patches per timestep
+	batch []int      // cached batch size per timestep
+}
+
+// NewConv2D constructs a convolution; bias is usually disabled because the
+// paper's blocks pair each conv with batch normalization.
+func NewConv2D(inC, inH, inW, outC, k, stride, pad int, bias bool, rng *rand.Rand) (*Conv2D, error) {
+	cs, err := tensor.NewConvShape(inC, inH, inW, outC, k, k, stride, pad)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conv2D{Shape: cs}
+	w := tensor.New(cs.M, cs.K)
+	w.KaimingNormal(rng, cs.K)
+	c.weight = NewParam("conv.weight", w)
+	if bias {
+		c.bias = NewParam("conv.bias", tensor.New(cs.M))
+	}
+	return c, nil
+}
+
+// WeightMatrix implements GEMMWeighted.
+func (c *Conv2D) WeightMatrix() *tensor.Tensor { return c.weight.Value }
+
+// GEMMShape implements GEMMWeighted.
+func (c *Conv2D) GEMMShape() (int, int) { return c.Shape.M, c.Shape.K }
+
+// SetDeployment implements GEMMWeighted.
+func (c *Conv2D) SetDeployment(d *Deployment) {
+	c.deploy = d
+	if d != nil {
+		d.weights = systolic.QuantizeMatrix(c.weight.Value, d.Array.Config().Format)
+	}
+}
+
+// Deployment implements GEMMWeighted.
+func (c *Conv2D) Deployment() *Deployment { return c.deploy }
+
+// Forward implements Layer. Input is [N, InC, InH, InW]; output
+// [N, OutC, OutH, OutW].
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("snn: Conv2D input must be rank 4, got %v", x.Shape))
+	}
+	n := x.Shape[0]
+	cols := tensor.Im2Col(x, c.Shape)
+	var y2 *tensor.Tensor // [N*P, M]
+	if c.deploy != nil && !train {
+		y2 = c.deploy.Array.Forward(cols, c.deploy.weights, c.deploy.Binary)
+	} else {
+		y2 = tensor.MatMulTransB(cols, c.weight.Value)
+	}
+	if train {
+		c.cols.push(cols)
+		c.batch = append(c.batch, n)
+	}
+	return c.patchesToNCHW(y2, n)
+}
+
+// patchesToNCHW converts a [N*P, M] GEMM result into [N, M, OH, OW].
+func (c *Conv2D) patchesToNCHW(y2 *tensor.Tensor, n int) *tensor.Tensor {
+	p := c.Shape.PatchesPerItem
+	m := c.Shape.M
+	out := tensor.New(n, m, c.Shape.OutH, c.Shape.OutW)
+	for b := 0; b < n; b++ {
+		for pi := 0; pi < p; pi++ {
+			src := y2.Data[(b*p+pi)*m : (b*p+pi+1)*m]
+			for mi, v := range src {
+				out.Data[(b*m+mi)*p+pi] = v
+			}
+		}
+	}
+	if c.bias != nil {
+		for b := 0; b < n; b++ {
+			for mi := 0; mi < m; mi++ {
+				bv := c.bias.Value.Data[mi]
+				row := out.Data[(b*m+mi)*p : (b*m+mi+1)*p]
+				for i := range row {
+					row[i] += bv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// nchwToPatches converts a gradient [N, M, OH, OW] into [N*P, M].
+func (c *Conv2D) nchwToPatches(g *tensor.Tensor, n int) *tensor.Tensor {
+	p := c.Shape.PatchesPerItem
+	m := c.Shape.M
+	out := tensor.New(n*p, m)
+	for b := 0; b < n; b++ {
+		for mi := 0; mi < m; mi++ {
+			src := g.Data[(b*m+mi)*p : (b*m+mi+1)*p]
+			for pi, v := range src {
+				out.Data[(b*p+pi)*m+mi] = v
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	cols := c.cols.pop()
+	n := c.batch[len(c.batch)-1]
+	c.batch = c.batch[:len(c.batch)-1]
+
+	g2 := c.nchwToPatches(grad, n) // [N*P, M]
+	gw := tensor.MatMulTransA(g2, cols)
+	c.weight.Grad.AddInPlace(gw)
+	if c.bias != nil {
+		p := c.Shape.PatchesPerItem
+		for b := 0; b < n; b++ {
+			for mi := 0; mi < c.Shape.M; mi++ {
+				row := grad.Data[(b*c.Shape.M+mi)*p : (b*c.Shape.M+mi+1)*p]
+				var s float32
+				for _, v := range row {
+					s += v
+				}
+				c.bias.Grad.Data[mi] += s
+			}
+		}
+	}
+	gcols := tensor.MatMul(g2, c.weight.Value) // [N*P, K]
+	return tensor.Col2Im(gcols, n, c.Shape)
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param {
+	if c.bias != nil {
+		return []*Param{c.weight, c.bias}
+	}
+	return []*Param{c.weight}
+}
+
+// ResetState implements Layer.
+func (c *Conv2D) ResetState() {
+	c.cols.reset()
+	c.batch = c.batch[:0]
+}
+
+// Linear is a fully-connected layer y = x·Wᵀ + b with weights in GEMM form
+// [Out, In].
+type Linear struct {
+	In, Out int
+
+	weight *Param
+	bias   *Param
+
+	deploy *Deployment
+
+	xs cacheStack
+}
+
+// NewLinear constructs a fully-connected layer with Kaiming init.
+func NewLinear(in, out int, bias bool, rng *rand.Rand) *Linear {
+	l := &Linear{In: in, Out: out}
+	w := tensor.New(out, in)
+	w.KaimingNormal(rng, in)
+	l.weight = NewParam("linear.weight", w)
+	if bias {
+		l.bias = NewParam("linear.bias", tensor.New(out))
+	}
+	return l
+}
+
+// WeightMatrix implements GEMMWeighted.
+func (l *Linear) WeightMatrix() *tensor.Tensor { return l.weight.Value }
+
+// GEMMShape implements GEMMWeighted.
+func (l *Linear) GEMMShape() (int, int) { return l.Out, l.In }
+
+// SetDeployment implements GEMMWeighted.
+func (l *Linear) SetDeployment(d *Deployment) {
+	l.deploy = d
+	if d != nil {
+		d.weights = systolic.QuantizeMatrix(l.weight.Value, d.Array.Config().Format)
+	}
+}
+
+// Deployment implements GEMMWeighted.
+func (l *Linear) Deployment() *Deployment { return l.deploy }
+
+// Forward implements Layer. Input may be rank 2 [N, In] or rank 4 (it is
+// flattened), matching how conv features feed the classifier head.
+func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := x.Shape[0]
+	flat := x
+	if x.Rank() != 2 {
+		flat = x.Reshape(n, x.Len()/n)
+	}
+	if flat.Shape[1] != l.In {
+		panic(fmt.Sprintf("snn: Linear input dim %d, want %d", flat.Shape[1], l.In))
+	}
+	var y *tensor.Tensor
+	if l.deploy != nil && !train {
+		y = l.deploy.Array.Forward(flat, l.deploy.weights, l.deploy.Binary)
+	} else {
+		y = tensor.MatMulTransB(flat, l.weight.Value)
+	}
+	if l.bias != nil {
+		for b := 0; b < n; b++ {
+			row := y.Data[b*l.Out : (b+1)*l.Out]
+			for i := range row {
+				row[i] += l.bias.Value.Data[i]
+			}
+		}
+	}
+	if train {
+		l.xs.push(flat)
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := l.xs.pop()
+	gw := tensor.MatMulTransA(grad, x)
+	l.weight.Grad.AddInPlace(gw)
+	if l.bias != nil {
+		n := grad.Shape[0]
+		for b := 0; b < n; b++ {
+			row := grad.Data[b*l.Out : (b+1)*l.Out]
+			for i, v := range row {
+				l.bias.Grad.Data[i] += v
+			}
+		}
+	}
+	return tensor.MatMul(grad, l.weight.Value)
+}
+
+// Params implements Layer.
+func (l *Linear) Params() []*Param {
+	if l.bias != nil {
+		return []*Param{l.weight, l.bias}
+	}
+	return []*Param{l.weight}
+}
+
+// ResetState implements Layer.
+func (l *Linear) ResetState() { l.xs.reset() }

@@ -1,0 +1,127 @@
+package snn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"falvolt/internal/tensor"
+)
+
+// Spike encoders: alternatives to the learned convolutional spike encoder
+// for converting static inputs into spike trains. The SNN fault-resilience
+// literature (Guo et al., cited by the paper) shows the coding scheme
+// changes fault sensitivity, so the encoders are provided for ablation.
+
+// Encoder converts a static frame into a spike sequence of T steps.
+type Encoder interface {
+	// Encode returns the spike frame for timestep t of the given input.
+	Encode(x *tensor.Tensor, t int) *tensor.Tensor
+	// Name identifies the coding scheme.
+	Name() string
+}
+
+// PoissonEncoder implements rate coding: each pixel fires independently
+// each timestep with probability proportional to its intensity. Gain
+// scales intensities (values are clamped to [0,1] after scaling).
+type PoissonEncoder struct {
+	Gain float64
+	Rng  *rand.Rand
+}
+
+// NewPoissonEncoder constructs the encoder (gain 1 if non-positive).
+func NewPoissonEncoder(gain float64, rng *rand.Rand) *PoissonEncoder {
+	if gain <= 0 {
+		gain = 1
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(0))
+	}
+	return &PoissonEncoder{Gain: gain, Rng: rng}
+}
+
+// Encode implements Encoder.
+func (e *PoissonEncoder) Encode(x *tensor.Tensor, _ int) *tensor.Tensor {
+	out := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		p := float64(v) * e.Gain
+		if p > 1 {
+			p = 1
+		}
+		if p > 0 && e.Rng.Float64() < p {
+			out.Data[i] = 1
+		}
+	}
+	return out
+}
+
+// Name implements Encoder.
+func (e *PoissonEncoder) Name() string { return "poisson-rate" }
+
+// LatencyEncoder implements time-to-first-spike coding over a horizon of
+// T steps: brighter pixels spike earlier, and each pixel spikes at most
+// once. Pixels at or below zero never spike.
+type LatencyEncoder struct {
+	T int
+}
+
+// NewLatencyEncoder constructs the encoder for a horizon of t steps.
+func NewLatencyEncoder(t int) *LatencyEncoder {
+	if t <= 0 {
+		panic(fmt.Sprintf("snn: latency encoder horizon must be positive, got %d", t))
+	}
+	return &LatencyEncoder{T: t}
+}
+
+// spikeStep returns the step at which intensity v (clamped to [0,1])
+// fires: step 0 for v = 1, step T-1 for the dimmest firing pixels, -1 for
+// non-firing. Linear latency: step = round((1-v)*(T-1)).
+func (e *LatencyEncoder) spikeStep(v float32) int {
+	if v <= 0 {
+		return -1
+	}
+	if v > 1 {
+		v = 1
+	}
+	return int(float64(1-v)*float64(e.T-1) + 0.5)
+}
+
+// Encode implements Encoder.
+func (e *LatencyEncoder) Encode(x *tensor.Tensor, t int) *tensor.Tensor {
+	out := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		if e.spikeStep(v) == t {
+			out.Data[i] = 1
+		}
+	}
+	return out
+}
+
+// Name implements Encoder.
+func (e *LatencyEncoder) Name() string { return "latency" }
+
+// EncodedSequence adapts an Encoder to the Sequence interface, encoding a
+// static frame on the fly at each timestep.
+type EncodedSequence struct {
+	X   *tensor.Tensor
+	Enc Encoder
+	T   int
+}
+
+// At implements Sequence.
+func (s EncodedSequence) At(t int) *tensor.Tensor { return s.Enc.Encode(s.X, t) }
+
+// Steps implements Sequence.
+func (s EncodedSequence) Steps() int { return s.T }
+
+// EncodeDataset wraps every sample's static frame with the encoder,
+// producing spike-input samples (for coding-scheme ablations).
+func EncodeDataset(samples []Sample, enc Encoder, t int) []Sample {
+	out := make([]Sample, len(samples))
+	for i, s := range samples {
+		out[i] = Sample{
+			Seq:   EncodedSequence{X: s.Seq.At(0), Enc: enc, T: t},
+			Label: s.Label,
+		}
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package snn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"falvolt/internal/tensor"
+)
+
+func TestPoissonEncoderRateMatchesIntensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e := NewPoissonEncoder(1, rng)
+	x := tensor.New(1, 1000)
+	x.Fill(0.3)
+	var total float64
+	const steps = 50
+	for s := 0; s < steps; s++ {
+		total += e.Encode(x, s).Sum()
+	}
+	rate := total / (1000 * steps)
+	if math.Abs(rate-0.3) > 0.02 {
+		t.Errorf("empirical rate %.3f, want ~0.3", rate)
+	}
+}
+
+func TestPoissonEncoderBinaryAndClamped(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	e := NewPoissonEncoder(10, rng) // heavy gain: everything clamps to p=1
+	x := tensor.New(1, 64)
+	x.Fill(0.5)
+	out := e.Encode(x, 0)
+	for _, v := range out.Data {
+		if v != 1 {
+			t.Fatal("p clamped to 1 must always fire")
+		}
+	}
+	x.Fill(-1)
+	out = e.Encode(x, 0)
+	for _, v := range out.Data {
+		if v != 0 {
+			t.Fatal("negative intensity must never fire")
+		}
+	}
+}
+
+func TestLatencyEncoderOrdering(t *testing.T) {
+	e := NewLatencyEncoder(8)
+	bright := e.spikeStep(1.0)
+	mid := e.spikeStep(0.5)
+	dim := e.spikeStep(0.1)
+	if bright != 0 {
+		t.Errorf("brightest pixel should fire at step 0, got %d", bright)
+	}
+	if !(bright < mid && mid < dim) {
+		t.Errorf("latency must decrease with intensity: %d %d %d", bright, mid, dim)
+	}
+	if e.spikeStep(0) != -1 {
+		t.Error("zero intensity must never fire")
+	}
+}
+
+func TestLatencyEncoderSingleSpikePerPixel(t *testing.T) {
+	e := NewLatencyEncoder(6)
+	x := tensor.New(1, 32)
+	rng := rand.New(rand.NewSource(3))
+	x.RandUniform(rng, 0, 1)
+	counts := make([]float64, 32)
+	for s := 0; s < 6; s++ {
+		out := e.Encode(x, s)
+		for i, v := range out.Data {
+			counts[i] += float64(v)
+		}
+	}
+	for i, c := range counts {
+		if c > 1 {
+			t.Errorf("pixel %d spiked %v times, max 1", i, c)
+		}
+		if x.Data[i] > 0.05 && c == 0 {
+			t.Errorf("bright pixel %d (%.2f) never spiked", i, x.Data[i])
+		}
+	}
+}
+
+func TestNewLatencyEncoderValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive horizon should panic")
+		}
+	}()
+	NewLatencyEncoder(0)
+}
+
+func TestEncodeDatasetWrapsSamples(t *testing.T) {
+	x := tensor.New(1, 1, 4, 4)
+	x.Fill(0.8)
+	samples := []Sample{{Seq: StaticSequence{X: x, T: 4}, Label: 3}}
+	enc := EncodeDataset(samples, NewLatencyEncoder(4), 4)
+	if enc[0].Label != 3 {
+		t.Error("label lost")
+	}
+	if enc[0].Seq.Steps() != 4 {
+		t.Errorf("steps = %d", enc[0].Seq.Steps())
+	}
+	frame := enc[0].Seq.At(0)
+	for _, v := range frame.Data {
+		if v != 0 && v != 1 {
+			t.Fatal("encoded frames must be binary")
+		}
+	}
+}
+
+func TestEncoderNames(t *testing.T) {
+	if NewPoissonEncoder(1, nil).Name() != "poisson-rate" {
+		t.Error("poisson name")
+	}
+	if NewLatencyEncoder(4).Name() != "latency" {
+		t.Error("latency name")
+	}
+}

@@ -1,0 +1,231 @@
+package snn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"falvolt/internal/tensor"
+)
+
+// Spiking outputs are piecewise constant in every parameter, so the usual
+// small-eps finite-difference check is meaningless through a Heaviside.
+// Strategy here:
+//   - layers below the spike (Conv2D, BatchNorm2D, Linear, AvgPool2,
+//     Flatten) are checked exactly with a smooth quadratic loss;
+//   - the PLIF surrogate pathway is checked behaviourally: macro-scale
+//     finite differences over a large batch (where the rate loss is
+//     quasi-smooth) must agree in sign and rough magnitude, and training
+//     a tiny network must reduce the loss.
+
+// quadLoss is L = Σ y² with dL/dy = 2y.
+func quadLoss(y *tensor.Tensor) (float64, *tensor.Tensor) {
+	var l float64
+	g := tensor.New(y.Shape...)
+	for i, v := range y.Data {
+		l += float64(v) * float64(v)
+		g.Data[i] = 2 * v
+	}
+	return l, g
+}
+
+// checkLayerGrads verifies analytic parameter and input gradients of a
+// single differentiable layer against central differences.
+func checkLayerGrads(t *testing.T, layer Layer, x *tensor.Tensor, relTol float64) {
+	t.Helper()
+	forward := func() float64 {
+		layer.ResetState()
+		y := layer.Forward(x, true)
+		l, _ := quadLoss(y)
+		layer.ResetState()
+		return l
+	}
+
+	layer.ResetState()
+	for _, p := range layer.Params() {
+		p.ZeroGrad()
+	}
+	y := layer.Forward(x, true)
+	_, gy := quadLoss(y)
+	gx := layer.Backward(gy)
+
+	const eps = 1e-2
+	numeric := func(data []float32, i int) float64 {
+		orig := data[i]
+		data[i] = orig + eps
+		lp := forward()
+		data[i] = orig - eps
+		lm := forward()
+		data[i] = orig
+		return (lp - lm) / (2 * eps)
+	}
+	compare := func(name string, got, want float64) {
+		diff := math.Abs(got - want)
+		scale := math.Max(0.05, math.Max(math.Abs(got), math.Abs(want)))
+		if diff/scale > relTol {
+			t.Errorf("%s: analytic %v vs numeric %v", name, got, want)
+		}
+	}
+
+	for _, p := range layer.Params() {
+		n := p.Value.Len()
+		stride := 1
+		if n > 8 {
+			stride = n / 8
+		}
+		for i := 0; i < n; i += stride {
+			compare(p.Name, float64(p.Grad.Data[i]), numeric(p.Value.Data, i))
+		}
+	}
+	nx := x.Len()
+	stride := 1
+	if nx > 8 {
+		stride = nx / 8
+	}
+	for i := 0; i < nx; i += stride {
+		compare("input", float64(gx.Data[i]), numeric(x.Data, i))
+	}
+}
+
+func TestGradCheckConv2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	conv, err := NewConv2D(2, 5, 5, 3, 3, 1, 1, true, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(2, 2, 5, 5)
+	x.RandNormal(rng, 1)
+	checkLayerGrads(t, conv, x, 0.02)
+}
+
+func TestGradCheckLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	lin := NewLinear(6, 4, true, rng)
+	x := tensor.New(3, 6)
+	x.RandNormal(rng, 1)
+	checkLayerGrads(t, lin, x, 0.02)
+}
+
+func TestGradCheckBatchNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bn := NewBatchNorm2D(3)
+	// Non-trivial gamma/beta so their gradients are exercised.
+	bn.gamma.Value.Data[1] = 1.5
+	bn.beta.Value.Data[2] = -0.3
+	x := tensor.New(4, 3, 3, 3)
+	x.RandNormal(rng, 2)
+	checkLayerGrads(t, bn, x, 0.03)
+}
+
+func TestGradCheckAvgPoolAndFlatten(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := tensor.New(2, 2, 4, 4)
+	x.RandNormal(rng, 1)
+	checkLayerGrads(t, NewAvgPool2(), x, 0.02)
+	checkLayerGrads(t, NewFlatten(), x, 0.02)
+}
+
+func TestGradCheckConvNoBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	conv, err := NewConv2D(1, 4, 4, 2, 3, 1, 0, false, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conv.Params()) != 1 {
+		t.Fatalf("bias-free conv should expose 1 param, got %d", len(conv.Params()))
+	}
+	x := tensor.New(2, 1, 4, 4)
+	x.RandNormal(rng, 1)
+	checkLayerGrads(t, conv, x, 0.02)
+}
+
+// TestVthGradientMacroScale: over a large batch the rate loss is
+// quasi-smooth in the threshold voltage; the surrogate gradient must agree
+// in sign with a macro finite difference.
+func TestVthGradientMacroScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ncfg := NeuronConfig{VThreshold: 1.0, LearnVth: true, InitTau: 2.0, LearnTau: false, Gamma: 1.0}
+	node := NewPLIFNode(ncfg)
+	lin := NewLinear(8, 6, true, rng)
+	net := NewNetwork(4, lin, node)
+	x := tensor.New(64, 8)
+	x.RandUniform(rng, 0, 2)
+	seq := StaticSequence{X: x, T: 4}
+	labels := make([]int, 64)
+	for i := range labels {
+		labels[i] = i % 6
+	}
+	target := OneHot(labels, 6)
+	loss := MSERate{}
+
+	lossAt := func(v float64) float64 {
+		node.SetVth(v)
+		net.ResetState()
+		rate := net.Forward(seq, false)
+		l, _ := loss.Loss(rate, target)
+		return l
+	}
+
+	node.SetVth(1.0)
+	net.ResetState()
+	for _, p := range net.Params() {
+		p.ZeroGrad()
+	}
+	rate := net.Forward(seq, true)
+	_, grad := loss.Loss(rate, target)
+	net.Backward(grad)
+	var analytic float64
+	for _, p := range node.Params() {
+		if p.Name == "vth" {
+			analytic = float64(p.Grad.Data[0])
+		}
+	}
+	net.ResetState()
+
+	const h = 0.15
+	macro := (lossAt(1.0+h) - lossAt(1.0-h)) / (2 * h)
+	if analytic == 0 {
+		t.Fatal("vth surrogate gradient is identically zero")
+	}
+	if macro != 0 && math.Signbit(analytic) != math.Signbit(macro) {
+		t.Errorf("vth gradient sign mismatch: surrogate %v, macro finite difference %v", analytic, macro)
+	}
+}
+
+// TestTrainingReducesLoss is the end-to-end gradient check: BPTT with the
+// surrogate must be able to fit a small separable problem.
+func TestTrainingReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ncfg := DefaultNeuronConfig()
+	lin1 := NewLinear(10, 24, true, rng)
+	lin2 := NewLinear(24, 3, true, rng)
+	net := NewNetwork(4, lin1, NewPLIFNode(ncfg), lin2, NewPLIFNode(ncfg))
+
+	// Three well-separated prototype patterns plus noise.
+	var samples []Sample
+	for i := 0; i < 60; i++ {
+		class := i % 3
+		x := tensor.New(1, 10)
+		for j := 0; j < 10; j++ {
+			base := float32(0.1)
+			if j >= class*3 && j < class*3+3 {
+				base = 1.5
+			}
+			x.Data[j] = base + float32(rng.NormFloat64()*0.05)
+		}
+		samples = append(samples, Sample{Seq: StaticSequence{X: x, T: 4}, Label: class})
+	}
+
+	first := Evaluate(net, samples, 16)
+	lastLoss, err := Train(net, samples, TrainConfig{
+		Epochs: 12, BatchSize: 16, LR: 0.02, Classes: 3, Silent: true,
+		Rng: rand.New(rand.NewSource(9)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := Evaluate(net, samples, 16)
+	if acc < 0.9 {
+		t.Errorf("training failed to fit separable toy: accuracy %.2f (was %.2f), loss %.4f", acc, first, lastLoss)
+	}
+}

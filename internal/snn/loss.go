@@ -1,0 +1,104 @@
+package snn
+
+import (
+	"fmt"
+	"math"
+
+	"falvolt/internal/tensor"
+)
+
+// Loss maps predictions and one-hot targets (both [N, C]) to a scalar loss
+// and the gradient of the loss wrt the predictions.
+type Loss interface {
+	Loss(pred, target *tensor.Tensor) (float64, *tensor.Tensor)
+}
+
+// MSERate is the mean-squared error between the output firing rate and the
+// one-hot target — the loss the paper trains with ("cross entropy loss
+// defined by the mean square error", §IV), standard for rate-coded SNNs.
+type MSERate struct{}
+
+// Loss implements Loss.
+func (MSERate) Loss(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	if !pred.SameShape(target) {
+		panic(fmt.Sprintf("snn: MSERate shapes %v vs %v", pred.Shape, target.Shape))
+	}
+	n := float64(pred.Len())
+	grad := tensor.New(pred.Shape...)
+	var sum float64
+	for i := range pred.Data {
+		d := float64(pred.Data[i] - target.Data[i])
+		sum += d * d
+		grad.Data[i] = float32(2 * d / n)
+	}
+	return sum / n, grad
+}
+
+// CrossEntropy is softmax cross-entropy over firing rates; provided as an
+// alternative training objective.
+type CrossEntropy struct{}
+
+// Loss implements Loss.
+func (CrossEntropy) Loss(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	if !pred.SameShape(target) {
+		panic(fmt.Sprintf("snn: CrossEntropy shapes %v vs %v", pred.Shape, target.Shape))
+	}
+	n, c := pred.Shape[0], pred.Shape[1]
+	grad := tensor.New(pred.Shape...)
+	var total float64
+	for b := 0; b < n; b++ {
+		row := pred.Data[b*c : (b+1)*c]
+		trow := target.Data[b*c : (b+1)*c]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var z float64
+		probs := make([]float64, c)
+		for i, v := range row {
+			e := math.Exp(float64(v - maxv))
+			probs[i] = e
+			z += e
+		}
+		for i := range probs {
+			probs[i] /= z
+			if trow[i] > 0 {
+				total -= float64(trow[i]) * math.Log(math.Max(probs[i], 1e-12))
+			}
+			grad.Data[b*c+i] = float32((probs[i] - float64(trow[i])) / float64(n))
+		}
+	}
+	return total / float64(n), grad
+}
+
+// OneHot encodes integer labels as a [N, classes] one-hot tensor.
+func OneHot(labels []int, classes int) *tensor.Tensor {
+	t := tensor.New(len(labels), classes)
+	for i, l := range labels {
+		if l < 0 || l >= classes {
+			panic(fmt.Sprintf("snn: label %d outside [0,%d)", l, classes))
+		}
+		t.Data[i*classes+l] = 1
+	}
+	return t
+}
+
+// Accuracy returns the fraction of rows of pred whose argmax matches the
+// label.
+func Accuracy(pred *tensor.Tensor, labels []int) float64 {
+	if pred.Shape[0] != len(labels) {
+		panic(fmt.Sprintf("snn: %d predictions vs %d labels", pred.Shape[0], len(labels)))
+	}
+	correct := 0
+	for i, l := range labels {
+		if pred.Argmax(i) == l {
+			correct++
+		}
+	}
+	if len(labels) == 0 {
+		return 0
+	}
+	return float64(correct) / float64(len(labels))
+}

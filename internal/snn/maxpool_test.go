@@ -1,0 +1,156 @@
+package snn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"falvolt/internal/tensor"
+)
+
+func TestMaxPool2KnownValues(t *testing.T) {
+	x := tensor.FromSlice([]float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 1, 4, 4)
+	p := NewMaxPool2()
+	out := p.Forward(x, false)
+	want := []float32{6, 8, 14, 16}
+	for i, wv := range want {
+		if out.Data[i] != wv {
+			t.Errorf("maxpool[%d] = %v, want %v", i, out.Data[i], wv)
+		}
+	}
+}
+
+func TestMaxPool2PreservesBinarySpikes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.New(2, 3, 4, 4)
+	for i := range x.Data {
+		if rng.Float64() < 0.4 {
+			x.Data[i] = 1
+		}
+	}
+	out := NewMaxPool2().Forward(x, false)
+	for _, v := range out.Data {
+		if v != 0 && v != 1 {
+			t.Fatalf("max pooling of spikes must stay binary, got %v", v)
+		}
+	}
+}
+
+func TestMaxPool2BackwardRoutesToArgmax(t *testing.T) {
+	x := tensor.FromSlice([]float32{
+		0, 9,
+		1, 2,
+	}, 1, 1, 2, 2)
+	p := NewMaxPool2()
+	p.Forward(x, true)
+	g := tensor.FromSlice([]float32{5}, 1, 1, 1, 1)
+	gx := p.Backward(g)
+	want := []float32{0, 5, 0, 0}
+	for i, wv := range want {
+		if gx.Data[i] != wv {
+			t.Errorf("grad[%d] = %v, want %v", i, gx.Data[i], wv)
+		}
+	}
+}
+
+func TestMaxPool2GradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.New(2, 2, 4, 4)
+	x.RandNormal(rng, 1)
+	checkLayerGrads(t, NewMaxPool2(), x, 0.02)
+}
+
+func TestMaxPool2PanicsOnOddDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("odd dims should panic")
+		}
+	}()
+	NewMaxPool2().Forward(tensor.New(1, 1, 3, 3), false)
+}
+
+func TestPoolMaxModelKeepsBinaryPath(t *testing.T) {
+	spec := MNISTSpec()
+	spec.T = 2
+	spec.EncoderC, spec.BlockC, spec.FCHidden = 2, []int{4, 4}, 16
+	spec.PoolMax = true
+	m, err := Build(spec, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With max pooling, every GEMM layer after the encoder PLIF sees
+	// binary spikes.
+	idx := 0
+	for i, l := range m.Net.Layers {
+		if _, ok := l.(GEMMWeighted); !ok {
+			continue
+		}
+		binary := m.Net.inputIsBinary(i)
+		if idx == 0 && binary {
+			t.Error("encoder conv sees the raw image, not spikes")
+		}
+		if idx > 0 && !binary {
+			t.Errorf("GEMM layer %d should see binary spikes under max pooling", idx)
+		}
+		idx++
+	}
+	if idx != 5 {
+		t.Fatalf("expected 5 GEMM layers, got %d", idx)
+	}
+}
+
+func TestLayerShapesMatchModel(t *testing.T) {
+	spec := MNISTSpec()
+	spec.T = 4
+	spec.EncoderC, spec.BlockC, spec.FCHidden = 4, []int{8, 8}, 32
+	m, err := Build(spec, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes := m.LayerShapes(16)
+	if len(shapes) != 5 {
+		t.Fatalf("shapes = %d, want 5", len(shapes))
+	}
+	// Encoder: 16x16 output patches, K = 1*3*3, M = 4.
+	if shapes[0].Name != "Enc" || shapes[0].B != 16*256 || shapes[0].K != 9 || shapes[0].M != 4 {
+		t.Errorf("encoder shape wrong: %+v", shapes[0])
+	}
+	// FC2: batch vectors, K = 32 hidden, M = 10 classes.
+	last := shapes[len(shapes)-1]
+	if last.Name != "FC2" || last.B != 16 || last.K != 32 || last.M != 10 {
+		t.Errorf("FC2 shape wrong: %+v", last)
+	}
+	for _, s := range shapes {
+		if s.Timesteps != 4 {
+			t.Errorf("layer %s timesteps %d, want 4", s.Name, s.Timesteps)
+		}
+	}
+}
+
+func TestPoolMaxModelTrains(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	spec := MNISTSpec()
+	spec.T = 2
+	spec.EncoderC, spec.BlockC, spec.FCHidden = 2, []int{4, 4}, 16
+	spec.PoolMax = true
+	m, err := Build(spec, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(4, 1, 16, 16)
+	x.RandUniform(rng, 0, 1)
+	seq := StaticSequence{X: x, T: 2}
+	target := OneHot([]int{0, 1, 2, 3}, 10)
+	m.Net.ResetState()
+	rate := m.Net.Forward(seq, true)
+	loss, grad := MSERate{}.Loss(rate, target)
+	if math.IsNaN(loss) {
+		t.Fatal("NaN loss")
+	}
+	m.Net.Backward(grad) // must not panic through the max-pool path
+}

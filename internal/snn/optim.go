@@ -1,0 +1,145 @@
+package snn
+
+import (
+	"fmt"
+	"math"
+
+	"falvolt/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and clears nothing; call ZeroGrad after.
+	Step()
+	// ZeroGrad clears all parameter gradients.
+	ZeroGrad()
+	// SetLR changes the learning rate (for schedules).
+	SetLR(lr float64)
+}
+
+// SGD is stochastic gradient descent with optional classical momentum.
+type SGD struct {
+	params   []*Param
+	lr       float64
+	momentum float64
+	velocity []*tensor.Tensor
+}
+
+// NewSGD constructs the optimizer over params.
+func NewSGD(params []*Param, lr, momentum float64) *SGD {
+	s := &SGD{params: params, lr: lr, momentum: momentum}
+	if momentum != 0 {
+		s.velocity = make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			s.velocity[i] = tensor.New(p.Value.Shape...)
+		}
+	}
+	return s
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step() {
+	for i, p := range s.params {
+		if s.momentum != 0 {
+			v := s.velocity[i]
+			for j := range v.Data {
+				v.Data[j] = float32(s.momentum)*v.Data[j] + p.Grad.Data[j]
+				p.Value.Data[j] -= float32(s.lr) * v.Data[j]
+			}
+		} else {
+			for j := range p.Value.Data {
+				p.Value.Data[j] -= float32(s.lr) * p.Grad.Data[j]
+			}
+		}
+	}
+}
+
+// ZeroGrad implements Optimizer.
+func (s *SGD) ZeroGrad() {
+	for _, p := range s.params {
+		p.ZeroGrad()
+	}
+}
+
+// SetLR implements Optimizer.
+func (s *SGD) SetLR(lr float64) { s.lr = lr }
+
+// Adam is the Adam optimizer (Kingma & Ba), the default for SNN training.
+type Adam struct {
+	params       []*Param
+	lr           float64
+	beta1, beta2 float64
+	eps          float64
+	m, v         []*tensor.Tensor
+	t            int
+}
+
+// NewAdam constructs Adam with standard hyperparameters (β1=0.9, β2=0.999).
+func NewAdam(params []*Param, lr float64) *Adam {
+	a := &Adam{params: params, lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8}
+	a.m = make([]*tensor.Tensor, len(params))
+	a.v = make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		a.m[i] = tensor.New(p.Value.Shape...)
+		a.v[i] = tensor.New(p.Value.Shape...)
+	}
+	return a
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step() {
+	a.t++
+	bc1 := 1 - math.Pow(a.beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.beta2, float64(a.t))
+	for i, p := range a.params {
+		m, v := a.m[i], a.v[i]
+		for j, g := range p.Grad.Data {
+			gf := float64(g)
+			mj := a.beta1*float64(m.Data[j]) + (1-a.beta1)*gf
+			vj := a.beta2*float64(v.Data[j]) + (1-a.beta2)*gf*gf
+			m.Data[j] = float32(mj)
+			v.Data[j] = float32(vj)
+			update := a.lr * (mj / bc1) / (math.Sqrt(vj/bc2) + a.eps)
+			p.Value.Data[j] -= float32(update)
+		}
+	}
+}
+
+// ZeroGrad implements Optimizer.
+func (a *Adam) ZeroGrad() {
+	for _, p := range a.params {
+		p.ZeroGrad()
+	}
+}
+
+// SetLR implements Optimizer.
+func (a *Adam) SetLR(lr float64) { a.lr = lr }
+
+// ClipGradNorm scales all gradients so their global L2 norm does not
+// exceed maxNorm; returns the pre-clip norm. Guards BPTT against the
+// occasional exploding surrogate gradient.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			sq += float64(g) * float64(g)
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm > maxNorm && norm > 0 {
+		scale := float32(maxNorm / norm)
+		for _, p := range params {
+			p.Grad.Scale(scale)
+		}
+	}
+	return norm
+}
+
+// ensure interfaces are satisfied.
+var (
+	_ Optimizer = (*SGD)(nil)
+	_ Optimizer = (*Adam)(nil)
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (a *Adam) String() string { return fmt.Sprintf("Adam(lr=%g, t=%d)", a.lr, a.t) }

@@ -1,0 +1,76 @@
+// Package snn is a from-scratch spiking-neural-network framework with
+// surrogate-gradient backpropagation through time (BPTT). It provides the
+// PLIF-SNN architectures of the paper — convolution, batch normalization,
+// average pooling, dropout, fully-connected layers and parametric
+// leaky-integrate-and-fire (PLIF) neurons with a learnable per-layer
+// threshold voltage — plus optimizers, losses and a training loop.
+//
+// Layers are stateful across a simulated sequence of T timesteps: Forward
+// is called once per timestep (caching what the backward pass needs) and
+// Backward is called T times in reverse order. ResetState clears membrane
+// potentials and caches between sequences.
+package snn
+
+import (
+	"fmt"
+
+	"falvolt/internal/tensor"
+)
+
+// Param is a trainable tensor with its gradient accumulator.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+// NewParam allocates a named parameter with a zero gradient of equal shape.
+func NewParam(name string, value *tensor.Tensor) *Param {
+	return &Param{Name: name, Value: value, Grad: tensor.New(value.Shape...)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// String implements fmt.Stringer.
+func (p *Param) String() string {
+	return fmt.Sprintf("Param(%s %v)", p.Name, p.Value.Shape)
+}
+
+// Layer is one stage of an SNN executed over T timesteps.
+//
+// The contract: within one sequence, Forward is invoked exactly T times
+// (t = 0..T-1) and then Backward exactly T times in reverse (t = T-1..0).
+// Each Forward pushes whatever it needs onto an internal cache stack; each
+// Backward pops. ResetState must drop all caches and recurrent state.
+type Layer interface {
+	// Forward maps this timestep's input to output. train enables
+	// training-only behaviour (dropout masks, batch statistics).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward maps the gradient wrt this timestep's output to the
+	// gradient wrt its input, accumulating parameter gradients.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the trainable parameters (possibly none).
+	Params() []*Param
+	// ResetState clears membrane potentials, dropout masks and caches.
+	ResetState()
+}
+
+// cacheStack is a helper for per-timestep tensors pushed during forward
+// and popped in reverse during backward.
+type cacheStack struct{ items []*tensor.Tensor }
+
+func (s *cacheStack) push(t *tensor.Tensor) { s.items = append(s.items, t) }
+
+func (s *cacheStack) pop() *tensor.Tensor {
+	if len(s.items) == 0 {
+		panic("snn: backward called more times than forward (cache underflow)")
+	}
+	t := s.items[len(s.items)-1]
+	s.items = s.items[:len(s.items)-1]
+	return t
+}
+
+func (s *cacheStack) reset() { s.items = s.items[:0] }
+
+func (s *cacheStack) depth() int { return len(s.items) }

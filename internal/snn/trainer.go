@@ -1,0 +1,184 @@
+package snn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"falvolt/internal/tensor"
+)
+
+// Sample is one labelled sequence.
+type Sample struct {
+	Seq   Sequence
+	Label int
+}
+
+// batchSequence concatenates the frames of several samples along the batch
+// dimension, lazily per timestep.
+type batchSequence struct {
+	seqs []Sequence
+	t    int
+}
+
+// At implements Sequence.
+func (b batchSequence) At(t int) *tensor.Tensor {
+	first := b.seqs[0].At(t)
+	shape := append([]int(nil), first.Shape...)
+	per := first.Len() / first.Shape[0]
+	shape[0] = 0
+	for _, s := range b.seqs {
+		shape[0] += s.At(t).Shape[0]
+	}
+	out := tensor.New(shape...)
+	off := 0
+	for _, s := range b.seqs {
+		x := s.At(t)
+		copy(out.Data[off:], x.Data)
+		off += x.Shape[0] * per
+	}
+	return out
+}
+
+// Steps implements Sequence.
+func (b batchSequence) Steps() int { return b.t }
+
+// MakeBatch combines samples into one batched sequence plus labels.
+func MakeBatch(samples []Sample) (Sequence, []int) {
+	seqs := make([]Sequence, len(samples))
+	labels := make([]int, len(samples))
+	steps := 0
+	for i, s := range samples {
+		seqs[i] = s.Seq
+		labels[i] = s.Label
+		if n := s.Seq.Steps(); n > steps {
+			steps = n
+		}
+	}
+	return batchSequence{seqs: seqs, t: steps}, labels
+}
+
+// TrainConfig controls the training loop.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Classes   int
+	Loss      Loss
+	Rng       *rand.Rand
+	// ClipNorm caps the global gradient norm (0 disables clipping).
+	ClipNorm float64
+	// AfterStep runs after each optimizer step (e.g. to re-apply masks).
+	AfterStep func()
+	// AfterEpoch runs at the end of each epoch with the mean train loss;
+	// Algorithm 1 re-applies the prune mask here.
+	AfterEpoch func(epoch int, trainLoss float64)
+	// Silent suppresses progress output to stdout.
+	Silent bool
+}
+
+// Validate fills defaults and rejects unusable configurations.
+func (c *TrainConfig) Validate() error {
+	if c.Epochs < 0 {
+		return fmt.Errorf("snn: negative epochs %d", c.Epochs)
+	}
+	if c.BatchSize <= 0 {
+		return fmt.Errorf("snn: batch size must be positive, got %d", c.BatchSize)
+	}
+	if c.Classes <= 0 {
+		return fmt.Errorf("snn: classes must be positive, got %d", c.Classes)
+	}
+	if c.LR <= 0 {
+		return fmt.Errorf("snn: learning rate must be positive, got %g", c.LR)
+	}
+	if c.Loss == nil {
+		c.Loss = MSERate{}
+	}
+	if c.Rng == nil {
+		c.Rng = rand.New(rand.NewSource(0))
+	}
+	return nil
+}
+
+// Train runs the training loop over samples, updating net in place, and
+// returns the mean training loss of the final epoch.
+func Train(net *Network, samples []Sample, cfg TrainConfig) (float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("snn: no training samples")
+	}
+	opt := NewAdam(net.Params(), cfg.LR)
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		cfg.Rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var epochLoss float64
+		batches := 0
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			batch := make([]Sample, 0, end-start)
+			for _, i := range idx[start:end] {
+				batch = append(batch, samples[i])
+			}
+			seq, labels := MakeBatch(batch)
+			target := OneHot(labels, cfg.Classes)
+
+			net.ResetState()
+			opt.ZeroGrad()
+			rate := net.Forward(seq, true)
+			loss, grad := cfg.Loss.Loss(rate, target)
+			net.Backward(grad)
+			if cfg.ClipNorm > 0 {
+				ClipGradNorm(net.Params(), cfg.ClipNorm)
+			}
+			opt.Step()
+			if cfg.AfterStep != nil {
+				cfg.AfterStep()
+			}
+			epochLoss += loss
+			batches++
+		}
+		lastLoss = epochLoss / float64(batches)
+		if cfg.AfterEpoch != nil {
+			cfg.AfterEpoch(epoch, lastLoss)
+		}
+		if !cfg.Silent {
+			fmt.Printf("epoch %3d  loss %.5f\n", epoch, lastLoss)
+		}
+	}
+	return lastLoss, nil
+}
+
+// Evaluate returns classification accuracy of net on samples, running in
+// inference mode (which uses any installed systolic deployment).
+func Evaluate(net *Network, samples []Sample, batchSize int) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	if batchSize <= 0 {
+		batchSize = 32
+	}
+	correct := 0
+	for start := 0; start < len(samples); start += batchSize {
+		end := start + batchSize
+		if end > len(samples) {
+			end = len(samples)
+		}
+		seq, labels := MakeBatch(samples[start:end])
+		net.ResetState()
+		rate := net.Forward(seq, false)
+		for i, l := range labels {
+			if rate.Argmax(i) == l {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}

@@ -1,0 +1,139 @@
+package snn
+
+import (
+	"math/rand"
+	"testing"
+
+	"falvolt/internal/tensor"
+)
+
+// toySamples builds a linearly separable 2-class problem.
+func toySamples(n int, rng *rand.Rand) []Sample {
+	out := make([]Sample, n)
+	for i := range out {
+		class := i % 2
+		x := tensor.New(1, 6)
+		for j := 0; j < 6; j++ {
+			base := float32(0.1)
+			if (class == 0 && j < 3) || (class == 1 && j >= 3) {
+				base = 1.4
+			}
+			x.Data[j] = base + float32(rng.NormFloat64()*0.05)
+		}
+		out[i] = Sample{Seq: StaticSequence{X: x, T: 3}, Label: class}
+	}
+	return out
+}
+
+func toyNet(rng *rand.Rand) *Network {
+	return NewNetwork(3,
+		NewLinear(6, 12, true, rng), NewPLIFNode(DefaultNeuronConfig()),
+		NewLinear(12, 2, true, rng), NewPLIFNode(DefaultNeuronConfig()),
+	)
+}
+
+func TestTrainHooksFire(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := toyNet(rng)
+	samples := toySamples(32, rng)
+	var steps, epochs int
+	var lastLoss float64
+	_, err := Train(net, samples, TrainConfig{
+		Epochs: 2, BatchSize: 8, LR: 0.01, Classes: 2, Silent: true,
+		Rng:       rand.New(rand.NewSource(2)),
+		AfterStep: func() { steps++ },
+		AfterEpoch: func(epoch int, loss float64) {
+			epochs++
+			lastLoss = loss
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 8 { // 32 samples / 8 per batch * 2 epochs
+		t.Errorf("AfterStep fired %d times, want 8", steps)
+	}
+	if epochs != 2 {
+		t.Errorf("AfterEpoch fired %d times, want 2", epochs)
+	}
+	if lastLoss <= 0 {
+		t.Errorf("epoch loss %v should be positive", lastLoss)
+	}
+}
+
+func TestTrainRejectsEmptyData(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := toyNet(rng)
+	if _, err := Train(net, nil, TrainConfig{Epochs: 1, BatchSize: 4, LR: 0.1, Classes: 2}); err == nil {
+		t.Error("training with no samples should error")
+	}
+}
+
+func TestTrainZeroEpochsIsNoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := toyNet(rng)
+	samples := toySamples(8, rng)
+	before := net.Params()[0].Value.Clone()
+	if _, err := Train(net, samples, TrainConfig{
+		Epochs: 0, BatchSize: 4, LR: 0.1, Classes: 2, Silent: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	after := net.Params()[0].Value
+	for i := range before.Data {
+		if before.Data[i] != after.Data[i] {
+			t.Fatal("zero epochs must not modify weights")
+		}
+	}
+}
+
+func TestEvaluatePartialBatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := toyNet(rng)
+	samples := toySamples(10, rng) // not divisible by batch size
+	acc := Evaluate(net, samples, 4)
+	if acc < 0 || acc > 1 {
+		t.Errorf("accuracy %v out of range", acc)
+	}
+	if got := Evaluate(net, nil, 4); got != 0 {
+		t.Errorf("empty evaluation should be 0, got %v", got)
+	}
+	// Default batch size path.
+	if acc2 := Evaluate(net, samples, 0); acc2 != acc {
+		t.Errorf("default batch size changed accuracy: %v vs %v", acc2, acc)
+	}
+}
+
+func TestTrainConvergesOnToy(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net := toyNet(rng)
+	samples := toySamples(48, rng)
+	if _, err := Train(net, samples, TrainConfig{
+		Epochs: 10, BatchSize: 8, LR: 0.02, Classes: 2, Silent: true, ClipNorm: 5,
+		Rng: rand.New(rand.NewSource(7)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if acc := Evaluate(net, samples, 16); acc < 0.9 {
+		t.Errorf("toy accuracy %v, want >= 0.9", acc)
+	}
+}
+
+func TestMakeBatchMixedLengthEventSequences(t *testing.T) {
+	f := func(v float32) *tensor.Tensor {
+		x := tensor.New(1, 1, 2, 2)
+		x.Fill(v)
+		return x
+	}
+	short := EventSequence{Frames: []*tensor.Tensor{f(1)}}
+	long := EventSequence{Frames: []*tensor.Tensor{f(2), f(3)}}
+	seq, _ := MakeBatch([]Sample{{Seq: short, Label: 0}, {Seq: long, Label: 1}})
+	if seq.Steps() != 2 {
+		t.Fatalf("batch steps = %d, want max(1,2) = 2", seq.Steps())
+	}
+	// At t=1 the short sequence repeats its last frame.
+	b := seq.At(1)
+	if b.Data[0] != 1 || b.Data[4] != 3 {
+		t.Errorf("t=1 batch = %v, want short-repeat then long[1]", b.Data[:8])
+	}
+}

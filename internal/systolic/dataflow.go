@@ -1,0 +1,187 @@
+package systolic
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dataflow timing and energy model.
+//
+// Forward() simulates the arithmetic of the array functionally; this file
+// models *when* things happen and what they cost: the wavefront schedule
+// of a weight-stationary systolic pass, per-layer latency, PE utilization,
+// and a first-order energy estimate. The paper motivates bypass over
+// re-execution by latency/energy overheads (§I); this model quantifies
+// both for a given network shape.
+
+// LayerShape describes one GEMM workload streamed through the array:
+// B input vectors of reduction length K producing M outputs, repeated
+// once per timestep.
+type LayerShape struct {
+	Name    string
+	B, K, M int
+	// Timesteps the layer executes per inference (SNN horizon).
+	Timesteps int
+}
+
+// Validate checks the shape.
+func (l LayerShape) Validate() error {
+	if l.B <= 0 || l.K <= 0 || l.M <= 0 {
+		return fmt.Errorf("systolic: layer %q has non-positive dims B=%d K=%d M=%d", l.Name, l.B, l.K, l.M)
+	}
+	if l.Timesteps <= 0 {
+		return fmt.Errorf("systolic: layer %q has non-positive timesteps %d", l.Name, l.Timesteps)
+	}
+	return nil
+}
+
+// LayerTiming is the schedule of one layer on a given array.
+type LayerTiming struct {
+	Name string
+	// KTiles and MTiles are the tiling factors (array reuse counts).
+	KTiles, MTiles int
+	// FillCycles is the pipeline fill latency per tile pass (Rows+Cols-2).
+	FillCycles uint64
+	// StreamCycles is the beat count streaming B vectors through one tile.
+	StreamCycles uint64
+	// WeightLoadCycles reloads the tile's weights (Rows beats per tile).
+	WeightLoadCycles uint64
+	// TotalCycles covers all tile passes and timesteps.
+	TotalCycles uint64
+	// Utilization is the fraction of PE-cycles doing useful accumulation.
+	Utilization float64
+}
+
+// EnergyParams are first-order per-event energies in picojoules. Defaults
+// are representative of a nanometer-CMOS fixed-point datapath; they feed
+// relative comparisons (bypass vs re-execution), not absolute claims.
+type EnergyParams struct {
+	AccumulatePJ  float64 // one fixed-point accumulate
+	WeightLoadPJ  float64 // one weight register load
+	SpikeMovePJ   float64 // moving one spike across one PE
+	LeakPJPerCyc  float64 // static leakage per PE per cycle
+	BypassMuxPJ   float64 // one bypass multiplexer traversal
+	ClockTreePJpc float64 // clock tree per cycle for the whole array
+}
+
+// DefaultEnergyParams returns the representative defaults.
+func DefaultEnergyParams() EnergyParams {
+	return EnergyParams{
+		AccumulatePJ:  0.9,
+		WeightLoadPJ:  0.6,
+		SpikeMovePJ:   0.08,
+		LeakPJPerCyc:  0.002,
+		BypassMuxPJ:   0.05,
+		ClockTreePJpc: 1.5,
+	}
+}
+
+// Schedule computes the wavefront timing of one layer on the array.
+//
+// Per (K-tile, M-tile) pass: the tile's weights are pre-loaded (Rows
+// beats), then B spike vectors stream in skewed order; the last result
+// drains after Rows+Cols-2 fill beats plus B streaming beats.
+func (a *Array) Schedule(l LayerShape) (LayerTiming, error) {
+	if err := l.Validate(); err != nil {
+		return LayerTiming{}, err
+	}
+	rows, cols := a.cfg.Rows, a.cfg.Cols
+	kt := (l.K + rows - 1) / rows
+	mt := (l.M + cols - 1) / cols
+	fill := uint64(rows + cols - 2)
+	stream := uint64(l.B)
+	load := uint64(rows)
+	perTile := load + fill + stream
+	passes := uint64(kt*mt) * uint64(l.Timesteps)
+	total := perTile * passes
+
+	// Useful work: every (k, m, b, t) accumulation is one useful PE-cycle.
+	useful := float64(l.K) * float64(l.M) * float64(l.B) * float64(l.Timesteps)
+	capacity := float64(total) * float64(rows*cols)
+	util := 0.0
+	if capacity > 0 {
+		util = useful / capacity
+	}
+	return LayerTiming{
+		Name:   l.Name,
+		KTiles: kt, MTiles: mt,
+		FillCycles:       fill,
+		StreamCycles:     stream,
+		WeightLoadCycles: load,
+		TotalCycles:      total,
+		Utilization:      math.Min(util, 1),
+	}, nil
+}
+
+// InferenceTiming aggregates layer schedules for a whole network.
+type InferenceTiming struct {
+	Layers      []LayerTiming
+	TotalCycles uint64
+	// MeanUtilization is cycle-weighted across layers.
+	MeanUtilization float64
+}
+
+// ScheduleNetwork schedules a sequence of layers (one inference).
+func (a *Array) ScheduleNetwork(layers []LayerShape) (InferenceTiming, error) {
+	var out InferenceTiming
+	var weightedUtil float64
+	for _, l := range layers {
+		t, err := a.Schedule(l)
+		if err != nil {
+			return InferenceTiming{}, err
+		}
+		out.Layers = append(out.Layers, t)
+		out.TotalCycles += t.TotalCycles
+		weightedUtil += t.Utilization * float64(t.TotalCycles)
+	}
+	if out.TotalCycles > 0 {
+		out.MeanUtilization = weightedUtil / float64(out.TotalCycles)
+	}
+	return out, nil
+}
+
+// EnergyReport is a first-order energy estimate for a workload.
+type EnergyReport struct {
+	AccumulatePJ float64
+	WeightLoadPJ float64
+	SpikeMovePJ  float64
+	LeakagePJ    float64
+	BypassPJ     float64
+	ClockPJ      float64
+}
+
+// TotalPJ sums all components.
+func (e EnergyReport) TotalPJ() float64 {
+	return e.AccumulatePJ + e.WeightLoadPJ + e.SpikeMovePJ + e.LeakagePJ + e.BypassPJ + e.ClockPJ
+}
+
+// Energy estimates the energy of a scheduled workload from the array's
+// accumulated Stats (arithmetic events) and an InferenceTiming (cycles).
+// spikeRate is the mean input spike density (fraction of non-zero inputs).
+func (a *Array) Energy(t InferenceTiming, p EnergyParams, spikeRate float64) EnergyReport {
+	st := a.stats
+	pes := float64(a.cfg.Rows * a.cfg.Cols)
+	var rep EnergyReport
+	rep.AccumulatePJ = float64(st.Accumulations) * p.AccumulatePJ
+	var loads uint64
+	for _, l := range t.Layers {
+		loads += l.WeightLoadCycles * uint64(l.KTiles*l.MTiles)
+	}
+	rep.WeightLoadPJ = float64(loads) * float64(a.cfg.Rows) * p.WeightLoadPJ
+	rep.SpikeMovePJ = float64(st.Accumulations) * spikeRate * p.SpikeMovePJ
+	rep.LeakagePJ = float64(t.TotalCycles) * pes * p.LeakPJPerCyc
+	rep.BypassPJ = float64(st.BypassedSteps) * p.BypassMuxPJ
+	rep.ClockPJ = float64(t.TotalCycles) * p.ClockTreePJpc
+	return rep
+}
+
+// ReexecutionOverhead compares fault mitigation by bypass against
+// mitigation by full redundant re-execution (running every inference
+// twice and voting), the alternative the paper dismisses for its latency
+// and energy overheads. Returned values are multiplicative overheads of
+// re-execution relative to single execution (bypass adds neither).
+func ReexecutionOverhead() (latency, energy float64) {
+	// Dual modular redundancy with comparison: 2x compute; the compare
+	// and restart logic adds a few percent on top.
+	return 2.05, 2.1
+}

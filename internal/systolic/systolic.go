@@ -1,0 +1,468 @@
+// Package systolic is a functional simulator of an NxN systolic-array SNN
+// accelerator ("systolicSNN") as described in the paper: a dense grid of
+// processing elements (PEs), each a fixed-point adder–subtractor plus
+// accumulator register and internal spike counter (Fig. 3a). Binary input
+// spikes stream across rows; filter weights are pre-stored in the PEs
+// (weight-stationary); partial sums flow down columns.
+//
+// Permanent stuck-at faults are injected on single output bits of PE
+// accumulator registers and corrupt every accumulation step of every tile
+// pass — the array is reused across layers, timesteps and samples, so a
+// single fault recurs constantly. A bypass multiplexer (Fig. 3b) can route
+// the incoming partial sum around a faulty PE, which skips its weight's
+// contribution (equivalent to pruning that weight) and stops the
+// corruption.
+package systolic
+
+import (
+	"fmt"
+
+	"falvolt/internal/faults"
+	"falvolt/internal/fixed"
+	"falvolt/internal/tensor"
+)
+
+// Config describes an accelerator instance.
+type Config struct {
+	// Rows, Cols give the PE grid extent (paper default 256x256).
+	Rows, Cols int
+	// Format is the fixed-point encoding of weights and accumulators.
+	Format fixed.Format
+	// Saturate selects a saturating adder; false gives two's-complement
+	// wraparound (a plain binary adder).
+	Saturate bool
+	// CountSpikes enables the per-PE internal spike counters (costs time).
+	CountSpikes bool
+}
+
+// DefaultConfig is the paper's 256x256 array with Q16.16 saturating PEs.
+func DefaultConfig() Config {
+	return Config{Rows: 256, Cols: 256, Format: fixed.Q16x16, Saturate: true}
+}
+
+// Array is a systolic accelerator with an optional injected fault map.
+// The zero value is not usable; construct with New.
+type Array struct {
+	cfg Config
+
+	// Per-PE accumulator fault state, indexed row*Cols+col.
+	orMask    []uint32 // bits forced high
+	clearMask []uint32 // bits forced low
+	faulty    []bool   // any stuck bit on this PE (either register)
+	bypassed  []bool   // faulty PE with bypass mux engaged
+
+	// Per-PE weight-register fault state: stuck bits in the pre-stored
+	// filter word rather than the accumulator output. An extension to the
+	// paper's model — both registers exist in the Fig. 3a datapath.
+	wOrMask    []uint32
+	wClearMask []uint32
+	wFaulty    []bool
+
+	bypassOn bool
+	fmap     *faults.Map
+	wmap     *faults.Map
+
+	// Per-column summaries for inner-loop fast paths.
+	colClean    []bool // no faulty, non-bypassed PE in column
+	colBypassed []bool // column contains at least one bypassed PE
+
+	// Internal spike counters (one per PE), active when cfg.CountSpikes.
+	spikeCount []uint64
+
+	stats Stats
+}
+
+// Stats aggregates datapath activity for cycle/energy reporting.
+type Stats struct {
+	// Accumulations is the number of adder operations performed.
+	Accumulations uint64
+	// BypassedSteps counts partial sums routed around faulty PEs.
+	BypassedSteps uint64
+	// TilePasses counts (K-tile, M-tile) array configurations streamed.
+	TilePasses uint64
+	// MACCycles estimates pipelined systolic cycles: per tile pass over a
+	// batch of B vectors, Rows+Cols+B-2 beats.
+	MACCycles uint64
+}
+
+// New constructs an array; the configuration is validated once here so the
+// hot loops can assume it is sound.
+func New(cfg Config) (*Array, error) {
+	if cfg.Rows <= 0 || cfg.Cols <= 0 {
+		return nil, fmt.Errorf("systolic: invalid grid %dx%d", cfg.Rows, cfg.Cols)
+	}
+	if !cfg.Format.Valid() {
+		return nil, fmt.Errorf("systolic: invalid fixed-point format %v", cfg.Format)
+	}
+	n := cfg.Rows * cfg.Cols
+	a := &Array{
+		cfg:         cfg,
+		orMask:      make([]uint32, n),
+		clearMask:   make([]uint32, n),
+		faulty:      make([]bool, n),
+		bypassed:    make([]bool, n),
+		wOrMask:     make([]uint32, n),
+		wClearMask:  make([]uint32, n),
+		wFaulty:     make([]bool, n),
+		colClean:    make([]bool, cfg.Cols),
+		colBypassed: make([]bool, cfg.Cols),
+	}
+	if cfg.CountSpikes {
+		a.spikeCount = make([]uint64, n)
+	}
+	a.refreshColumns()
+	return a, nil
+}
+
+// MustNew is New but panics on error; for tests and examples.
+func MustNew(cfg Config) *Array {
+	a, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Config returns the array configuration.
+func (a *Array) Config() Config { return a.cfg }
+
+// Stats returns a copy of the accumulated datapath statistics.
+func (a *Array) Stats() Stats { return a.stats }
+
+// ResetStats zeroes the datapath statistics.
+func (a *Array) ResetStats() { a.stats = Stats{} }
+
+// FaultMap returns the currently injected fault map (nil if fault-free).
+func (a *Array) FaultMap() *faults.Map { return a.fmap }
+
+// InjectFaults installs an accumulator-output fault map, replacing any
+// previous accumulator faults (weight-register faults are kept; use
+// ClearFaults to remove everything). The map's dimensions must match the
+// array.
+func (a *Array) InjectFaults(m *faults.Map) error {
+	if m.Rows != a.cfg.Rows || m.Cols != a.cfg.Cols {
+		return fmt.Errorf("systolic: fault map %dx%d does not match array %dx%d",
+			m.Rows, m.Cols, a.cfg.Rows, a.cfg.Cols)
+	}
+	a.fmap = m.Clone()
+	or, clear := m.Masks()
+	copy(a.orMask, or)
+	copy(a.clearMask, clear)
+	for i := range a.faulty {
+		a.faulty[i] = or[i] != 0 || clear[i] != 0 || a.wFaulty[i]
+	}
+	a.applyBypassFlags()
+	a.refreshColumns()
+	return nil
+}
+
+// InjectWeightFaults installs stuck bits on PE weight registers (the
+// pre-stored filter words) instead of accumulator outputs. Accumulator
+// faults, if any, are kept; call ClearFaults to remove both kinds.
+// A PE with a faulty weight register counts as faulty for bypass.
+func (a *Array) InjectWeightFaults(m *faults.Map) error {
+	if m.Rows != a.cfg.Rows || m.Cols != a.cfg.Cols {
+		return fmt.Errorf("systolic: weight fault map %dx%d does not match array %dx%d",
+			m.Rows, m.Cols, a.cfg.Rows, a.cfg.Cols)
+	}
+	a.wmap = m.Clone()
+	or, clear := m.Masks()
+	copy(a.wOrMask, or)
+	copy(a.wClearMask, clear)
+	for i := range a.wFaulty {
+		a.wFaulty[i] = or[i] != 0 || clear[i] != 0
+		if a.wFaulty[i] {
+			a.faulty[i] = true
+		}
+	}
+	a.applyBypassFlags()
+	a.refreshColumns()
+	return nil
+}
+
+// WeightFaultMap returns the injected weight-register fault map, if any.
+func (a *Array) WeightFaultMap() *faults.Map { return a.wmap }
+
+// ClearFaults removes all faults (both registers) and disengages bypass.
+func (a *Array) ClearFaults() {
+	for i := range a.faulty {
+		a.orMask[i], a.clearMask[i] = 0, 0
+		a.wOrMask[i], a.wClearMask[i] = 0, 0
+		a.faulty[i], a.bypassed[i], a.wFaulty[i] = false, false, false
+	}
+	a.fmap = nil
+	a.wmap = nil
+	a.refreshColumns()
+}
+
+// SetBypass engages (or disengages) the bypass multiplexer on every faulty
+// PE. With bypass on, faulty PEs neither contribute their weight nor
+// corrupt the passing partial sum.
+func (a *Array) SetBypass(on bool) {
+	a.bypassOn = on
+	a.applyBypassFlags()
+	a.refreshColumns()
+}
+
+// BypassEnabled reports whether faulty PEs are currently bypassed.
+func (a *Array) BypassEnabled() bool { return a.bypassOn }
+
+func (a *Array) applyBypassFlags() {
+	for i, f := range a.faulty {
+		a.bypassed[i] = f && a.bypassOn
+	}
+}
+
+func (a *Array) refreshColumns() {
+	for j := 0; j < a.cfg.Cols; j++ {
+		clean, byp := true, false
+		for i := 0; i < a.cfg.Rows; i++ {
+			idx := i*a.cfg.Cols + j
+			if a.bypassed[idx] {
+				byp = true
+			} else if a.faulty[idx] {
+				clean = false
+			}
+		}
+		a.colClean[j] = clean
+		a.colBypassed[j] = byp
+	}
+}
+
+// SpikeCount returns the internal spike counter of PE (row, col); zero if
+// counting is disabled.
+func (a *Array) SpikeCount(row, col int) uint64 {
+	if a.spikeCount == nil {
+		return 0
+	}
+	return a.spikeCount[row*a.cfg.Cols+col]
+}
+
+// Matrix is a weight matrix pre-quantized to the array's fixed-point
+// format, shaped [M, K] row-major: M output neurons, K reduction inputs.
+// Weight w[m][k] is pre-stored in PE(k mod Rows, m mod Cols) for the tile
+// covering (k, m).
+type Matrix struct {
+	M, K   int
+	Words  []fixed.Word
+	Format fixed.Format
+}
+
+// QuantizeMatrix converts a float [M, K] weight tensor into a Matrix.
+func QuantizeMatrix(w *tensor.Tensor, f fixed.Format) *Matrix {
+	if w.Rank() != 2 {
+		panic("systolic: QuantizeMatrix requires a rank-2 weight tensor")
+	}
+	return &Matrix{
+		M:      w.Shape[0],
+		K:      w.Shape[1],
+		Words:  f.QuantizeSlice(w.Data),
+		Format: f,
+	}
+}
+
+// Dequantize converts the matrix back to a float tensor (for inspection).
+func (m *Matrix) Dequantize() *tensor.Tensor {
+	return tensor.FromSlice(m.Format.DequantizeSlice(m.Words), m.M, m.K)
+}
+
+// Forward computes Y = X · Wᵀ on the (possibly faulty) array: X is
+// [B, K] inputs, W is a quantized [M, K] matrix, and the result is a
+// float [B, M] tensor dequantized from the fixed-point column sums.
+//
+// If binary is true, X is treated as spikes: any non-zero entry gates the
+// weight into the accumulator (the paper's multiplier-less PE). If false,
+// each contribution is the quantized product w*x (used for the analog
+// encoder layer; same accumulator datapath, same fault exposure).
+func (a *Array) Forward(x *tensor.Tensor, w *Matrix, binary bool) *tensor.Tensor {
+	if x.Rank() != 2 {
+		panic("systolic: Forward requires rank-2 input")
+	}
+	if x.Shape[1] != w.K {
+		panic(fmt.Sprintf("systolic: input K %d != weight K %d", x.Shape[1], w.K))
+	}
+	b := x.Shape[0]
+	y := tensor.New(b, w.M)
+	rows, cols := a.cfg.Rows, a.cfg.Cols
+	numKTiles := (w.K + rows - 1) / rows
+	numMTiles := (w.M + cols - 1) / cols
+	a.stats.TilePasses += uint64(numKTiles * numMTiles)
+	a.stats.MACCycles += uint64(numKTiles*numMTiles) * uint64(rows+cols+b-2)
+
+	format := w.Format
+	scale := float32(format.Scale())
+	for bi := 0; bi < b; bi++ {
+		xrow := x.Data[bi*w.K : (bi+1)*w.K]
+		yrow := y.Data[bi*w.M : (bi+1)*w.M]
+		for m := 0; m < w.M; m++ {
+			j := m % cols
+			wrow := w.Words[m*w.K : (m+1)*w.K]
+			var total int64
+			for kt := 0; kt < numKTiles; kt++ {
+				k0 := kt * rows
+				k1 := k0 + rows
+				if k1 > w.K {
+					k1 = w.K
+				}
+				total += int64(a.columnPass(xrow[k0:k1], wrow[k0:k1], k0, j, binary))
+			}
+			yrow[m] = float32(total) * scale
+		}
+	}
+	return y
+}
+
+// columnPass streams one K-tile of one output column through the array and
+// returns the resulting partial sum word. k0 is the global k offset of the
+// tile (PE row for global index k is k mod Rows, which equals the local
+// index within a full tile).
+func (a *Array) columnPass(xs []float32, ws []fixed.Word, k0, col int, binary bool) fixed.Word {
+	cols := a.cfg.Cols
+	format := a.cfg.Format
+
+	// Fast path: a fault-free, bypass-free column is a plain integer sum.
+	if a.colClean[col] && !a.colBypassed[col] {
+		var acc fixed.Word
+		if binary {
+			for i, xv := range xs {
+				if xv != 0 {
+					acc = a.add(acc, ws[i])
+				}
+			}
+			a.stats.Accumulations += uint64(len(xs))
+			a.countSpikes(xs, k0, col)
+			return acc
+		}
+		for i, xv := range xs {
+			if xv != 0 {
+				acc = a.add(acc, format.Quantize(float64(xv)*format.Dequantize(ws[i])))
+			}
+		}
+		a.stats.Accumulations += uint64(len(xs))
+		return acc
+	}
+
+	// Slow path: walk every PE in the column, applying bypass or stuck-bit
+	// forcing on the accumulator output register at each step.
+	var acc fixed.Word
+	for i, xv := range xs {
+		row := (k0 + i) % a.cfg.Rows
+		idx := row*cols + col
+		if a.bypassed[idx] {
+			a.stats.BypassedSteps++
+			continue // pre-sum routed around the PE unchanged
+		}
+		var add fixed.Word
+		if xv != 0 {
+			w := ws[i]
+			if a.wFaulty[idx] {
+				w = fixed.ForceBits(w, a.wOrMask[idx], a.wClearMask[idx])
+			}
+			if binary {
+				add = w
+			} else {
+				add = format.Quantize(float64(xv) * format.Dequantize(w))
+			}
+		}
+		acc = a.add(acc, add)
+		a.stats.Accumulations++
+		if a.faulty[idx] {
+			acc = fixed.ForceBits(acc, a.orMask[idx], a.clearMask[idx])
+		}
+	}
+	if binary {
+		a.countSpikes(xs, k0, col)
+	}
+	return acc
+}
+
+func (a *Array) add(x, y fixed.Word) fixed.Word {
+	if a.cfg.Saturate {
+		return fixed.AddSat(x, y)
+	}
+	return fixed.AddWrap(x, y)
+}
+
+func (a *Array) countSpikes(xs []float32, k0, col int) {
+	if a.spikeCount == nil {
+		return
+	}
+	cols := a.cfg.Cols
+	for i, xv := range xs {
+		if xv != 0 {
+			row := (k0 + i) % a.cfg.Rows
+			a.spikeCount[row*cols+col]++
+		}
+	}
+}
+
+// PERowCol returns the PE coordinates that hold weight w[m][k] under the
+// weight-stationary mapping. Exported so the mapping package and the
+// hardware simulator can never disagree.
+func (a *Array) PERowCol(k, m int) (row, col int) {
+	return k % a.cfg.Rows, m % a.cfg.Cols
+}
+
+// ScanWritePE models scan-chain access used by post-fabrication testing:
+// it writes a word into the accumulator register of PE (row, col) and
+// returns what the register's output presents, with any stuck bits forced.
+func (a *Array) ScanWritePE(row, col int, w fixed.Word) fixed.Word {
+	idx := row*a.cfg.Cols + col
+	return fixed.ForceBits(w, a.orMask[idx], a.clearMask[idx])
+}
+
+// ScanWriteWeight models scan access to the weight register of PE
+// (row, col): it writes a word and returns what the register presents,
+// with any stuck weight bits forced.
+func (a *Array) ScanWriteWeight(row, col int, w fixed.Word) fixed.Word {
+	idx := row*a.cfg.Cols + col
+	return fixed.ForceBits(w, a.wOrMask[idx], a.wClearMask[idx])
+}
+
+// ScanTestWeights marches all-0s/all-1s through every PE's weight
+// register and reconstructs the weight-register fault map.
+func (a *Array) ScanTestWeights() *faults.Map {
+	m := faults.NewMap(a.cfg.Rows, a.cfg.Cols)
+	for r := 0; r < a.cfg.Rows; r++ {
+		for c := 0; c < a.cfg.Cols; c++ {
+			zeros := uint32(a.ScanWriteWeight(r, c, 0))
+			ones := uint32(a.ScanWriteWeight(r, c, -1))
+			for bit := uint(0); bit < fixed.WordBits; bit++ {
+				mask := uint32(1) << bit
+				if zeros&mask != 0 {
+					_ = m.Add(faults.StuckAtFault{Row: r, Col: c, Bit: bit, Pol: faults.StuckAt1})
+				}
+				if ones&mask == 0 {
+					_ = m.Add(faults.StuckAtFault{Row: r, Col: c, Bit: bit, Pol: faults.StuckAt0})
+				}
+			}
+		}
+	}
+	return m
+}
+
+// ScanTest runs the classic all-0s/all-1s march pattern over every PE via
+// the scan chain and reconstructs the fault map, modelling how a real chip's
+// fault map is obtained after fabrication. The reconstruction is exact for
+// single- and multi-bit stuck-at faults.
+func (a *Array) ScanTest() *faults.Map {
+	m := faults.NewMap(a.cfg.Rows, a.cfg.Cols)
+	for r := 0; r < a.cfg.Rows; r++ {
+		for c := 0; c < a.cfg.Cols; c++ {
+			zeros := uint32(a.ScanWritePE(r, c, 0))
+			ones := uint32(a.ScanWritePE(r, c, -1))
+			for bit := uint(0); bit < fixed.WordBits; bit++ {
+				mask := uint32(1) << bit
+				if zeros&mask != 0 {
+					// Wrote 0, read 1: stuck at 1.
+					_ = m.Add(faults.StuckAtFault{Row: r, Col: c, Bit: bit, Pol: faults.StuckAt1})
+				}
+				if ones&mask == 0 {
+					// Wrote 1, read 0: stuck at 0.
+					_ = m.Add(faults.StuckAtFault{Row: r, Col: c, Bit: bit, Pol: faults.StuckAt0})
+				}
+			}
+		}
+	}
+	return m
+}

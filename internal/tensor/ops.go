@@ -1,0 +1,257 @@
+package tensor
+
+import "fmt"
+
+// MatMul computes C = A·B for A of shape [m,k] and B of shape [k,n],
+// returning a new [m,n] tensor. It is the reference float GEMM against
+// which the systolic-array simulator is validated.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMul requires rank-2 tensors")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims mismatch %d vs %d", k, k2))
+	}
+	c := New(m, n)
+	// ikj loop order: stream B rows for cache locality.
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue // spike inputs are mostly zero; skip dead rows
+			}
+			brow := b.Data[kk*n : (kk+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// MatMulTransB computes C = A·Bᵀ for A [m,k] and B [n,k], returning [m,n].
+// Used in backward passes where the weight matrix is consumed transposed.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulTransB requires rank-2 tensors")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dims mismatch %d vs %d", k, k2))
+	}
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var s float32
+			for kk, av := range arow {
+				s += av * brow[kk]
+			}
+			crow[j] = s
+		}
+	}
+	return c
+}
+
+// MatMulTransA computes C = Aᵀ·B for A [k,m] and B [k,n], returning [m,n].
+// Used to accumulate weight gradients (inputᵀ · gradOut).
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulTransA requires rank-2 tensors")
+	}
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dims mismatch %d vs %d", k, k2))
+	}
+	c := New(m, n)
+	for kk := 0; kk < k; kk++ {
+		arow := a.Data[kk*m : (kk+1)*m]
+		brow := b.Data[kk*n : (kk+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := c.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// ConvShape describes a 2-D convolution lowering: input [N,C,H,W] with a
+// [OutC, C, KH, KW] kernel, stride and zero padding. It captures the sizes
+// needed by Im2Col/Col2Im and by the systolic weight-mapping logic.
+type ConvShape struct {
+	InC, InH, InW  int // input channels and spatial extent
+	OutC           int // output channels
+	KH, KW         int // kernel extent
+	Stride, Pad    int
+	OutH, OutW     int // derived output extent
+	K              int // reduction (GEMM inner) dimension = InC*KH*KW
+	M              int // GEMM output dimension = OutC
+	PatchesPerItem int // OutH*OutW columns per batch item
+}
+
+// NewConvShape validates and derives a convolution lowering.
+func NewConvShape(inC, inH, inW, outC, kh, kw, stride, pad int) (ConvShape, error) {
+	if stride <= 0 {
+		return ConvShape{}, fmt.Errorf("tensor: stride must be positive, got %d", stride)
+	}
+	if pad < 0 {
+		return ConvShape{}, fmt.Errorf("tensor: pad must be non-negative, got %d", pad)
+	}
+	outH := (inH+2*pad-kh)/stride + 1
+	outW := (inW+2*pad-kw)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		return ConvShape{}, fmt.Errorf("tensor: conv output empty for input %dx%d kernel %dx%d stride %d pad %d", inH, inW, kh, kw, stride, pad)
+	}
+	return ConvShape{
+		InC: inC, InH: inH, InW: inW,
+		OutC: outC, KH: kh, KW: kw,
+		Stride: stride, Pad: pad,
+		OutH: outH, OutW: outW,
+		K: inC * kh * kw, M: outC,
+		PatchesPerItem: outH * outW,
+	}, nil
+}
+
+// Im2Col lowers input x of shape [N, InC, InH, InW] into a matrix of shape
+// [N*OutH*OutW, K] where each row is one receptive-field patch. Convolution
+// then becomes patches · Wᵀ for W of shape [OutC, K].
+func Im2Col(x *Tensor, cs ConvShape) *Tensor {
+	n := x.Shape[0]
+	if x.Rank() != 4 || x.Shape[1] != cs.InC || x.Shape[2] != cs.InH || x.Shape[3] != cs.InW {
+		panic(fmt.Sprintf("tensor: Im2Col input shape %v does not match conv %+v", x.Shape, cs))
+	}
+	out := New(n*cs.PatchesPerItem, cs.K)
+	chanStride := cs.InH * cs.InW
+	itemStride := cs.InC * chanStride
+	row := 0
+	for b := 0; b < n; b++ {
+		base := b * itemStride
+		for oy := 0; oy < cs.OutH; oy++ {
+			for ox := 0; ox < cs.OutW; ox++ {
+				dst := out.Data[row*cs.K : (row+1)*cs.K]
+				col := 0
+				for c := 0; c < cs.InC; c++ {
+					cbase := base + c*chanStride
+					for ky := 0; ky < cs.KH; ky++ {
+						iy := oy*cs.Stride + ky - cs.Pad
+						for kx := 0; kx < cs.KW; kx++ {
+							ix := ox*cs.Stride + kx - cs.Pad
+							if iy >= 0 && iy < cs.InH && ix >= 0 && ix < cs.InW {
+								dst[col] = x.Data[cbase+iy*cs.InW+ix]
+							} else {
+								dst[col] = 0
+							}
+							col++
+						}
+					}
+				}
+				row++
+			}
+		}
+	}
+	return out
+}
+
+// Col2Im scatters a patch-gradient matrix of shape [N*OutH*OutW, K] back to
+// an input-gradient tensor [N, InC, InH, InW], summing overlapping patches.
+// It is the adjoint of Im2Col.
+func Col2Im(cols *Tensor, n int, cs ConvShape) *Tensor {
+	if cols.Rank() != 2 || cols.Shape[0] != n*cs.PatchesPerItem || cols.Shape[1] != cs.K {
+		panic(fmt.Sprintf("tensor: Col2Im cols shape %v does not match n=%d conv %+v", cols.Shape, n, cs))
+	}
+	out := New(n, cs.InC, cs.InH, cs.InW)
+	chanStride := cs.InH * cs.InW
+	itemStride := cs.InC * chanStride
+	row := 0
+	for b := 0; b < n; b++ {
+		base := b * itemStride
+		for oy := 0; oy < cs.OutH; oy++ {
+			for ox := 0; ox < cs.OutW; ox++ {
+				src := cols.Data[row*cs.K : (row+1)*cs.K]
+				col := 0
+				for c := 0; c < cs.InC; c++ {
+					cbase := base + c*chanStride
+					for ky := 0; ky < cs.KH; ky++ {
+						iy := oy*cs.Stride + ky - cs.Pad
+						for kx := 0; kx < cs.KW; kx++ {
+							ix := ox*cs.Stride + kx - cs.Pad
+							if iy >= 0 && iy < cs.InH && ix >= 0 && ix < cs.InW {
+								out.Data[cbase+iy*cs.InW+ix] += src[col]
+							}
+							col++
+						}
+					}
+				}
+				row++
+			}
+		}
+	}
+	return out
+}
+
+// AvgPool2 performs non-overlapping 2x2 average pooling on [N,C,H,W]
+// (H and W must be even) returning [N,C,H/2,W/2].
+func AvgPool2(x *Tensor) *Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if h%2 != 0 || w%2 != 0 {
+		panic(fmt.Sprintf("tensor: AvgPool2 needs even spatial dims, got %dx%d", h, w))
+	}
+	oh, ow := h/2, w/2
+	out := New(n, c, oh, ow)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			ibase := (b*c + ch) * h * w
+			obase := (b*c + ch) * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					iy, ix := oy*2, ox*2
+					s := x.Data[ibase+iy*w+ix] + x.Data[ibase+iy*w+ix+1] +
+						x.Data[ibase+(iy+1)*w+ix] + x.Data[ibase+(iy+1)*w+ix+1]
+					out.Data[obase+oy*ow+ox] = s * 0.25
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AvgPool2Backward distributes output gradients of shape [N,C,H/2,W/2]
+// uniformly back over the 2x2 input windows, returning [N,C,H,W].
+func AvgPool2Backward(grad *Tensor, h, w int) *Tensor {
+	n, c := grad.Shape[0], grad.Shape[1]
+	oh, ow := grad.Shape[2], grad.Shape[3]
+	if oh*2 != h || ow*2 != w {
+		panic(fmt.Sprintf("tensor: AvgPool2Backward dims mismatch: grad %dx%d input %dx%d", oh, ow, h, w))
+	}
+	out := New(n, c, h, w)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			gbase := (b*c + ch) * oh * ow
+			obase := (b*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := grad.Data[gbase+oy*ow+ox] * 0.25
+					iy, ix := oy*2, ox*2
+					out.Data[obase+iy*w+ix] += g
+					out.Data[obase+iy*w+ix+1] += g
+					out.Data[obase+(iy+1)*w+ix] += g
+					out.Data[obase+(iy+1)*w+ix+1] += g
+				}
+			}
+		}
+	}
+	return out
+}
