@@ -210,26 +210,35 @@ func BenchmarkFig8CurveEpoch(b *testing.B) {
 	}
 }
 
-// BenchmarkBaselineTrainEpoch measures one epoch of fault-free training
-// (the §V-A baseline stage).
-func BenchmarkBaselineTrainEpoch(b *testing.B) {
+// benchBaselineTrainEpoch measures one epoch of fault-free training
+// (the §V-A baseline stage) on an explicit engine (nil = default).
+func benchBaselineTrainEpoch(b *testing.B, eng tensor.Backend) {
 	f := getFixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.restore(b)
 		if _, err := snn.Train(f.model.Net, f.ds.Train[:48], snn.TrainConfig{
 			Epochs: 1, BatchSize: 16, LR: 0.01, Classes: 10, Silent: true,
-			Rng: rand.New(rand.NewSource(int64(i))),
+			Rng: rand.New(rand.NewSource(int64(i))), Engine: eng,
 		}); err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
+	f.model.Net.SetEngine(nil)
+}
+
+func BenchmarkBaselineTrainEpoch(b *testing.B)       { benchBaselineTrainEpoch(b, nil) }
+func BenchmarkBaselineTrainEpochSerial(b *testing.B) { benchBaselineTrainEpoch(b, tensor.Serial()) }
+func BenchmarkBaselineTrainEpochParallel(b *testing.B) {
+	benchBaselineTrainEpoch(b, tensor.NewParallel(0))
 }
 
 // --- micro-benchmarks of the hot paths ---
 
-func benchSystolicForward(b *testing.B, faulty, bypass bool) {
+func benchSystolicForward(b *testing.B, faulty, bypass bool, eng tensor.Backend) {
 	arr := newArray(b, 64)
+	arr.SetEngine(eng)
 	if faulty {
 		fm := msbFaults(b, 64, 128, 20)
 		if err := arr.InjectFaults(fm); err != nil {
@@ -254,9 +263,15 @@ func benchSystolicForward(b *testing.B, faulty, bypass bool) {
 	}
 }
 
-func BenchmarkSystolicForwardClean(b *testing.B)    { benchSystolicForward(b, false, false) }
-func BenchmarkSystolicForwardFaulty(b *testing.B)   { benchSystolicForward(b, true, false) }
-func BenchmarkSystolicForwardBypassed(b *testing.B) { benchSystolicForward(b, true, true) }
+func BenchmarkSystolicForwardClean(b *testing.B)  { benchSystolicForward(b, false, false, nil) }
+func BenchmarkSystolicForwardFaulty(b *testing.B) { benchSystolicForward(b, true, false, nil) }
+func BenchmarkSystolicForwardFaultySerial(b *testing.B) {
+	benchSystolicForward(b, true, false, tensor.Serial())
+}
+func BenchmarkSystolicForwardFaultyParallel(b *testing.B) {
+	benchSystolicForward(b, true, false, tensor.NewParallel(0))
+}
+func BenchmarkSystolicForwardBypassed(b *testing.B) { benchSystolicForward(b, true, true, nil) }
 
 func BenchmarkScanTest256(b *testing.B) {
 	arr := newArray(b, 256)
@@ -280,12 +295,13 @@ func BenchmarkDeriveMask(b *testing.B) {
 	}
 }
 
-func BenchmarkConvForward(b *testing.B) {
+func benchConvForward(b *testing.B, eng tensor.Backend) {
 	rng := rand.New(rand.NewSource(24))
 	conv, err := snn.NewConv2D(8, 16, 16, 16, 3, 1, 1, false, rng)
 	if err != nil {
 		b.Fatal(err)
 	}
+	conv.SetEngine(eng)
 	x := tensor.New(16, 8, 16, 16)
 	x.RandNormal(rng, 1)
 	b.ResetTimer()
@@ -293,6 +309,10 @@ func BenchmarkConvForward(b *testing.B) {
 		conv.Forward(x, false)
 	}
 }
+
+func BenchmarkConvForward(b *testing.B)         { benchConvForward(b, nil) }
+func BenchmarkConvForwardSerial(b *testing.B)   { benchConvForward(b, tensor.Serial()) }
+func BenchmarkConvForwardParallel(b *testing.B) { benchConvForward(b, tensor.NewParallel(0)) }
 
 func BenchmarkPLIFForward(b *testing.B) {
 	rng := rand.New(rand.NewSource(25))

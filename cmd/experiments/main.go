@@ -16,10 +16,12 @@ import (
 	"strings"
 
 	"falvolt/internal/experiments"
+	"falvolt/internal/tensor"
 )
 
 func main() {
 	var (
+		backend = flag.String("backend", "", tensor.BackendFlagDoc)
 		quick   = flag.Bool("quick", false, "reduced model/dataset sizes")
 		figs    = flag.String("fig", "all", "comma-separated figures: baseline,2,5a,5b,5c,6,7,8,ablations or all (ablations excluded from all)")
 		cache   = flag.String("cache", "", "directory for baseline snapshots (reused across runs)")
@@ -31,6 +33,11 @@ func main() {
 		verbose = flag.Bool("v", false, "progress logging")
 	)
 	flag.Parse()
+
+	if err := tensor.SetDefaultByName(*backend); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
 
 	opt := experiments.DefaultOptions()
 	if *quick {

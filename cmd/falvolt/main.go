@@ -23,10 +23,12 @@ import (
 	"falvolt/internal/fixed"
 	"falvolt/internal/snn"
 	"falvolt/internal/systolic"
+	"falvolt/internal/tensor"
 )
 
 func main() {
 	var (
+		backend   = flag.String("backend", "", tensor.BackendFlagDoc)
 		dataset   = flag.String("dataset", "mnist", "mnist | nmnist | dvsgesture")
 		rate      = flag.Float64("rate", 0.30, "fraction of faulty PEs")
 		method    = flag.String("method", "falvolt", "fap | fapit | falvolt")
@@ -42,6 +44,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := tensor.SetDefaultByName(*backend); err != nil {
+		fmt.Fprintln(os.Stderr, "falvolt:", err)
+		os.Exit(1)
+	}
 	if err := run(*dataset, *method, *rate, *arrayN, *baseEp, *epochs,
 		*trainN, *testN, *seed, *stateOut, *showVths, *quickMode); err != nil {
 		fmt.Fprintln(os.Stderr, "falvolt:", err)

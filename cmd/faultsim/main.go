@@ -23,10 +23,12 @@ import (
 	"falvolt/internal/fixed"
 	"falvolt/internal/snn"
 	"falvolt/internal/systolic"
+	"falvolt/internal/tensor"
 )
 
 func main() {
 	var (
+		backend = flag.String("backend", "", tensor.BackendFlagDoc)
 		dataset = flag.String("dataset", "mnist", "mnist | nmnist | dvsgesture")
 		sweep   = flag.String("sweep", "bits", "bits | count | size")
 		arrayN  = flag.Int("array", 64, "systolic array side for bits/count sweeps")
@@ -38,6 +40,10 @@ func main() {
 		seed    = flag.Int64("seed", 7, "seed")
 	)
 	flag.Parse()
+	if err := tensor.SetDefaultByName(*backend); err != nil {
+		fmt.Fprintln(os.Stderr, "faultsim:", err)
+		os.Exit(1)
+	}
 	if err := run(*dataset, *sweep, *arrayN, *nFaults, *repeats, *baseEp, *trainN, *testN, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "faultsim:", err)
 		os.Exit(1)

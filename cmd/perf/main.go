@@ -28,6 +28,7 @@ import (
 
 func main() {
 	var (
+		backend = flag.String("backend", "", tensor.BackendFlagDoc)
 		dataset = flag.String("dataset", "mnist", "mnist | nmnist | dvsgesture")
 		arrayN  = flag.Int("array", 64, "array side (NxN)")
 		batch   = flag.Int("batch", 16, "inference batch size")
@@ -36,6 +37,10 @@ func main() {
 		seed    = flag.Int64("seed", 7, "seed")
 	)
 	flag.Parse()
+	if err := tensor.SetDefaultByName(*backend); err != nil {
+		fmt.Fprintln(os.Stderr, "perf:", err)
+		os.Exit(1)
+	}
 	if err := run(*dataset, *arrayN, *batch, *rate, *clockMH, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "perf:", err)
 		os.Exit(1)

@@ -26,10 +26,12 @@ import (
 	"falvolt/internal/fixed"
 	"falvolt/internal/snn"
 	"falvolt/internal/systolic"
+	"falvolt/internal/tensor"
 )
 
 func main() {
 	var (
+		backend    = flag.String("backend", "", tensor.BackendFlagDoc)
 		chips      = flag.Int("chips", 12, "number of simulated dies")
 		meanFaulty = flag.Float64("mean-faulty", 60, "mean faulty PEs per die")
 		alpha      = flag.Float64("alpha", 1.0, "defect clustering (smaller = heavier tails)")
@@ -42,6 +44,11 @@ func main() {
 		seed       = flag.Int64("seed", 7, "seed")
 	)
 	flag.Parse()
+
+	if err := tensor.SetDefaultByName(*backend); err != nil {
+		fmt.Fprintln(os.Stderr, "yield:", err)
+		os.Exit(1)
+	}
 
 	var m core.Method
 	switch strings.ToLower(*method) {

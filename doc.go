@@ -11,4 +11,9 @@
 // FalVolt mitigation algorithm with its FaP and FaPIT baselines
 // (internal/core), and per-figure experiment harnesses
 // (internal/experiments). See README.md and DESIGN.md.
+//
+// All heavy math runs on a pluggable compute engine
+// (internal/tensor.Backend) with serial and multi-core worker-pool
+// implementations that are bit-identical; every cmd tool selects one via
+// -backend or the FALVOLT_BACKEND environment variable.
 package falvolt

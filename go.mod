@@ -1,0 +1,3 @@
+module falvolt
+
+go 1.24

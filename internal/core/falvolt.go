@@ -28,6 +28,7 @@ import (
 	"falvolt/internal/mapping"
 	"falvolt/internal/snn"
 	"falvolt/internal/systolic"
+	"falvolt/internal/tensor"
 )
 
 // Method selects the mitigation strategy.
@@ -71,8 +72,19 @@ type Config struct {
 	FixedVth float64
 	// ClipNorm caps the global gradient norm during retraining.
 	ClipNorm float64
-	// Rng drives batch shuffling (defaults to a fixed seed).
+	// Rng drives batch shuffling. When nil, a generator seeded with Seed
+	// is constructed, so runs are reproducible from the config alone —
+	// never from the wall clock.
 	Rng *rand.Rand
+	// Seed seeds the default Rng (0 selects seed 1). Ignored when Rng is
+	// supplied.
+	Seed int64
+	// Engine is the compute backend retraining and evaluation run on
+	// (nil selects tensor.Default()). Mitigate installs it on the model's
+	// network (part of the "model is modified in place" contract) and it
+	// remains in effect afterwards; call Network.SetEngine to change it.
+	// Results are bit-identical on every engine; only wall-clock changes.
+	Engine tensor.Backend
 	// TrackCurve records float-path test accuracy after every retraining
 	// epoch (the Fig. 8 convergence curves). Costs one evaluation/epoch.
 	TrackCurve bool
@@ -138,8 +150,17 @@ func Mitigate(model *snn.Model, arr *systolic.Array, fm *faults.Map,
 		cfg.LR = 1e-3
 	}
 	if cfg.Rng == nil {
-		cfg.Rng = rand.New(rand.NewSource(1))
+		seed := cfg.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		cfg.Rng = rand.New(rand.NewSource(seed))
 	}
+	eng := cfg.Engine
+	if eng == nil {
+		eng = tensor.Default()
+	}
+	net.SetEngine(eng)
 
 	// Lines 1–2: derive pruned-weight indices from the fault map and zero
 	// them. One mask per GEMM layer.
@@ -194,11 +215,12 @@ func Mitigate(model *snn.Model, arr *systolic.Array, fm *faults.Map,
 			ClipNorm:  cfg.ClipNorm,
 			Rng:       cfg.Rng,
 			Silent:    true,
+			Engine:    eng,
 			AfterEpoch: func(epoch int, loss float64) {
 				// Algorithm 1 line 13: re-zero pruned weights.
 				applyMasks()
 				if cfg.TrackCurve {
-					acc := snn.Evaluate(net, curveTest, cfg.BatchSize)
+					acc := snn.EvaluateWith(eng, net, curveTest, cfg.BatchSize)
 					report.Curve = append(report.Curve, EpochPoint{Epoch: epoch, Loss: loss, Accuracy: acc})
 				}
 				if !cfg.Silent {
@@ -218,29 +240,65 @@ func Mitigate(model *snn.Model, arr *systolic.Array, fm *faults.Map,
 		return nil, fmt.Errorf("core: inject faults: %w", err)
 	}
 	arr.SetBypass(true)
+	restoreArr := installEngine(arr, cfg.Engine)
+	defer restoreArr()
 	net.Deploy(arr)
 	net.Redeploy() // quantize the retrained weights
-	report.Accuracy = snn.Evaluate(net, test, cfg.BatchSize)
+	report.Accuracy = snn.EvaluateWith(eng, net, test, cfg.BatchSize)
 	report.Vths = net.Vths()
 	return report, nil
 }
 
+// EvalOptions configures a faulty-array evaluation.
+type EvalOptions struct {
+	// Bypass selects whether faulty PEs are bypassed (pruned
+	// contribution, no corruption) or left corrupting.
+	Bypass bool
+	// BatchSize is the evaluation batch size (0 selects 32).
+	BatchSize int
+	// Engine is the compute backend for the evaluation. When nil, the
+	// network's and array's own engines apply (tensor.Default() if those
+	// are unset too). When non-nil it is installed on both for the
+	// duration and restored afterwards.
+	Engine tensor.Backend
+}
+
 // EvaluateFaulty measures test accuracy of an unmitigated model deployed
 // on an array with the given fault map — the vulnerability analysis path
-// (Fig. 5 family). bypass selects whether faulty PEs are bypassed
-// (pruned contribution, no corruption) or left corrupting.
-// The model's float weights are not modified; the deployment is removed
-// before returning.
+// (Fig. 5 family). The model's float weights are not modified; the
+// deployment is removed before returning.
 func EvaluateFaulty(model *snn.Model, arr *systolic.Array, fm *faults.Map,
 	test []snn.Sample, bypass bool, batchSize int) (float64, error) {
+	return EvaluateFaultyOpts(model, arr, fm, test, EvalOptions{Bypass: bypass, BatchSize: batchSize})
+}
+
+// EvaluateFaultyOpts is EvaluateFaulty with the full option set. A
+// non-nil Engine is installed on the network and the array for the
+// duration of the evaluation (previous engines restored), so every
+// layer of the deployed compute runs on it.
+func EvaluateFaultyOpts(model *snn.Model, arr *systolic.Array, fm *faults.Map,
+	test []snn.Sample, opt EvalOptions) (float64, error) {
 	if err := arr.InjectFaults(fm); err != nil {
 		return 0, fmt.Errorf("core: inject faults: %w", err)
 	}
-	arr.SetBypass(bypass)
+	arr.SetBypass(opt.Bypass)
+	restore := installEngine(arr, opt.Engine)
+	defer restore()
 	model.Net.Deploy(arr)
-	acc := snn.Evaluate(model.Net, test, batchSize)
+	acc := snn.EvaluateWith(opt.Engine, model.Net, test, opt.BatchSize)
 	model.Net.Undeploy()
 	return acc, nil
+}
+
+// installEngine routes the array through eng (when non-nil), returning a
+// restore function.
+func installEngine(arr *systolic.Array, eng tensor.Backend) func() {
+	if eng == nil {
+		return func() {}
+	}
+	prev := arr.Config().Engine
+	arr.SetEngine(eng)
+	return func() { arr.SetEngine(prev) }
 }
 
 // EvaluateWeightFaulty is EvaluateFaulty for stuck bits in the PE weight
@@ -251,20 +309,31 @@ func EvaluateFaulty(model *snn.Model, arr *systolic.Array, fm *faults.Map,
 // accumulator faults — the Ablation-FaultSite experiment quantifies this.
 func EvaluateWeightFaulty(model *snn.Model, arr *systolic.Array, fm *faults.Map,
 	test []snn.Sample, bypass bool, batchSize int) (float64, error) {
+	return EvaluateWeightFaultyOpts(model, arr, fm, test, EvalOptions{Bypass: bypass, BatchSize: batchSize})
+}
+
+// EvaluateWeightFaultyOpts is EvaluateWeightFaulty with the full option
+// set.
+func EvaluateWeightFaultyOpts(model *snn.Model, arr *systolic.Array, fm *faults.Map,
+	test []snn.Sample, opt EvalOptions) (float64, error) {
 	arr.ClearFaults()
 	if err := arr.InjectWeightFaults(fm); err != nil {
 		return 0, fmt.Errorf("core: inject weight faults: %w", err)
 	}
-	arr.SetBypass(bypass)
+	arr.SetBypass(opt.Bypass)
+	restore := installEngine(arr, opt.Engine)
+	defer restore()
 	model.Net.Deploy(arr)
-	acc := snn.Evaluate(model.Net, test, batchSize)
+	acc := snn.EvaluateWith(opt.Engine, model.Net, test, opt.BatchSize)
 	model.Net.Undeploy()
 	arr.ClearFaults()
 	return acc, nil
 }
 
 // TrainBaseline trains a freshly built model to its fault-free baseline
-// (the paper's initial-training stage) and returns test accuracy.
+// (the paper's initial-training stage) and returns test accuracy. It
+// runs on the process-default engine; use snn.Train directly for an
+// explicit engine.
 func TrainBaseline(model *snn.Model, train, test []snn.Sample,
 	epochs int, lr float64, rng *rand.Rand, silent bool) (float64, error) {
 	_, err := snn.Train(model.Net, train, snn.TrainConfig{

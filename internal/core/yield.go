@@ -35,8 +35,11 @@ type YieldConfig struct {
 	Mitigation Config
 	// EvalSamples caps evaluation cost per die (0 = all test samples).
 	EvalSamples int
-	// Rng drives the population sampling.
+	// Rng drives the population sampling. When nil a generator seeded
+	// with Seed+1 is constructed — reproducible from the config alone.
 	Rng *rand.Rand
+	// Seed offsets the default Rng and the per-die mitigation seeds.
+	Seed int64
 }
 
 // YieldReport summarises a yield study.
@@ -89,7 +92,7 @@ func YieldStudy(model *snn.Model, baseline *snn.NetworkState, arr *systolic.Arra
 		return nil, fmt.Errorf("core: threshold %v outside (0,1]", cfg.Threshold)
 	}
 	if cfg.Rng == nil {
-		cfg.Rng = rand.New(rand.NewSource(1))
+		cfg.Rng = rand.New(rand.NewSource(cfg.Seed + 1))
 	}
 	evalSet := test
 	if cfg.EvalSamples > 0 && cfg.EvalSamples < len(test) {
@@ -134,7 +137,9 @@ func YieldStudy(model *snn.Model, baseline *snn.NetworkState, arr *systolic.Arra
 		if err := model.Net.LoadState(baseline); err != nil {
 			return nil, err
 		}
-		rawAcc, err := EvaluateFaulty(model, arr, fm, evalSet, false, 32)
+		rawAcc, err := EvaluateFaultyOpts(model, arr, fm, evalSet, EvalOptions{
+			BatchSize: 32, Engine: cfg.Mitigation.Engine,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -150,7 +155,7 @@ func YieldStudy(model *snn.Model, baseline *snn.NetworkState, arr *systolic.Arra
 		mcfg := cfg.Mitigation
 		mcfg.Silent = true
 		if mcfg.Rng == nil {
-			mcfg.Rng = rand.New(rand.NewSource(int64(die)))
+			mcfg.Rng = rand.New(rand.NewSource(cfg.Seed + int64(die)))
 		}
 		mrep, err := Mitigate(model, arr, fm, train, evalSet, mcfg)
 		if err != nil {

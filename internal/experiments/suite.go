@@ -17,7 +17,6 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
-	"runtime"
 	"sync"
 	"time"
 
@@ -26,6 +25,7 @@ import (
 	"falvolt/internal/fixed"
 	"falvolt/internal/snn"
 	"falvolt/internal/systolic"
+	"falvolt/internal/tensor"
 )
 
 // Options scales the experiment suite.
@@ -305,33 +305,10 @@ func (b *Baseline) TestSlice(n int) []snn.Sample {
 	return b.Data.Test[:n]
 }
 
-// parallelMap runs fn(i) for i in [0, n) on up to GOMAXPROCS workers.
-// Each worker receives a distinct worker id for private-resource pools.
+// parallelMap runs fn(i) for i in [0, n) on the process-default compute
+// engine's shared worker pool (tensor.Backend.Map). Each invocation
+// receives the id of its executing lane for private-resource pools; lane
+// ids are dense in [0, engine workers).
 func parallelMap(n int, fn func(worker, i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(0, i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			for i := range next {
-				fn(worker, i)
-			}
-		}(w)
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	tensor.Default().Map(n, fn)
 }

@@ -46,6 +46,7 @@ type Conv2D struct {
 	bias   *Param // nil when the conv is followed by batch norm
 
 	deploy *Deployment
+	eng    tensor.Backend // nil = tensor.Default()
 
 	cols  cacheStack // cached im2col patches per timestep
 	batch []int      // cached batch size per timestep
@@ -85,79 +86,119 @@ func (c *Conv2D) SetDeployment(d *Deployment) {
 // Deployment implements GEMMWeighted.
 func (c *Conv2D) Deployment() *Deployment { return c.deploy }
 
+// SetEngine overrides the compute backend (nil restores tensor.Default()).
+func (c *Conv2D) SetEngine(e tensor.Backend) { c.eng = e }
+
+func (c *Conv2D) engine() tensor.Backend {
+	if c.eng != nil {
+		return c.eng
+	}
+	return tensor.Default()
+}
+
+// CloneInference implements Layer.
+func (c *Conv2D) CloneInference() Layer {
+	return &Conv2D{Shape: c.Shape, weight: c.weight, bias: c.bias, deploy: c.deploy, eng: c.eng}
+}
+
 // Forward implements Layer. Input is [N, InC, InH, InW]; output
 // [N, OutC, OutH, OutW].
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Rank() != 4 {
 		panic(fmt.Sprintf("snn: Conv2D input must be rank 4, got %v", x.Shape))
 	}
+	eng := c.engine()
 	n := x.Shape[0]
-	cols := tensor.Im2Col(x, c.Shape)
+	// At inference the patch matrix dies inside this call, so it lives in
+	// recycled scratch; during training it is cached for backward.
+	var cols *tensor.Tensor
+	if train {
+		cols = tensor.Im2ColUsing(eng, x, c.Shape)
+	} else {
+		cols = tensor.GetScratch(n*c.Shape.PatchesPerItem, c.Shape.K)
+		eng.Im2Col(cols, x, c.Shape)
+	}
 	var y2 *tensor.Tensor // [N*P, M]
+	scratchY2 := false
 	if c.deploy != nil && !train {
 		y2 = c.deploy.Array.Forward(cols, c.deploy.weights, c.deploy.Binary)
 	} else {
-		y2 = tensor.MatMulTransB(cols, c.weight.Value)
+		y2 = tensor.GetScratch(n*c.Shape.PatchesPerItem, c.Shape.M)
+		scratchY2 = true
+		eng.MatMulTransB(y2, cols, c.weight.Value)
 	}
 	if train {
 		c.cols.push(cols)
 		c.batch = append(c.batch, n)
+	} else {
+		tensor.ReleaseScratch(cols)
 	}
-	return c.patchesToNCHW(y2, n)
+	out := c.patchesToNCHW(y2, n)
+	if scratchY2 {
+		tensor.ReleaseScratch(y2)
+	}
+	return out
 }
 
-// patchesToNCHW converts a [N*P, M] GEMM result into [N, M, OH, OW].
+// patchesToNCHW converts a [N*P, M] GEMM result into [N, M, OH, OW],
+// fanning out across batch items (items write disjoint output planes).
 func (c *Conv2D) patchesToNCHW(y2 *tensor.Tensor, n int) *tensor.Tensor {
 	p := c.Shape.PatchesPerItem
 	m := c.Shape.M
 	out := tensor.New(n, m, c.Shape.OutH, c.Shape.OutW)
-	for b := 0; b < n; b++ {
-		for pi := 0; pi < p; pi++ {
-			src := y2.Data[(b*p+pi)*m : (b*p+pi+1)*m]
-			for mi, v := range src {
-				out.Data[(b*m+mi)*p+pi] = v
+	c.engine().For(n, func(b0, b1 int) {
+		for b := b0; b < b1; b++ {
+			for pi := 0; pi < p; pi++ {
+				src := y2.Data[(b*p+pi)*m : (b*p+pi+1)*m]
+				for mi, v := range src {
+					out.Data[(b*m+mi)*p+pi] = v
+				}
 			}
-		}
-	}
-	if c.bias != nil {
-		for b := 0; b < n; b++ {
-			for mi := 0; mi < m; mi++ {
-				bv := c.bias.Value.Data[mi]
-				row := out.Data[(b*m+mi)*p : (b*m+mi+1)*p]
-				for i := range row {
-					row[i] += bv
+			if c.bias != nil {
+				for mi := 0; mi < m; mi++ {
+					bv := c.bias.Value.Data[mi]
+					row := out.Data[(b*m+mi)*p : (b*m+mi+1)*p]
+					for i := range row {
+						row[i] += bv
+					}
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
 // nchwToPatches converts a gradient [N, M, OH, OW] into [N*P, M].
-func (c *Conv2D) nchwToPatches(g *tensor.Tensor, n int) *tensor.Tensor {
+func (c *Conv2D) nchwToPatches(dst, g *tensor.Tensor, n int) {
 	p := c.Shape.PatchesPerItem
 	m := c.Shape.M
-	out := tensor.New(n*p, m)
-	for b := 0; b < n; b++ {
-		for mi := 0; mi < m; mi++ {
-			src := g.Data[(b*m+mi)*p : (b*m+mi+1)*p]
-			for pi, v := range src {
-				out.Data[(b*p+pi)*m+mi] = v
+	c.engine().For(n, func(b0, b1 int) {
+		for b := b0; b < b1; b++ {
+			for mi := 0; mi < m; mi++ {
+				src := g.Data[(b*m+mi)*p : (b*m+mi+1)*p]
+				for pi, v := range src {
+					dst.Data[(b*p+pi)*m+mi] = v
+				}
 			}
 		}
-	}
-	return out
+	})
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The staging matrices (transposed gradient,
+// weight gradient, patch gradient) all die within this call and come
+// from recycled scratch.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	cols := c.cols.pop()
 	n := c.batch[len(c.batch)-1]
 	c.batch = c.batch[:len(c.batch)-1]
+	eng := c.engine()
 
-	g2 := c.nchwToPatches(grad, n) // [N*P, M]
-	gw := tensor.MatMulTransA(g2, cols)
+	g2 := tensor.GetScratch(n*c.Shape.PatchesPerItem, c.Shape.M)
+	c.nchwToPatches(g2, grad, n) // [N*P, M]
+	gw := tensor.GetScratch(c.Shape.M, c.Shape.K)
+	eng.MatMulTransA(gw, g2, cols)
 	c.weight.Grad.AddInPlace(gw)
+	tensor.ReleaseScratch(gw)
 	if c.bias != nil {
 		p := c.Shape.PatchesPerItem
 		for b := 0; b < n; b++ {
@@ -171,8 +212,12 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
-	gcols := tensor.MatMul(g2, c.weight.Value) // [N*P, K]
-	return tensor.Col2Im(gcols, n, c.Shape)
+	gcols := tensor.GetScratch(n*c.Shape.PatchesPerItem, c.Shape.K)
+	eng.MatMul(gcols, g2, c.weight.Value) // [N*P, K]
+	tensor.ReleaseScratch(g2)
+	out := tensor.Col2ImUsing(eng, gcols, n, c.Shape)
+	tensor.ReleaseScratch(gcols)
+	return out
 }
 
 // Params implements Layer.
@@ -198,6 +243,7 @@ type Linear struct {
 	bias   *Param
 
 	deploy *Deployment
+	eng    tensor.Backend // nil = tensor.Default()
 
 	xs cacheStack
 }
@@ -231,6 +277,21 @@ func (l *Linear) SetDeployment(d *Deployment) {
 // Deployment implements GEMMWeighted.
 func (l *Linear) Deployment() *Deployment { return l.deploy }
 
+// SetEngine overrides the compute backend (nil restores tensor.Default()).
+func (l *Linear) SetEngine(e tensor.Backend) { l.eng = e }
+
+func (l *Linear) engine() tensor.Backend {
+	if l.eng != nil {
+		return l.eng
+	}
+	return tensor.Default()
+}
+
+// CloneInference implements Layer.
+func (l *Linear) CloneInference() Layer {
+	return &Linear{In: l.In, Out: l.Out, weight: l.weight, bias: l.bias, deploy: l.deploy, eng: l.eng}
+}
+
 // Forward implements Layer. Input may be rank 2 [N, In] or rank 4 (it is
 // flattened), matching how conv features feed the classifier head.
 func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
@@ -246,7 +307,7 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if l.deploy != nil && !train {
 		y = l.deploy.Array.Forward(flat, l.deploy.weights, l.deploy.Binary)
 	} else {
-		y = tensor.MatMulTransB(flat, l.weight.Value)
+		y = tensor.MatMulTransBUsing(l.engine(), flat, l.weight.Value)
 	}
 	if l.bias != nil {
 		for b := 0; b < n; b++ {
@@ -265,8 +326,11 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // Backward implements Layer.
 func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	x := l.xs.pop()
-	gw := tensor.MatMulTransA(grad, x)
+	eng := l.engine()
+	gw := tensor.GetScratch(l.Out, l.In)
+	eng.MatMulTransA(gw, grad, x)
 	l.weight.Grad.AddInPlace(gw)
+	tensor.ReleaseScratch(gw)
 	if l.bias != nil {
 		n := grad.Shape[0]
 		for b := 0; b < n; b++ {
@@ -276,7 +340,7 @@ func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
-	return tensor.MatMul(grad, l.weight.Value)
+	return tensor.MatMulUsing(eng, grad, l.weight.Value)
 }
 
 // Params implements Layer.

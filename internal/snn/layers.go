@@ -156,6 +156,16 @@ func (bn *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 // Params implements Layer.
 func (bn *BatchNorm2D) Params() []*Param { return []*Param{bn.gamma, bn.beta} }
 
+// CloneInference implements Layer: γ/β and the running statistics are
+// shared (read-only at inference); caches are private.
+func (bn *BatchNorm2D) CloneInference() Layer {
+	return &BatchNorm2D{
+		C: bn.C, Eps: bn.Eps, Momentum: bn.Momentum,
+		gamma: bn.gamma, beta: bn.beta,
+		runMean: bn.runMean, runVar: bn.runVar,
+	}
+}
+
 // ResetState implements Layer.
 func (bn *BatchNorm2D) ResetState() {
 	bn.xhat.reset()
@@ -189,6 +199,9 @@ func (p *AvgPool2) Backward(grad *tensor.Tensor) *tensor.Tensor {
 // Params implements Layer.
 func (p *AvgPool2) Params() []*Param { return nil }
 
+// CloneInference implements Layer.
+func (p *AvgPool2) CloneInference() Layer { return NewAvgPool2() }
+
 // ResetState implements Layer.
 func (p *AvgPool2) ResetState() { p.hw = p.hw[:0] }
 
@@ -219,6 +232,9 @@ func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
 
 // Params implements Layer.
 func (f *Flatten) Params() []*Param { return nil }
+
+// CloneInference implements Layer.
+func (f *Flatten) CloneInference() Layer { return NewFlatten() }
 
 // ResetState implements Layer.
 func (f *Flatten) ResetState() { f.shapes = f.shapes[:0] }
@@ -280,6 +296,11 @@ func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
 
 // Params implements Layer.
 func (d *Dropout) Params() []*Param { return nil }
+
+// CloneInference implements Layer: dropout is an identity at inference,
+// so the clone only carries the configuration (the rng is shared but
+// untouched by inference-mode Forward).
+func (d *Dropout) CloneInference() Layer { return &Dropout{P: d.P, rng: d.rng} }
 
 // ResetState implements Layer: a fresh mask is drawn next sequence.
 func (d *Dropout) ResetState() {

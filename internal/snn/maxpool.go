@@ -81,6 +81,9 @@ func (p *MaxPool2) Backward(grad *tensor.Tensor) *tensor.Tensor {
 // Params implements Layer.
 func (p *MaxPool2) Params() []*Param { return nil }
 
+// CloneInference implements Layer.
+func (p *MaxPool2) CloneInference() Layer { return NewMaxPool2() }
+
 // ResetState implements Layer.
 func (p *MaxPool2) ResetState() {
 	p.argmax = p.argmax[:0]

@@ -53,6 +53,45 @@ func (s EventSequence) Steps() int { return len(s.Frames) }
 type Network struct {
 	Layers []Layer
 	T      int
+
+	eng tensor.Backend // nil = tensor.Default()
+}
+
+// engineLayer is implemented by layers whose hot loops run on a compute
+// backend.
+type engineLayer interface {
+	SetEngine(tensor.Backend)
+}
+
+// SetEngine routes the network's compute through e (nil restores
+// tensor.Default()), propagating to every layer with an engine seam.
+// Results are bit-identical on every engine; only wall-clock changes.
+func (n *Network) SetEngine(e tensor.Backend) {
+	n.eng = e
+	for _, l := range n.Layers {
+		if el, ok := l.(engineLayer); ok {
+			el.SetEngine(e)
+		}
+	}
+}
+
+// Engine returns the network's compute backend.
+func (n *Network) Engine() tensor.Backend {
+	if n.eng != nil {
+		return n.eng
+	}
+	return tensor.Default()
+}
+
+// InferenceClone returns a replica network for concurrent inference:
+// layers share parameters and deployments with the original but own
+// private recurrent state and caches (see Layer.CloneInference).
+func (n *Network) InferenceClone() *Network {
+	ls := make([]Layer, len(n.Layers))
+	for i, l := range n.Layers {
+		ls[i] = l.CloneInference()
+	}
+	return &Network{Layers: ls, T: n.T, eng: n.eng}
 }
 
 // NewNetwork constructs a network over a fixed simulation horizon.
@@ -83,6 +122,7 @@ func (n *Network) ResetState() {
 // Forward runs the network over its horizon and returns the mean firing
 // rate of the output layer, shaped [N, classes].
 func (n *Network) Forward(seq Sequence, train bool) *tensor.Tensor {
+	eng := n.Engine()
 	var rate *tensor.Tensor
 	for t := 0; t < n.T; t++ {
 		x := seq.At(t)
@@ -92,10 +132,10 @@ func (n *Network) Forward(seq Sequence, train bool) *tensor.Tensor {
 		if rate == nil {
 			rate = x.Clone()
 		} else {
-			rate.AddInPlace(x)
+			eng.AddInPlace(rate, x)
 		}
 	}
-	rate.Scale(1 / float32(n.T))
+	eng.Scale(rate, 1/float32(n.T))
 	return rate
 }
 

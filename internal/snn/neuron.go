@@ -244,6 +244,13 @@ func (n *PLIFNode) Params() []*Param {
 	return ps
 }
 
+// CloneInference implements Layer: the threshold and time-constant
+// parameters are shared (read-only at inference); the membrane state and
+// BPTT caches are private to the clone.
+func (n *PLIFNode) CloneInference() Layer {
+	return &PLIFNode{cfg: n.cfg, vth: n.vth, tauW: n.tauW}
+}
+
 // ResetState implements Layer.
 func (n *PLIFNode) ResetState() {
 	n.v = nil

@@ -54,6 +54,12 @@ type Layer interface {
 	Params() []*Param
 	// ResetState clears membrane potentials, dropout masks and caches.
 	ResetState()
+	// CloneInference returns a replica for concurrent inference: it
+	// shares parameters (weights, thresholds, running statistics,
+	// deployments) with the receiver but owns private recurrent state
+	// and caches. Concurrent Forward(train=false) calls on distinct
+	// clones are safe; training a clone is not supported.
+	CloneInference() Layer
 }
 
 // cacheStack is a helper for per-timestep tensors pushed during forward

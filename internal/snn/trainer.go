@@ -3,6 +3,7 @@ package snn
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"falvolt/internal/tensor"
 )
@@ -74,6 +75,12 @@ type TrainConfig struct {
 	AfterEpoch func(epoch int, trainLoss float64)
 	// Silent suppresses progress output to stdout.
 	Silent bool
+	// Engine is the compute backend training runs on (nil keeps the
+	// network's current engine). A non-nil engine is installed on the
+	// network via SetEngine and remains in effect after Train returns.
+	// Training results are bit-identical on every engine; only
+	// wall-clock changes.
+	Engine tensor.Backend
 }
 
 // Validate fills defaults and rejects unusable configurations.
@@ -107,6 +114,9 @@ func Train(net *Network, samples []Sample, cfg TrainConfig) (float64, error) {
 	}
 	if len(samples) == 0 {
 		return 0, fmt.Errorf("snn: no training samples")
+	}
+	if cfg.Engine != nil {
+		net.SetEngine(cfg.Engine)
 	}
 	opt := NewAdam(net.Params(), cfg.LR)
 	idx := make([]int, len(samples))
@@ -157,28 +167,75 @@ func Train(net *Network, samples []Sample, cfg TrainConfig) (float64, error) {
 }
 
 // Evaluate returns classification accuracy of net on samples, running in
-// inference mode (which uses any installed systolic deployment).
+// inference mode (which uses any installed systolic deployment). On a
+// multi-worker engine the batches are sharded across inference replicas
+// of the network (see EvaluateWith).
 func Evaluate(net *Network, samples []Sample, batchSize int) float64 {
+	return EvaluateWith(nil, net, samples, batchSize)
+}
+
+// EvaluateWith is Evaluate on an explicit engine (nil selects the
+// network's engine). A non-nil engine is installed on the network for
+// the duration of the call and the previous engine is restored before
+// returning, so all layer compute — not just batch sharding — runs on
+// it. When the engine has more than one worker and there is more than
+// one batch, whole batches are dispatched concurrently onto per-lane
+// inference clones of net — batch-parallel inference. Layer parameters
+// and any systolic deployment are shared by the clones (Array.Forward is
+// safe for concurrent calls); per-batch correct counts are summed, so
+// the accuracy is identical to the serial order.
+func EvaluateWith(eng tensor.Backend, net *Network, samples []Sample, batchSize int) float64 {
 	if len(samples) == 0 {
 		return 0
 	}
 	if batchSize <= 0 {
 		batchSize = 32
 	}
-	correct := 0
-	for start := 0; start < len(samples); start += batchSize {
+	if eng == nil {
+		eng = net.Engine()
+	} else if eng != net.eng {
+		prev := net.eng
+		net.SetEngine(eng)
+		defer net.SetEngine(prev)
+	}
+	numBatches := (len(samples) + batchSize - 1) / batchSize
+	evalBatch := func(n *Network, b int) int {
+		start := b * batchSize
 		end := start + batchSize
 		if end > len(samples) {
 			end = len(samples)
 		}
 		seq, labels := MakeBatch(samples[start:end])
-		net.ResetState()
-		rate := net.Forward(seq, false)
+		n.ResetState()
+		rate := n.Forward(seq, false)
+		correct := 0
 		for i, l := range labels {
 			if rate.Argmax(i) == l {
 				correct++
 			}
 		}
+		return correct
 	}
-	return float64(correct) / float64(len(samples))
+
+	if eng.Workers() <= 1 || numBatches <= 1 {
+		correct := 0
+		for b := 0; b < numBatches; b++ {
+			correct += evalBatch(net, b)
+		}
+		return float64(correct) / float64(len(samples))
+	}
+
+	lanes := eng.Workers()
+	if lanes > numBatches {
+		lanes = numBatches
+	}
+	replicas := make([]*Network, lanes)
+	for i := range replicas {
+		replicas[i] = net.InferenceClone()
+	}
+	var correct atomic.Int64
+	eng.Map(numBatches, func(slot, b int) {
+		correct.Add(int64(evalBatch(replicas[slot], b)))
+	})
+	return float64(correct.Load()) / float64(len(samples))
 }

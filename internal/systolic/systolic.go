@@ -16,6 +16,7 @@ package systolic
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"falvolt/internal/faults"
 	"falvolt/internal/fixed"
@@ -33,6 +34,10 @@ type Config struct {
 	Saturate bool
 	// CountSpikes enables the per-PE internal spike counters (costs time).
 	CountSpikes bool
+	// Engine is the compute backend Forward fans out on (nil selects
+	// tensor.Default()). Results are bit-identical on every engine; only
+	// wall-clock changes.
+	Engine tensor.Backend
 }
 
 // DefaultConfig is the paper's 256x256 array with Q16.16 saturating PEs.
@@ -126,11 +131,36 @@ func MustNew(cfg Config) *Array {
 // Config returns the array configuration.
 func (a *Array) Config() Config { return a.cfg }
 
-// Stats returns a copy of the accumulated datapath statistics.
-func (a *Array) Stats() Stats { return a.stats }
+// SetEngine overrides the compute backend used by Forward (nil restores
+// tensor.Default()).
+func (a *Array) SetEngine(e tensor.Backend) { a.cfg.Engine = e }
+
+func (a *Array) engine() tensor.Backend {
+	if a.cfg.Engine != nil {
+		return a.cfg.Engine
+	}
+	return tensor.Default()
+}
+
+// Stats returns a copy of the accumulated datapath statistics. The read
+// is atomic per counter, so polling while Forward calls are in flight is
+// safe (each counter is exact; the set is a momentary snapshot).
+func (a *Array) Stats() Stats {
+	return Stats{
+		Accumulations: atomic.LoadUint64(&a.stats.Accumulations),
+		BypassedSteps: atomic.LoadUint64(&a.stats.BypassedSteps),
+		TilePasses:    atomic.LoadUint64(&a.stats.TilePasses),
+		MACCycles:     atomic.LoadUint64(&a.stats.MACCycles),
+	}
+}
 
 // ResetStats zeroes the datapath statistics.
-func (a *Array) ResetStats() { a.stats = Stats{} }
+func (a *Array) ResetStats() {
+	atomic.StoreUint64(&a.stats.Accumulations, 0)
+	atomic.StoreUint64(&a.stats.BypassedSteps, 0)
+	atomic.StoreUint64(&a.stats.TilePasses, 0)
+	atomic.StoreUint64(&a.stats.MACCycles, 0)
+}
 
 // FaultMap returns the currently injected fault map (nil if fault-free).
 func (a *Array) FaultMap() *faults.Map { return a.fmap }
@@ -266,6 +296,24 @@ func (m *Matrix) Dequantize() *tensor.Tensor {
 	return tensor.FromSlice(m.Format.DequantizeSlice(m.Words), m.M, m.K)
 }
 
+// passStats accumulates datapath activity privately per parallel chunk;
+// chunks merge into the shared Stats with atomic adds once they finish.
+// Integer sums are order-independent, so the merged totals are identical
+// to a serial pass regardless of engine or worker count.
+type passStats struct {
+	accumulations uint64
+	bypassedSteps uint64
+}
+
+func (ps *passStats) mergeInto(s *Stats) {
+	if ps.accumulations != 0 {
+		atomic.AddUint64(&s.Accumulations, ps.accumulations)
+	}
+	if ps.bypassedSteps != 0 {
+		atomic.AddUint64(&s.BypassedSteps, ps.bypassedSteps)
+	}
+}
+
 // Forward computes Y = X · Wᵀ on the (possibly faulty) array: X is
 // [B, K] inputs, W is a quantized [M, K] matrix, and the result is a
 // float [B, M] tensor dequantized from the fixed-point column sums.
@@ -274,6 +322,12 @@ func (m *Matrix) Dequantize() *tensor.Tensor {
 // weight into the accumulator (the paper's multiplier-less PE). If false,
 // each contribution is the quantized product w*x (used for the analog
 // encoder layer; same accumulator datapath, same fault exposure).
+//
+// The pass is parallelized across output columns on the array's engine:
+// each output word y[b][m] is still produced by one sequential chain of
+// columnPass accumulations in the serial order, so results (and all
+// statistics) are bit-identical on every engine. Concurrent Forward
+// calls on one Array are safe; statistics merge atomically.
 func (a *Array) Forward(x *tensor.Tensor, w *Matrix, binary bool) *tensor.Tensor {
 	if x.Rank() != 2 {
 		panic("systolic: Forward requires rank-2 input")
@@ -286,37 +340,41 @@ func (a *Array) Forward(x *tensor.Tensor, w *Matrix, binary bool) *tensor.Tensor
 	rows, cols := a.cfg.Rows, a.cfg.Cols
 	numKTiles := (w.K + rows - 1) / rows
 	numMTiles := (w.M + cols - 1) / cols
-	a.stats.TilePasses += uint64(numKTiles * numMTiles)
-	a.stats.MACCycles += uint64(numKTiles*numMTiles) * uint64(rows+cols+b-2)
+	atomic.AddUint64(&a.stats.TilePasses, uint64(numKTiles*numMTiles))
+	atomic.AddUint64(&a.stats.MACCycles, uint64(numKTiles*numMTiles)*uint64(rows+cols+b-2))
 
 	format := w.Format
 	scale := float32(format.Scale())
-	for bi := 0; bi < b; bi++ {
-		xrow := x.Data[bi*w.K : (bi+1)*w.K]
-		yrow := y.Data[bi*w.M : (bi+1)*w.M]
-		for m := 0; m < w.M; m++ {
+	a.engine().For(w.M, func(m0, m1 int) {
+		var ps passStats
+		for m := m0; m < m1; m++ {
 			j := m % cols
 			wrow := w.Words[m*w.K : (m+1)*w.K]
-			var total int64
-			for kt := 0; kt < numKTiles; kt++ {
-				k0 := kt * rows
-				k1 := k0 + rows
-				if k1 > w.K {
-					k1 = w.K
+			for bi := 0; bi < b; bi++ {
+				xrow := x.Data[bi*w.K : (bi+1)*w.K]
+				var total int64
+				for kt := 0; kt < numKTiles; kt++ {
+					k0 := kt * rows
+					k1 := k0 + rows
+					if k1 > w.K {
+						k1 = w.K
+					}
+					total += int64(a.columnPass(xrow[k0:k1], wrow[k0:k1], k0, j, binary, &ps))
 				}
-				total += int64(a.columnPass(xrow[k0:k1], wrow[k0:k1], k0, j, binary))
+				y.Data[bi*w.M+m] = float32(total) * scale
 			}
-			yrow[m] = float32(total) * scale
 		}
-	}
+		ps.mergeInto(&a.stats)
+	})
 	return y
 }
 
 // columnPass streams one K-tile of one output column through the array and
 // returns the resulting partial sum word. k0 is the global k offset of the
 // tile (PE row for global index k is k mod Rows, which equals the local
-// index within a full tile).
-func (a *Array) columnPass(xs []float32, ws []fixed.Word, k0, col int, binary bool) fixed.Word {
+// index within a full tile). Datapath activity lands in ps, the calling
+// chunk's private accumulator.
+func (a *Array) columnPass(xs []float32, ws []fixed.Word, k0, col int, binary bool, ps *passStats) fixed.Word {
 	cols := a.cfg.Cols
 	format := a.cfg.Format
 
@@ -329,7 +387,7 @@ func (a *Array) columnPass(xs []float32, ws []fixed.Word, k0, col int, binary bo
 					acc = a.add(acc, ws[i])
 				}
 			}
-			a.stats.Accumulations += uint64(len(xs))
+			ps.accumulations += uint64(len(xs))
 			a.countSpikes(xs, k0, col)
 			return acc
 		}
@@ -338,7 +396,7 @@ func (a *Array) columnPass(xs []float32, ws []fixed.Word, k0, col int, binary bo
 				acc = a.add(acc, format.Quantize(float64(xv)*format.Dequantize(ws[i])))
 			}
 		}
-		a.stats.Accumulations += uint64(len(xs))
+		ps.accumulations += uint64(len(xs))
 		return acc
 	}
 
@@ -349,7 +407,7 @@ func (a *Array) columnPass(xs []float32, ws []fixed.Word, k0, col int, binary bo
 		row := (k0 + i) % a.cfg.Rows
 		idx := row*cols + col
 		if a.bypassed[idx] {
-			a.stats.BypassedSteps++
+			ps.bypassedSteps++
 			continue // pre-sum routed around the PE unchanged
 		}
 		var add fixed.Word
@@ -365,7 +423,7 @@ func (a *Array) columnPass(xs []float32, ws []fixed.Word, k0, col int, binary bo
 			}
 		}
 		acc = a.add(acc, add)
-		a.stats.Accumulations++
+		ps.accumulations++
 		if a.faulty[idx] {
 			acc = fixed.ForceBits(acc, a.orMask[idx], a.clearMask[idx])
 		}
@@ -383,6 +441,10 @@ func (a *Array) add(x, y fixed.Word) fixed.Word {
 	return fixed.AddWrap(x, y)
 }
 
+// countSpikes bumps the per-PE spike counters. Counters use atomic adds:
+// distinct output columns mapping onto the same PE column (m ≡ col mod
+// Cols) may be processed by different chunks concurrently, and integer
+// addition commutes, so totals stay exact and deterministic.
 func (a *Array) countSpikes(xs []float32, k0, col int) {
 	if a.spikeCount == nil {
 		return
@@ -391,7 +453,7 @@ func (a *Array) countSpikes(xs []float32, k0, col int) {
 	for i, xv := range xs {
 		if xv != 0 {
 			row := (k0 + i) % a.cfg.Rows
-			a.spikeCount[row*cols+col]++
+			atomic.AddUint64(&a.spikeCount[row*cols+col], 1)
 		}
 	}
 }

@@ -2,89 +2,50 @@ package tensor
 
 import "fmt"
 
+// This file holds the allocation + delegation layer of the tensor ops:
+// each package-level function allocates its result and routes the work
+// through the process-default Backend (see backend.go). The row-range
+// kernels at the bottom are shared by the Serial and Parallel engines;
+// both partition work over output rows (or batch items) and run the same
+// per-row loops, which is what makes the engines bit-identical.
+
 // MatMul computes C = A·B for A of shape [m,k] and B of shape [k,n],
 // returning a new [m,n] tensor. It is the reference float GEMM against
 // which the systolic-array simulator is validated.
 func MatMul(a, b *Tensor) *Tensor {
-	if a.Rank() != 2 || b.Rank() != 2 {
-		panic("tensor: MatMul requires rank-2 tensors")
-	}
-	m, k := a.Shape[0], a.Shape[1]
-	k2, n := b.Shape[0], b.Shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMul inner dims mismatch %d vs %d", k, k2))
-	}
-	c := New(m, n)
-	// ikj loop order: stream B rows for cache locality.
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		crow := c.Data[i*n : (i+1)*n]
-		for kk := 0; kk < k; kk++ {
-			av := arow[kk]
-			if av == 0 {
-				continue // spike inputs are mostly zero; skip dead rows
-			}
-			brow := b.Data[kk*n : (kk+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	}
+	return MatMulUsing(Default(), a, b)
+}
+
+// MatMulUsing is MatMul on an explicit backend.
+func MatMulUsing(e Backend, a, b *Tensor) *Tensor {
+	c := New(a.Shape[0], b.Shape[len(b.Shape)-1])
+	e.MatMul(c, a, b)
 	return c
 }
 
 // MatMulTransB computes C = A·Bᵀ for A [m,k] and B [n,k], returning [m,n].
 // Used in backward passes where the weight matrix is consumed transposed.
 func MatMulTransB(a, b *Tensor) *Tensor {
-	if a.Rank() != 2 || b.Rank() != 2 {
-		panic("tensor: MatMulTransB requires rank-2 tensors")
-	}
-	m, k := a.Shape[0], a.Shape[1]
-	n, k2 := b.Shape[0], b.Shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulTransB inner dims mismatch %d vs %d", k, k2))
-	}
-	c := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		crow := c.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.Data[j*k : (j+1)*k]
-			var s float32
-			for kk, av := range arow {
-				s += av * brow[kk]
-			}
-			crow[j] = s
-		}
-	}
+	return MatMulTransBUsing(Default(), a, b)
+}
+
+// MatMulTransBUsing is MatMulTransB on an explicit backend.
+func MatMulTransBUsing(e Backend, a, b *Tensor) *Tensor {
+	c := New(a.Shape[0], b.Shape[0])
+	e.MatMulTransB(c, a, b)
 	return c
 }
 
 // MatMulTransA computes C = Aᵀ·B for A [k,m] and B [k,n], returning [m,n].
 // Used to accumulate weight gradients (inputᵀ · gradOut).
 func MatMulTransA(a, b *Tensor) *Tensor {
-	if a.Rank() != 2 || b.Rank() != 2 {
-		panic("tensor: MatMulTransA requires rank-2 tensors")
-	}
-	k, m := a.Shape[0], a.Shape[1]
-	k2, n := b.Shape[0], b.Shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulTransA inner dims mismatch %d vs %d", k, k2))
-	}
-	c := New(m, n)
-	for kk := 0; kk < k; kk++ {
-		arow := a.Data[kk*m : (kk+1)*m]
-		brow := b.Data[kk*n : (kk+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			crow := c.Data[i*n : (i+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	}
+	return MatMulTransAUsing(Default(), a, b)
+}
+
+// MatMulTransAUsing is MatMulTransA on an explicit backend.
+func MatMulTransAUsing(e Backend, a, b *Tensor) *Tensor {
+	c := New(a.Shape[len(a.Shape)-1], b.Shape[len(b.Shape)-1])
+	e.MatMulTransA(c, a, b)
 	return c
 }
 
@@ -129,39 +90,13 @@ func NewConvShape(inC, inH, inW, outC, kh, kw, stride, pad int) (ConvShape, erro
 // [N*OutH*OutW, K] where each row is one receptive-field patch. Convolution
 // then becomes patches · Wᵀ for W of shape [OutC, K].
 func Im2Col(x *Tensor, cs ConvShape) *Tensor {
-	n := x.Shape[0]
-	if x.Rank() != 4 || x.Shape[1] != cs.InC || x.Shape[2] != cs.InH || x.Shape[3] != cs.InW {
-		panic(fmt.Sprintf("tensor: Im2Col input shape %v does not match conv %+v", x.Shape, cs))
-	}
-	out := New(n*cs.PatchesPerItem, cs.K)
-	chanStride := cs.InH * cs.InW
-	itemStride := cs.InC * chanStride
-	row := 0
-	for b := 0; b < n; b++ {
-		base := b * itemStride
-		for oy := 0; oy < cs.OutH; oy++ {
-			for ox := 0; ox < cs.OutW; ox++ {
-				dst := out.Data[row*cs.K : (row+1)*cs.K]
-				col := 0
-				for c := 0; c < cs.InC; c++ {
-					cbase := base + c*chanStride
-					for ky := 0; ky < cs.KH; ky++ {
-						iy := oy*cs.Stride + ky - cs.Pad
-						for kx := 0; kx < cs.KW; kx++ {
-							ix := ox*cs.Stride + kx - cs.Pad
-							if iy >= 0 && iy < cs.InH && ix >= 0 && ix < cs.InW {
-								dst[col] = x.Data[cbase+iy*cs.InW+ix]
-							} else {
-								dst[col] = 0
-							}
-							col++
-						}
-					}
-				}
-				row++
-			}
-		}
-	}
+	return Im2ColUsing(Default(), x, cs)
+}
+
+// Im2ColUsing is Im2Col on an explicit backend.
+func Im2ColUsing(e Backend, x *Tensor, cs ConvShape) *Tensor {
+	out := New(x.Shape[0]*cs.PatchesPerItem, cs.K)
+	e.Im2Col(out, x, cs)
 	return out
 }
 
@@ -169,36 +104,13 @@ func Im2Col(x *Tensor, cs ConvShape) *Tensor {
 // an input-gradient tensor [N, InC, InH, InW], summing overlapping patches.
 // It is the adjoint of Im2Col.
 func Col2Im(cols *Tensor, n int, cs ConvShape) *Tensor {
-	if cols.Rank() != 2 || cols.Shape[0] != n*cs.PatchesPerItem || cols.Shape[1] != cs.K {
-		panic(fmt.Sprintf("tensor: Col2Im cols shape %v does not match n=%d conv %+v", cols.Shape, n, cs))
-	}
+	return Col2ImUsing(Default(), cols, n, cs)
+}
+
+// Col2ImUsing is Col2Im on an explicit backend.
+func Col2ImUsing(e Backend, cols *Tensor, n int, cs ConvShape) *Tensor {
 	out := New(n, cs.InC, cs.InH, cs.InW)
-	chanStride := cs.InH * cs.InW
-	itemStride := cs.InC * chanStride
-	row := 0
-	for b := 0; b < n; b++ {
-		base := b * itemStride
-		for oy := 0; oy < cs.OutH; oy++ {
-			for ox := 0; ox < cs.OutW; ox++ {
-				src := cols.Data[row*cs.K : (row+1)*cs.K]
-				col := 0
-				for c := 0; c < cs.InC; c++ {
-					cbase := base + c*chanStride
-					for ky := 0; ky < cs.KH; ky++ {
-						iy := oy*cs.Stride + ky - cs.Pad
-						for kx := 0; kx < cs.KW; kx++ {
-							ix := ox*cs.Stride + kx - cs.Pad
-							if iy >= 0 && iy < cs.InH && ix >= 0 && ix < cs.InW {
-								out.Data[cbase+iy*cs.InW+ix] += src[col]
-							}
-							col++
-						}
-					}
-				}
-				row++
-			}
-		}
-	}
+	e.Col2Im(out, cols, cs)
 	return out
 }
 
@@ -254,4 +166,153 @@ func AvgPool2Backward(grad *Tensor, h, w int) *Tensor {
 		}
 	}
 	return out
+}
+
+// --- row-range kernels shared by the Serial and Parallel backends ---
+//
+// Every kernel processes output rows [r0, r1) (or batch items for
+// col2Im). Each output element is produced by exactly one kernel call and
+// accumulated in the same inner-loop order regardless of how rows are
+// partitioned, so any partition yields bit-identical results.
+
+// matMulRows computes dst rows [r0, r1) of dst = a·b.
+// ikj loop order: stream b rows for cache locality.
+func matMulRows(dst, a, b *Tensor, k, n, r0, r1 int) {
+	for i := r0; i < r1; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := dst.Data[i*n : (i+1)*n]
+		for j := range crow {
+			crow[j] = 0
+		}
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue // spike inputs are mostly zero; skip dead rows
+			}
+			brow := b.Data[kk*n : (kk+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// matMulTransARows computes dst rows [r0, r1) of dst = aᵀ·b for a [k,m].
+// For each output row i the reduction walks kk ascending, matching the
+// serial kk-outer accumulation order element for element.
+func matMulTransARows(dst, a, b *Tensor, m, k, n, r0, r1 int) {
+	for i := r0; i < r1; i++ {
+		crow := dst.Data[i*n : (i+1)*n]
+		for j := range crow {
+			crow[j] = 0
+		}
+		for kk := 0; kk < k; kk++ {
+			av := a.Data[kk*m+i]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[kk*n : (kk+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// matMulTransBRows computes dst rows [r0, r1) of dst = a·bᵀ.
+func matMulTransBRows(dst, a, b *Tensor, k, n, r0, r1 int) {
+	for i := r0; i < r1; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := dst.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var s float32
+			for kk, av := range arow {
+				s += av * brow[kk]
+			}
+			crow[j] = s
+		}
+	}
+}
+
+// im2ColRows fills dst patch rows [r0, r1); row = (b*OutH + oy)*OutW + ox.
+func im2ColRows(dst, x *Tensor, cs ConvShape, r0, r1 int) {
+	chanStride := cs.InH * cs.InW
+	itemStride := cs.InC * chanStride
+	for row := r0; row < r1; row++ {
+		b := row / cs.PatchesPerItem
+		rem := row - b*cs.PatchesPerItem
+		oy := rem / cs.OutW
+		ox := rem - oy*cs.OutW
+		base := b * itemStride
+		dstRow := dst.Data[row*cs.K : (row+1)*cs.K]
+		col := 0
+		for c := 0; c < cs.InC; c++ {
+			cbase := base + c*chanStride
+			for ky := 0; ky < cs.KH; ky++ {
+				iy := oy*cs.Stride + ky - cs.Pad
+				for kx := 0; kx < cs.KW; kx++ {
+					ix := ox*cs.Stride + kx - cs.Pad
+					if iy >= 0 && iy < cs.InH && ix >= 0 && ix < cs.InW {
+						dstRow[col] = x.Data[cbase+iy*cs.InW+ix]
+					} else {
+						dstRow[col] = 0
+					}
+					col++
+				}
+			}
+		}
+	}
+}
+
+// col2ImItems scatters patches of batch items [b0, b1) into dst. Patches
+// of one item overlap, so the per-item scatter stays sequential (in the
+// serial patch order); distinct items never overlap.
+func col2ImItems(dst, cols *Tensor, cs ConvShape, b0, b1 int) {
+	chanStride := cs.InH * cs.InW
+	itemStride := cs.InC * chanStride
+	for b := b0; b < b1; b++ {
+		base := b * itemStride
+		item := dst.Data[base : base+itemStride]
+		for i := range item {
+			item[i] = 0
+		}
+		row := b * cs.PatchesPerItem
+		for oy := 0; oy < cs.OutH; oy++ {
+			for ox := 0; ox < cs.OutW; ox++ {
+				src := cols.Data[row*cs.K : (row+1)*cs.K]
+				col := 0
+				for c := 0; c < cs.InC; c++ {
+					cbase := base + c*chanStride
+					for ky := 0; ky < cs.KH; ky++ {
+						iy := oy*cs.Stride + ky - cs.Pad
+						for kx := 0; kx < cs.KW; kx++ {
+							ix := ox*cs.Stride + kx - cs.Pad
+							if iy >= 0 && iy < cs.InH && ix >= 0 && ix < cs.InW {
+								dst.Data[cbase+iy*cs.InW+ix] += src[col]
+							}
+							col++
+						}
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// addRange computes dst[lo:hi] += src[lo:hi].
+func addRange(dst, src []float32, lo, hi int) {
+	d, s := dst[lo:hi], src[lo:hi]
+	for i, v := range s {
+		d[i] += v
+	}
+}
+
+// scaleRange computes data[lo:hi] *= s.
+func scaleRange(data []float32, s float32, lo, hi int) {
+	d := data[lo:hi]
+	for i := range d {
+		d[i] *= s
+	}
 }
