@@ -1,0 +1,425 @@
+// Command campaign plans, runs and merges sharded fault-sweep campaigns:
+// the figure sweeps of cmd/experiments (fig2, fig5a, fig5b, fig5c, the
+// Fig. 6/7/8 "mitigation" study) and the manufacturing-yield study of
+// cmd/yield, decomposed into deterministic seed-addressed trials by
+// internal/campaign.
+//
+// Usage:
+//
+//	campaign plan -c fig5a -quick                      # print the trial list
+//	campaign run  -c fig5a -quick -shard 0/2 -o a.jsonl   # run one shard
+//	campaign run  -c fig5a -quick -shard 1/2 -o b.jsonl   # run the other
+//	campaign merge a.jsonl b.jsonl                     # assemble figures
+//
+// A run appends each completed trial to its JSONL checkpoint (-o) and
+// resumes from it after an interruption, skipping completed trial IDs;
+// -max bounds one sitting. Shard partials merge bit-identically to a
+// single-process run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"falvolt/internal/campaign"
+	"falvolt/internal/core"
+	"falvolt/internal/datasets"
+	"falvolt/internal/experiments"
+	"falvolt/internal/faults"
+	"falvolt/internal/fixed"
+	"falvolt/internal/snn"
+	"falvolt/internal/systolic"
+	"falvolt/internal/tensor"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "plan":
+		err = planCmd(os.Args[2:])
+	case "run":
+		err = runCmd(os.Args[2:])
+	case "merge":
+		err = mergeCmd(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "campaign: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaign:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: campaign <plan|run|merge> [flags]
+
+  plan  -c <name> [config flags]            print the deterministic trial list as JSON
+  run   -c <name> -o <file> [-shard i/n] [-max N] [config flags]
+                                            execute (one shard of) a campaign with
+                                            JSONL checkpointing and resume
+  merge [-cache dir] [-json file] <file>... merge shard/checkpoint files and print
+                                            the figures or yield report
+
+campaigns: %s yield
+`, strings.Join(experiments.CampaignNames(), " "))
+	os.Exit(2)
+}
+
+// config collects the union of campaign configuration flags.
+type config struct {
+	name    string
+	backend string
+	verbose bool
+
+	// Suite (figure campaign) options.
+	quick   bool
+	seed    int64
+	arrayN  int
+	epochs  int
+	repeats int
+	evalN   int
+	cache   string
+
+	// Yield campaign options.
+	chips      int
+	meanFaulty float64
+	alpha      float64
+	clustered  bool
+	threshold  float64
+	method     string
+	mitEpochs  int
+	baseEp     int
+}
+
+func addConfigFlags(fs *flag.FlagSet, c *config) {
+	fs.StringVar(&c.name, "c", "", "campaign: "+strings.Join(experiments.CampaignNames(), " | ")+" | yield")
+	fs.StringVar(&c.backend, "backend", "", tensor.BackendFlagDoc)
+	fs.BoolVar(&c.verbose, "v", false, "progress logging")
+	fs.BoolVar(&c.quick, "quick", false, "reduced model/dataset sizes (figure campaigns)")
+	fs.Int64Var(&c.seed, "seed", 7, "seed")
+	fs.IntVar(&c.arrayN, "array", 64, "systolic array side (NxN)")
+	fs.IntVar(&c.epochs, "epochs", 0, "retraining epochs (0 = default for mode)")
+	fs.IntVar(&c.repeats, "repeats", 0, "fault maps averaged per vulnerability point (0 = default)")
+	fs.IntVar(&c.evalN, "eval", 0, "test samples per deployed evaluation (0 = default)")
+	fs.StringVar(&c.cache, "cache", "", "directory for baseline snapshots (reused across shards)")
+	fs.IntVar(&c.chips, "chips", 12, "yield: number of simulated dies")
+	fs.Float64Var(&c.meanFaulty, "mean-faulty", 60, "yield: mean faulty PEs per die")
+	fs.Float64Var(&c.alpha, "alpha", 1.0, "yield: defect clustering (smaller = heavier tails)")
+	fs.BoolVar(&c.clustered, "clustered", true, "yield: spatially clustered fault maps")
+	fs.Float64Var(&c.threshold, "threshold", 0.85, "yield: minimum shipping accuracy")
+	fs.StringVar(&c.method, "method", "falvolt", "yield: salvage policy fap | fapit | falvolt")
+	fs.IntVar(&c.mitEpochs, "mit-epochs", 4, "yield: retraining epochs per salvaged die")
+	fs.IntVar(&c.baseEp, "base-epochs", 12, "yield: baseline training epochs")
+}
+
+func (c *config) suite() *experiments.Suite {
+	opt := experiments.DefaultOptions()
+	if c.quick {
+		opt = experiments.QuickOptions()
+	}
+	opt.Seed = c.seed
+	opt.ArrayRows, opt.ArrayCols = c.arrayN, c.arrayN
+	opt.CacheDir = c.cache
+	if c.epochs > 0 {
+		opt.RetrainEpochs = c.epochs
+	}
+	if c.repeats > 0 {
+		opt.Repeats = c.repeats
+	}
+	if c.evalN > 0 {
+		opt.EvalSamples = c.evalN
+	}
+	if c.verbose {
+		opt.Log = os.Stderr
+	}
+	return experiments.NewSuite(opt)
+}
+
+func (c *config) yieldConfig() (core.YieldConfig, error) {
+	var m core.Method
+	switch strings.ToLower(c.method) {
+	case "fap":
+		m = core.FaP
+	case "fapit":
+		m = core.FaPIT
+	case "falvolt":
+		m = core.FalVolt
+	default:
+		return core.YieldConfig{}, fmt.Errorf("unknown method %q", c.method)
+	}
+	return core.YieldConfig{
+		Chips:     c.chips,
+		Defects:   faults.DefectModel{MeanFaulty: c.meanFaulty, Alpha: c.alpha},
+		Clustered: c.clustered,
+		Threshold: c.threshold,
+		Mitigation: core.Config{
+			Method: m, Epochs: c.mitEpochs, LR: 0.01, BatchSize: 16, ClipNorm: 5,
+		},
+		EvalSamples: 96,
+		Seed:        c.seed,
+	}, nil
+}
+
+// yieldFingerprint records the baseline-training provenance the
+// YieldConfig cannot see; cmd/yield writes the same keys so shard files
+// from either tool merge iff their setups match.
+func (c *config) yieldFingerprint() map[string]string {
+	return map[string]string{
+		"base-epochs": strconv.Itoa(c.baseEp),
+		"baseline":    "synthetic-mnist-320/128",
+	}
+}
+
+// yieldCampaign wraps the yield study as a campaign. The baseline is
+// trained lazily on first worker use, so `plan` and fully-resumed runs
+// never pay for it.
+func (c *config) yieldCampaign() (campaign.Campaign, core.YieldConfig, error) {
+	cfg, err := c.yieldConfig()
+	if err != nil {
+		return nil, cfg, err
+	}
+	build := func() (core.YieldDeps, error) {
+		ds, err := datasets.SyntheticMNIST(datasets.Config{Train: 320, Test: 128, T: 4, Seed: c.seed})
+		if err != nil {
+			return core.YieldDeps{}, err
+		}
+		spec := snn.MNISTSpec()
+		spec.EncoderC, spec.BlockC, spec.FCHidden = 4, []int{8, 8}, 32
+		buildModel := func() (*snn.Model, error) {
+			return snn.Build(spec, rand.New(rand.NewSource(c.seed)))
+		}
+		model, err := buildModel()
+		if err != nil {
+			return core.YieldDeps{}, err
+		}
+		fmt.Fprintln(os.Stderr, "training baseline...")
+		baseAcc, err := core.TrainBaseline(model, ds.Train, ds.Test, c.baseEp, 0.02,
+			rand.New(rand.NewSource(c.seed+1)), true)
+		if err != nil {
+			return core.YieldDeps{}, err
+		}
+		fmt.Fprintf(os.Stderr, "baseline accuracy %.3f; shipping threshold %.2f\n", baseAcc, c.threshold)
+		arr, err := systolic.New(systolic.Config{Rows: c.arrayN, Cols: c.arrayN, Format: fixed.Q16x16, Saturate: true})
+		if err != nil {
+			return core.YieldDeps{}, err
+		}
+		return core.YieldDeps{
+			Model: model, Baseline: model.Net.State(), Arr: arr,
+			Train: ds.Train, Test: ds.Test, BuildModel: buildModel,
+		}, nil
+	}
+	cam, err := core.LazyYieldCampaign(c.arrayN, c.arrayN, cfg, c.yieldFingerprint(), build)
+	return cam, cfg, err
+}
+
+func planCmd(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	var c config
+	addConfigFlags(fs, &c)
+	fs.Parse(args)
+	var trials []campaign.Trial
+	var err error
+	if c.name == "yield" {
+		cfg, cerr := c.yieldConfig()
+		if cerr != nil {
+			return cerr
+		}
+		trials, err = core.YieldTrials(c.arrayN, c.arrayN, cfg)
+	} else {
+		cam, cerr := c.suite().Campaign(c.name)
+		if cerr != nil {
+			return cerr
+		}
+		trials, err = cam.Trials()
+	}
+	if err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(trials, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	fmt.Fprintf(os.Stderr, "%d trials\n", len(trials))
+	return nil
+}
+
+func runCmd(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	var c config
+	var (
+		out      = fs.String("o", "", "checkpoint/output JSONL (default <name>-shard<i>of<n>.jsonl)")
+		shardArg = fs.String("shard", "", "run the i-th of n interleaved trial subsets (i/n)")
+		maxNew   = fs.Int("max", 0, "max new trials this sitting (0 = unlimited)")
+	)
+	addConfigFlags(fs, &c)
+	fs.Parse(args)
+	if err := tensor.SetDefaultByName(c.backend); err != nil {
+		return err
+	}
+	shard, err := campaign.ParseShard(*shardArg)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		*out = fmt.Sprintf("%s-shard%dof%d.jsonl", c.name, shard.Index, max(shard.Count, 1))
+	}
+
+	var cam campaign.Campaign
+	var cfg core.YieldConfig
+	var suite *experiments.Suite
+	if c.name == "yield" {
+		cam, cfg, err = c.yieldCampaign()
+	} else {
+		suite = c.suite()
+		cam, err = suite.Campaign(c.name)
+	}
+	if err != nil {
+		return err
+	}
+	opt := campaign.Options{Shard: shard, Checkpoint: *out, MaxNew: *maxNew}
+	if c.verbose {
+		opt.Log = os.Stderr
+	}
+	rr, err := campaign.Run(cam, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "campaign %s shard %s: %d/%d trials complete (%d resumed, %d run) -> %s\n",
+		c.name, shard, len(rr.Results), rr.Planned, rr.Resumed, rr.Executed, *out)
+	if !rr.Complete {
+		fmt.Fprintln(os.Stderr, "partial: rerun the same command to resume")
+		return nil
+	}
+	if !shard.IsWhole() {
+		fmt.Fprintf(os.Stderr, "shard complete: merge all shard files with `campaign merge`\n")
+		return nil
+	}
+	// Whole campaign finished in one process: print the output directly.
+	if c.name == "yield" {
+		rep, err := core.YieldFromResults(rr.Results, cfg.Chips, cfg.Threshold)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
+		return nil
+	}
+	figs, err := suite.Figures(c.name, rr.Results)
+	if err != nil {
+		return err
+	}
+	for _, f := range figs {
+		f.Print(os.Stdout)
+	}
+	return nil
+}
+
+func mergeCmd(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	var (
+		cache   = fs.String("cache", "", "baseline snapshot dir (avoids retraining for mitigation merges)")
+		jsonOut = fs.String("json", "", "also write merged figures/report as JSON to this file")
+		backend = fs.String("backend", "", tensor.BackendFlagDoc)
+		verbose = fs.Bool("v", false, "progress logging")
+	)
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("merge needs at least one checkpoint file")
+	}
+	if err := tensor.SetDefaultByName(*backend); err != nil {
+		return err
+	}
+	header, results, err := campaign.MergeFiles(fs.Args()...)
+	if err != nil {
+		return err
+	}
+	if missing := campaign.Missing(results, header.Trials); len(missing) > 0 {
+		return fmt.Errorf("merged results cover %d/%d trials (missing ids start at %d); run the remaining shards first",
+			len(results), header.Trials, missing[0])
+	}
+	fmt.Fprintf(os.Stderr, "merged %d files: campaign %s, %d trials\n", fs.NArg(), header.Campaign, len(results))
+
+	if header.Campaign == "yield" {
+		chips, err1 := strconv.Atoi(header.Meta["chips"])
+		threshold, err2 := strconv.ParseFloat(header.Meta["threshold"], 64)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("yield checkpoint header missing chips/threshold metadata")
+		}
+		rep, err := core.YieldFromResults(results, chips, threshold)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
+		if *jsonOut != "" {
+			return writeJSON(*jsonOut, rep)
+		}
+		return nil
+	}
+
+	suite, err := suiteFromMeta(header.Meta, *cache, *verbose)
+	if err != nil {
+		return err
+	}
+	figs, err := suite.Figures(header.Campaign, results)
+	if err != nil {
+		return err
+	}
+	for _, f := range figs {
+		f.Print(os.Stdout)
+	}
+	if *jsonOut != "" {
+		return writeJSON(*jsonOut, figs)
+	}
+	return nil
+}
+
+// suiteFromMeta reconstructs the suite a figure campaign ran with from
+// its checkpoint metadata, so merge needs no matching flags.
+func suiteFromMeta(meta map[string]string, cache string, verbose bool) (*experiments.Suite, error) {
+	quick := meta["quick"] == "true"
+	opt := experiments.DefaultOptions()
+	if quick {
+		opt = experiments.QuickOptions()
+	}
+	if v, err := strconv.ParseInt(meta["seed"], 10, 64); err == nil {
+		opt.Seed = v
+	}
+	if rows, _, ok := strings.Cut(meta["array"], "x"); ok {
+		if n, err := strconv.Atoi(rows); err == nil {
+			opt.ArrayRows, opt.ArrayCols = n, n
+		}
+	}
+	if v, err := strconv.Atoi(meta["repeats"]); err == nil && v > 0 {
+		opt.Repeats = v
+	}
+	if v, err := strconv.Atoi(meta["epochs"]); err == nil && v > 0 {
+		opt.RetrainEpochs = v
+	}
+	if v, err := strconv.Atoi(meta["eval"]); err == nil && v > 0 {
+		opt.EvalSamples = v
+	}
+	opt.CacheDir = cache
+	if verbose {
+		opt.Log = os.Stderr
+	}
+	return experiments.NewSuite(opt), nil
+}
+
+func writeJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

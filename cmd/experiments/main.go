@@ -2,40 +2,64 @@
 // (Fig. 2, 5a–c, 6, 7, 8 and the §V-A baselines) on the synthetic-dataset
 // reproduction, printing each figure's data series as a table.
 //
+// The figure sweeps run as campaigns (internal/campaign): -checkpoint
+// makes them resumable, and -shard splits one campaign across processes
+// whose partial JSONL files merge bit-identically with `campaign merge`.
+//
 // Usage:
 //
 //	experiments -quick                 # reduced sizes, minutes on a laptop
 //	experiments -fig 5b,7              # subset of figures
 //	experiments -cache .cache          # reuse trained baselines across runs
+//	experiments -quick -fig 5a -shard 0/2 -checkpoint out/   # half the sweep
+//	experiments -quick -fig 5a -shard 1/2 -checkpoint out/   # other half
+//	campaign merge out/fig5a-shard*.jsonl                    # assembled figure
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
+	"falvolt/internal/campaign"
 	"falvolt/internal/experiments"
 	"falvolt/internal/tensor"
 )
 
 func main() {
 	var (
-		backend = flag.String("backend", "", tensor.BackendFlagDoc)
-		quick   = flag.Bool("quick", false, "reduced model/dataset sizes")
-		figs    = flag.String("fig", "all", "comma-separated figures: baseline,2,5a,5b,5c,6,7,8,ablations or all (ablations excluded from all)")
-		cache   = flag.String("cache", "", "directory for baseline snapshots (reused across runs)")
-		seed    = flag.Int64("seed", 7, "experiment seed")
-		arrayN  = flag.Int("array", 64, "systolic array side (NxN)")
-		epochs  = flag.Int("epochs", 0, "retraining epochs (0 = default for mode)")
-		repeats = flag.Int("repeats", 0, "fault maps averaged per vulnerability point (0 = default)")
-		evalN   = flag.Int("eval", 0, "test samples per deployed evaluation (0 = default)")
-		verbose = flag.Bool("v", false, "progress logging")
+		backend  = flag.String("backend", "", tensor.BackendFlagDoc)
+		quick    = flag.Bool("quick", false, "reduced model/dataset sizes")
+		figs     = flag.String("fig", "all", "comma-separated figures: baseline,2,5a,5b,5c,6,7,8,ablations or all (ablations excluded from all)")
+		cache    = flag.String("cache", "", "directory for baseline snapshots (reused across runs)")
+		seed     = flag.Int64("seed", 7, "experiment seed")
+		arrayN   = flag.Int("array", 64, "systolic array side (NxN)")
+		epochs   = flag.Int("epochs", 0, "retraining epochs (0 = default for mode)")
+		repeats  = flag.Int("repeats", 0, "fault maps averaged per vulnerability point (0 = default)")
+		evalN    = flag.Int("eval", 0, "test samples per deployed evaluation (0 = default)")
+		verbose  = flag.Bool("v", false, "progress logging")
+		shardArg = flag.String("shard", "", "run the i-th of n interleaved trial subsets of each figure campaign (i/n)")
+		ckptDir  = flag.String("checkpoint", "", "directory for per-campaign JSONL checkpoints (resume + shard partials)")
 	)
 	flag.Parse()
 
+	fail := func(context string, err error) {
+		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", context, err)
+		os.Exit(1)
+	}
 	if err := tensor.SetDefaultByName(*backend); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	shard, err := campaign.ParseShard(*shardArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	if !shard.IsWhole() && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -shard needs -checkpoint so the partial results can be merged")
 		os.Exit(1)
 	}
 
@@ -65,15 +89,81 @@ func main() {
 		want[strings.TrimSpace(strings.ToLower(f))] = true
 	}
 	all := want["all"]
+	selected := func(name string) bool { return all || want[name] }
+
+	// figCampaigns maps -fig names to their backing campaigns ("" = not
+	// campaign-backed). Fig. 6/7/8 share the "mitigation" study.
+	figCampaigns := []struct{ fig, camp string }{
+		{"2", "fig2"}, {"5a", "fig5a"}, {"5b", "fig5b"}, {"5c", "fig5c"},
+		{"6", "mitigation"}, {"7", "mitigation"}, {"8", "mitigation"},
+	}
+
+	shardFile := func(name string) string {
+		return filepath.Join(*ckptDir,
+			fmt.Sprintf("%s-shard%dof%d.jsonl", name, shard.Index, max(shard.Count, 1)))
+	}
+	// runCampaign executes one campaign with the shard/checkpoint
+	// options and returns its results when the shard is complete.
+	runCampaign := func(name string) (*campaign.RunResult, error) {
+		copt := campaign.Options{Shard: shard}
+		if *ckptDir != "" {
+			if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+				return nil, err
+			}
+			copt.Checkpoint = shardFile(name)
+		}
+		if *verbose {
+			copt.Log = os.Stderr
+		}
+		return suite.RunCampaign(name, copt)
+	}
+
+	if !shard.IsWhole() {
+		// Shard mode: execute the selected campaigns' subsets and leave
+		// figure assembly to `campaign merge` over all shard files.
+		ran := map[string]bool{}
+		for _, fc := range figCampaigns {
+			if !selected(fc.fig) || ran[fc.camp] {
+				continue
+			}
+			ran[fc.camp] = true
+			rr, err := runCampaign(fc.camp)
+			if err != nil {
+				fail(fc.camp, err)
+			}
+			fmt.Printf("campaign %s shard %s: %d/%d trials complete -> %s\n",
+				fc.camp, shard, len(rr.Results), rr.Planned, shardFile(fc.camp))
+		}
+		if selected("baseline") || want["ablations"] {
+			fmt.Fprintln(os.Stderr, "experiments: baseline/ablations are not sharded; run them without -shard")
+		}
+		return
+	}
 
 	run := func(name string, fn func() error) {
-		if !all && !want[name] {
+		if !selected(name) {
 			return
 		}
 		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
-			os.Exit(1)
+			fail(name, err)
 		}
+	}
+	// printCampaign runs a campaign-backed figure with checkpointing and
+	// prints its figures (used when -checkpoint is set; otherwise the
+	// plain Fig* methods below run the campaign in memory).
+	printCampaign := func(camp string) error {
+		rr, err := runCampaign(camp)
+		if err != nil {
+			return err
+		}
+		figs, err := suite.Figures(camp, rr.Results)
+		if err != nil {
+			return err
+		}
+		for _, f := range figs {
+			f.Print(os.Stdout)
+		}
+		return nil
 	}
 
 	run("baseline", func() error {
@@ -84,75 +174,54 @@ func main() {
 		fig.Print(os.Stdout)
 		return nil
 	})
-	run("2", func() error {
-		fig, err := suite.Fig2()
-		if err != nil {
-			return err
+	if *ckptDir != "" {
+		// Checkpointed whole-campaign mode: run each selected campaign
+		// with resume and print its figures. Fig. 6/7/8 print together.
+		ran := map[string]bool{}
+		for _, fc := range figCampaigns {
+			if !selected(fc.fig) || ran[fc.camp] {
+				continue
+			}
+			ran[fc.camp] = true
+			if err := printCampaign(fc.camp); err != nil {
+				fail(fc.camp, err)
+			}
 		}
-		fig.Print(os.Stdout)
-		return nil
-	})
-	run("5a", func() error {
-		fig, err := suite.Fig5a()
-		if err != nil {
-			return err
-		}
-		fig.Print(os.Stdout)
-		return nil
-	})
-	run("5b", func() error {
-		fig, err := suite.Fig5b()
-		if err != nil {
-			return err
-		}
-		fig.Print(os.Stdout)
-		return nil
-	})
-	run("5c", func() error {
-		fig, err := suite.Fig5c()
-		if err != nil {
-			return err
-		}
-		fig.Print(os.Stdout)
-		return nil
-	})
-	run("6", func() error {
-		figs, err := suite.Fig6()
-		if err != nil {
-			return err
-		}
-		for _, f := range figs {
-			f.Print(os.Stdout)
-		}
-		return nil
-	})
-	run("7", func() error {
-		fig, err := suite.Fig7()
-		if err != nil {
-			return err
-		}
-		fig.Print(os.Stdout)
-		return nil
-	})
-	run("8", func() error {
-		figs, err := suite.Fig8()
-		if err != nil {
-			return err
-		}
-		for _, f := range figs {
-			f.Print(os.Stdout)
-		}
-		return nil
-	})
+	} else {
+		run("2", func() error { return printFig(suite.Fig2()) })
+		run("5a", func() error { return printFig(suite.Fig5a()) })
+		run("5b", func() error { return printFig(suite.Fig5b()) })
+		run("5c", func() error { return printFig(suite.Fig5c()) })
+		run("6", func() error { return printFigs(suite.Fig6()) })
+		run("7", func() error { return printFig(suite.Fig7()) })
+		run("8", func() error { return printFigs(suite.Fig8()) })
+	}
 	// Ablations are opt-in only (not part of "all").
 	if want["ablations"] {
 		figs, err := suite.Ablations()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: ablations: %v\n", err)
-			os.Exit(1)
+			fail("ablations", err)
 		}
 		for _, f := range figs {
 			f.Print(os.Stdout)
 		}
 	}
+}
+
+func printFig(f *experiments.Figure, err error) error {
+	if err != nil {
+		return err
+	}
+	f.Print(os.Stdout)
+	return nil
+}
+
+func printFigs(figs []*experiments.Figure, err error) error {
+	if err != nil {
+		return err
+	}
+	for _, f := range figs {
+		f.Print(os.Stdout)
+	}
+	return nil
 }

@@ -5,12 +5,19 @@
 //
 // It trains one baseline model, samples a population of dies from a
 // (clustered) defect model, and reports shippable yield for the discard
-// flow vs the salvage flow at a given accuracy threshold.
+// flow vs the salvage flow at a given accuracy threshold. The population
+// runs as a fault-sweep campaign (internal/campaign): dies execute in
+// parallel across compute-engine lanes, -checkpoint makes the run
+// resumable, and -shard splits it across processes (merge the partial
+// files with `campaign merge`).
 //
 // Usage:
 //
 //	yield -chips 20 -mean-faulty 80 -threshold 0.9
 //	yield -chips 10 -mean-faulty 200 -method falvolt -epochs 6
+//	yield -chips 40 -shard 0/2 -checkpoint y0.jsonl   # process 1
+//	yield -chips 40 -shard 1/2 -checkpoint y1.jsonl   # process 2
+//	campaign merge y0.jsonl y1.jsonl                  # combined report
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"os"
 	"strings"
 
+	"falvolt/internal/campaign"
 	"falvolt/internal/core"
 	"falvolt/internal/datasets"
 	"falvolt/internal/faults"
@@ -42,12 +50,24 @@ func main() {
 		arrayN     = flag.Int("array", 64, "array side")
 		baseEp     = flag.Int("base-epochs", 12, "baseline training epochs")
 		seed       = flag.Int64("seed", 7, "seed")
+		shardArg   = flag.String("shard", "", "run the i-th of n interleaved die subsets (i/n); merge partials with `campaign merge`")
+		checkpoint = flag.String("checkpoint", "", "JSONL checkpoint: append per-die results, resume by skipping completed dies")
 	)
 	flag.Parse()
 
-	if err := tensor.SetDefaultByName(*backend); err != nil {
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "yield:", err)
 		os.Exit(1)
+	}
+	if err := tensor.SetDefaultByName(*backend); err != nil {
+		fail(err)
+	}
+	shard, err := campaign.ParseShard(*shardArg)
+	if err != nil {
+		fail(err)
+	}
+	if !shard.IsWhole() && *checkpoint == "" {
+		fail(fmt.Errorf("-shard needs -checkpoint so the partial results can be merged"))
 	}
 
 	var m core.Method
@@ -59,37 +79,35 @@ func main() {
 	case "falvolt":
 		m = core.FalVolt
 	default:
-		fmt.Fprintf(os.Stderr, "yield: unknown method %q\n", *method)
-		os.Exit(1)
+		fail(fmt.Errorf("unknown method %q", *method))
 	}
 
 	ds, err := datasets.SyntheticMNIST(datasets.Config{Train: 320, Test: 128, T: 4, Seed: *seed})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "yield:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	spec := snn.MNISTSpec()
 	spec.EncoderC, spec.BlockC, spec.FCHidden = 4, []int{8, 8}, 32
-	model, err := snn.Build(spec, rand.New(rand.NewSource(*seed)))
+	buildModel := func() (*snn.Model, error) {
+		return snn.Build(spec, rand.New(rand.NewSource(*seed)))
+	}
+	model, err := buildModel()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "yield:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Println("training baseline...")
 	baseAcc, err := core.TrainBaseline(model, ds.Train, ds.Test, *baseEp, 0.02,
 		rand.New(rand.NewSource(*seed+1)), true)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "yield:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Printf("baseline accuracy %.3f; shipping threshold %.2f\n", baseAcc, *threshold)
 
 	arr, err := systolic.New(systolic.Config{Rows: *arrayN, Cols: *arrayN, Format: fixed.Q16x16, Saturate: true})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "yield:", err)
-		os.Exit(1)
+		fail(err)
 	}
-	rep, err := core.YieldStudy(model, model.Net.State(), arr, ds.Train, ds.Test, core.YieldConfig{
+	cfg := core.YieldConfig{
 		Chips:     *chips,
 		Defects:   faults.DefectModel{MeanFaulty: *meanFaulty, Alpha: *alpha},
 		Clustered: *clustered,
@@ -98,11 +116,37 @@ func main() {
 			Method: m, Epochs: *epochs, LR: 0.01, BatchSize: 16, ClipNorm: 5,
 		},
 		EvalSamples: 96,
-		Rng:         rand.New(rand.NewSource(*seed + 2)),
+		Seed:        *seed + 2,
+	}
+	// BuildModel lets the campaign evaluate dies on every engine lane
+	// concurrently instead of one at a time.
+	cam, err := core.YieldCampaign(core.YieldDeps{
+		Model: model, Baseline: model.Net.State(), Arr: arr,
+		Train: ds.Train, Test: ds.Test, BuildModel: buildModel,
+		// Same provenance keys as cmd/campaign, so shard files from
+		// either tool merge iff the baseline setup matches.
+		Fingerprint: map[string]string{
+			"base-epochs": fmt.Sprint(*baseEp),
+			"baseline":    "synthetic-mnist-320/128",
+		},
+	}, cfg)
+	if err != nil {
+		fail(err)
+	}
+	rr, err := campaign.Run(cam, campaign.Options{
+		Shard: shard, Checkpoint: *checkpoint, Log: os.Stderr,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "yield:", err)
-		os.Exit(1)
+		fail(err)
+	}
+	if !shard.IsWhole() {
+		fmt.Printf("shard %s complete: %d dies -> %s; merge all shards with `campaign merge`\n",
+			shard, len(rr.Results), *checkpoint)
+		return
+	}
+	rep, err := core.YieldFromResults(rr.Results, cfg.Chips, cfg.Threshold)
+	if err != nil {
+		fail(err)
 	}
 	fmt.Println(rep)
 	fmt.Printf("fault-free dies: %d/%d; salvage policy: %s (%d epochs)\n",

@@ -9,8 +9,10 @@
 // internal/tensor), fault-to-weight mapping (internal/mapping), synthetic
 // stand-ins for MNIST / N-MNIST / DVS Gesture (internal/datasets), the
 // FalVolt mitigation algorithm with its FaP and FaPIT baselines
-// (internal/core), and per-figure experiment harnesses
-// (internal/experiments). See README.md and DESIGN.md.
+// (internal/core), per-figure experiment harnesses
+// (internal/experiments), and a sharded fault-sweep campaign engine with
+// deterministic resume and bit-reproducible merging (internal/campaign).
+// See README.md and DESIGN.md.
 //
 // All heavy math runs on a pluggable compute engine
 // (internal/tensor.Backend) with serial and multi-core worker-pool

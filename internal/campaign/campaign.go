@@ -1,0 +1,231 @@
+// Package campaign is the fault-sweep campaign engine: it decomposes a
+// vulnerability, mitigation or yield sweep into a deterministic list of
+// seed-addressed Trials, executes them on a pluggable Runner (an
+// in-process worker pool today; the Runner interface is the seam for
+// multi-process or multi-machine sharding), and merges the results with
+// an order-independent, bit-reproducible reduction.
+//
+// The contract that makes sharding trustworthy:
+//
+//   - Trials() is a pure function of the campaign configuration: the same
+//     config enumerates the same trials (IDs, keys, seeds) on every
+//     process, so shards agree on the work-list without coordination.
+//   - Every trial is independently seed-addressed: its result depends
+//     only on the trial, never on which worker ran it, in which order,
+//     or on which shard.
+//   - Reductions (Merge, GroupMean, report builders) consume results in
+//     ascending trial-ID order, so the merged output is byte-identical
+//     whether the campaign ran on 1 worker, 8 workers, or as separately
+//     checkpointed shards.
+//
+// Checkpoints are JSONL files (one header line, then one result per
+// line); an interrupted campaign resumes by skipping trial IDs already
+// present in its checkpoint.
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Trial is one unit of campaign work: a seed-addressed point of a sweep.
+// IDs must be dense in [0, n) in enumeration order; Key names the figure
+// point or report bucket the trial contributes to (several trials —
+// e.g. repeats — may share a Key); Seed drives the trial's randomness
+// (fault-map drawing, retraining shuffles) so the result is reproducible
+// from the trial alone; Tags carry campaign-specific parameters.
+type Trial struct {
+	ID   int               `json:"id"`
+	Key  string            `json:"key"`
+	Seed int64             `json:"seed,omitempty"`
+	Tags map[string]string `json:"tags,omitempty"`
+}
+
+// Result is the outcome of one trial. Metrics holds scalar outputs
+// ("acc", "raw", ...); Series holds vector outputs (per-layer thresholds,
+// convergence curves). Both marshal deterministically (encoding/json
+// sorts map keys), so identical results are byte-identical on disk.
+type Result struct {
+	TrialID int                  `json:"trial"`
+	Key     string               `json:"key"`
+	Metrics map[string]float64   `json:"metrics,omitempty"`
+	Series  map[string][]float64 `json:"series,omitempty"`
+}
+
+// Worker executes trials sequentially. One worker is private to one
+// runner lane, so implementations may hold mutable state (model
+// replicas, arrays) without locking.
+type Worker interface {
+	RunTrial(t Trial) (Result, error)
+}
+
+// WorkerFunc adapts a function to Worker.
+type WorkerFunc func(Trial) (Result, error)
+
+// RunTrial implements Worker.
+func (f WorkerFunc) RunTrial(t Trial) (Result, error) { return f(t) }
+
+// Campaign decomposes a sweep: a deterministic trial list plus a factory
+// for per-lane workers. Trials must be cheap and pure (no training, no
+// I/O) so `plan` and shard agreement stay free; expensive setup belongs
+// in NewWorker, which is only called when trials actually execute.
+type Campaign interface {
+	// Name identifies the campaign ("fig5a", "yield", ...); checkpoints
+	// record it and refuse to resume or merge across different names.
+	Name() string
+	// Trials enumerates the full campaign deterministically, IDs dense
+	// in [0, n) — sharding and resume select subsets of this list.
+	Trials() ([]Trial, error)
+	// NewWorker builds the private worker for one runner lane. Lane ids
+	// are dense in [0, runner lanes).
+	NewWorker(lane int) (Worker, error)
+}
+
+// MetaProvider is an optional Campaign extension: key/value metadata
+// recorded in checkpoint headers (array size, thresholds, option
+// fingerprints). Resume and merge require metadata to match, catching
+// shards run with different configurations.
+type MetaProvider interface {
+	Meta() map[string]string
+}
+
+// funcCampaign is the Campaign returned by New.
+type funcCampaign struct {
+	name      string
+	trials    []Trial
+	newWorker func(lane int) (Worker, error)
+	meta      map[string]string
+}
+
+// New builds a Campaign from a trial list and a worker factory.
+func New(name string, trials []Trial, newWorker func(lane int) (Worker, error)) Campaign {
+	return &funcCampaign{name: name, trials: trials, newWorker: newWorker}
+}
+
+// NewWithMeta is New with checkpoint-header metadata attached.
+func NewWithMeta(name string, meta map[string]string, trials []Trial,
+	newWorker func(lane int) (Worker, error)) Campaign {
+	return &funcCampaign{name: name, trials: trials, newWorker: newWorker, meta: meta}
+}
+
+// Name implements Campaign.
+func (c *funcCampaign) Name() string { return c.name }
+
+// Trials implements Campaign.
+func (c *funcCampaign) Trials() ([]Trial, error) { return c.trials, nil }
+
+// NewWorker implements Campaign.
+func (c *funcCampaign) NewWorker(lane int) (Worker, error) { return c.newWorker(lane) }
+
+// Meta implements MetaProvider.
+func (c *funcCampaign) Meta() map[string]string { return c.meta }
+
+// checkTrials validates the dense-ID contract Run and Shard rely on.
+func checkTrials(trials []Trial) error {
+	for i, t := range trials {
+		if t.ID != i {
+			return fmt.Errorf("campaign: trial %d has id %d (ids must be dense in enumeration order)", i, t.ID)
+		}
+	}
+	return nil
+}
+
+// sortResults orders results by trial ID in place.
+func sortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].TrialID < rs[j].TrialID })
+}
+
+// Merge combines result sets (e.g. shard partials) into one slice sorted
+// by trial ID. A trial ID appearing in several sets must carry identical
+// results — differing duplicates mean the shards disagree about the
+// campaign and merging would silently corrupt the reduction.
+func Merge(sets ...[]Result) ([]Result, error) {
+	byID := make(map[int]Result)
+	var out []Result
+	for _, set := range sets {
+		for _, r := range set {
+			if prev, ok := byID[r.TrialID]; ok {
+				if !sameResult(prev, r) {
+					return nil, fmt.Errorf("campaign: conflicting results for trial %d", r.TrialID)
+				}
+				continue
+			}
+			byID[r.TrialID] = r
+			out = append(out, r)
+		}
+	}
+	sortResults(out)
+	return out, nil
+}
+
+// sameResult compares results via their canonical JSON encoding.
+func sameResult(a, b Result) bool {
+	ja, errA := json.Marshal(a)
+	jb, errB := json.Marshal(b)
+	return errA == nil && errB == nil && bytes.Equal(ja, jb)
+}
+
+// Missing returns the trial IDs of [0, n) absent from results (which must
+// be sorted by ID, as Run and Merge return them).
+func Missing(results []Result, n int) []int {
+	have := make(map[int]bool, len(results))
+	for _, r := range results {
+		have[r.TrialID] = true
+	}
+	var out []int
+	for i := 0; i < n; i++ {
+		if !have[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Complete reports whether results cover every trial of a campaign with n
+// trials.
+func Complete(results []Result, n int) bool { return len(Missing(results, n)) == 0 }
+
+// GroupMean averages one metric per key. Accumulation runs in ascending
+// trial-ID order, so the reduction is bit-reproducible regardless of
+// worker count, execution order or sharding.
+func GroupMean(results []Result, metric string) map[string]float64 {
+	rs := append([]Result(nil), results...)
+	sortResults(rs)
+	sums := make(map[string]float64)
+	counts := make(map[string]int)
+	for _, r := range rs {
+		v, ok := r.Metrics[metric]
+		if !ok {
+			continue
+		}
+		sums[r.Key] += v
+		counts[r.Key]++
+	}
+	out := make(map[string]float64, len(sums))
+	for k, s := range sums {
+		out[k] = s / float64(counts[k])
+	}
+	return out
+}
+
+// GroupByKey buckets results per key, each bucket sorted by trial ID.
+func GroupByKey(results []Result) map[string][]Result {
+	rs := append([]Result(nil), results...)
+	sortResults(rs)
+	out := make(map[string][]Result)
+	for _, r := range rs {
+		out[r.Key] = append(out[r.Key], r)
+	}
+	return out
+}
+
+// MarshalResults renders results as canonical indented JSON sorted by
+// trial ID: byte-identical across any two runs that produced identical
+// results — the equality the determinism tests assert.
+func MarshalResults(results []Result) ([]byte, error) {
+	rs := append([]Result(nil), results...)
+	sortResults(rs)
+	return json.MarshalIndent(rs, "", "  ")
+}

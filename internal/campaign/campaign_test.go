@@ -1,0 +1,348 @@
+package campaign
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"falvolt/internal/tensor"
+)
+
+// testCampaign is a deterministic synthetic sweep: every trial's result
+// is a pure function of the trial, mimicking the seed-addressed fault
+// evaluations of the real campaigns. runs counts trial executions so
+// resume tests can assert no trial ever runs twice.
+func testCampaign(n int, runs *atomic.Int64) Campaign {
+	trials := make([]Trial, n)
+	for i := range trials {
+		trials[i] = Trial{
+			ID:   i,
+			Key:  fmt.Sprintf("point%02d", i/4), // 4 repeats per key
+			Seed: int64(1000 + i),
+			Tags: map[string]string{"rep": fmt.Sprint(i % 4)},
+		}
+	}
+	return NewWithMeta("synthetic", map[string]string{"n": fmt.Sprint(n)}, trials,
+		func(lane int) (Worker, error) {
+			return WorkerFunc(func(t Trial) (Result, error) {
+				if runs != nil {
+					runs.Add(1)
+				}
+				rng := rand.New(rand.NewSource(t.Seed))
+				return Result{
+					TrialID: t.ID,
+					Key:     t.Key,
+					Metrics: map[string]float64{"acc": rng.Float64(), "loss": rng.Float64()},
+					Series:  map[string][]float64{"curve": {rng.Float64(), rng.Float64()}},
+				}, nil
+			}), nil
+		})
+}
+
+func mustRun(t *testing.T, c Campaign, opt Options) *RunResult {
+	t.Helper()
+	rr, err := Run(c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rr
+}
+
+func marshal(t *testing.T, rs []Result) []byte {
+	t.Helper()
+	b, err := MarshalResults(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestDeterminismAcrossWorkerCounts is the reduction-contract gate: the
+// same campaign run with 1, 2 and 8 workers produces byte-identical
+// result JSON.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	const n = 37
+	var want []byte
+	for _, workers := range []int{1, 2, 8} {
+		c := testCampaign(n, nil)
+		rr := mustRun(t, c, Options{Runner: PoolRunner{Engine: tensor.NewParallel(workers)}})
+		if !rr.Complete || rr.Executed != n {
+			t.Fatalf("workers=%d: executed %d/%d, complete=%v", workers, rr.Executed, n, rr.Complete)
+		}
+		got := marshal(t, rr.Results)
+		if want == nil {
+			want = got
+		} else if !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: result JSON differs from 1-worker run", workers)
+		}
+	}
+	// Serial backend too (different Map implementation).
+	rr := mustRun(t, testCampaign(n, nil), Options{Runner: PoolRunner{Engine: tensor.Serial()}})
+	if got := marshal(t, rr.Results); !bytes.Equal(got, want) {
+		t.Fatal("serial-backend run differs from parallel runs")
+	}
+}
+
+// TestDeterminismAcrossShards: shard 0/2 + shard 1/2 merged from their
+// checkpoint files is byte-identical to the single-process run.
+func TestDeterminismAcrossShards(t *testing.T) {
+	const n = 37
+	dir := t.TempDir()
+
+	whole := mustRun(t, testCampaign(n, nil), Options{})
+	want := marshal(t, whole.Results)
+
+	var paths []string
+	for i := 0; i < 2; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("shard%d.jsonl", i))
+		sh := Shard{Index: i, Count: 2}
+		rr := mustRun(t, testCampaign(n, nil), Options{
+			Shard:      sh,
+			Checkpoint: path,
+			Runner:     PoolRunner{Engine: tensor.NewParallel(4)},
+		})
+		if !rr.Complete {
+			t.Fatalf("shard %d incomplete", i)
+		}
+		if rr.Planned >= n || rr.Planned == 0 {
+			t.Fatalf("shard %d planned %d of %d trials", i, rr.Planned, n)
+		}
+		paths = append(paths, path)
+	}
+	h, merged, err := MergeFiles(paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Campaign != "synthetic" || h.Trials != n || h.Shard != "" {
+		t.Errorf("merged header = %+v", h)
+	}
+	if !Complete(merged, n) {
+		t.Fatalf("merged results incomplete: missing %v", Missing(merged, n))
+	}
+	if got := marshal(t, merged); !bytes.Equal(got, want) {
+		t.Fatal("merged shard results differ from single-process run")
+	}
+}
+
+// TestCheckpointResume simulates a mid-run kill via the MaxNew cutoff:
+// the resumed run must skip every completed trial (no re-runs) and the
+// final merge must equal an uninterrupted run.
+func TestCheckpointResume(t *testing.T) {
+	const n, cut = 24, 7
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+
+	var runs atomic.Int64
+	rr := mustRun(t, testCampaign(n, &runs), Options{Checkpoint: path, MaxNew: cut})
+	if rr.Complete {
+		t.Fatal("cutoff run should be incomplete")
+	}
+	if rr.Executed != cut || runs.Load() != cut {
+		t.Fatalf("cutoff run executed %d (worker saw %d), want %d", rr.Executed, runs.Load(), cut)
+	}
+
+	rr2 := mustRun(t, testCampaign(n, &runs), Options{Checkpoint: path})
+	if !rr2.Complete {
+		t.Fatal("resumed run should complete")
+	}
+	if rr2.Resumed != cut || rr2.Executed != n-cut {
+		t.Fatalf("resumed %d / executed %d, want %d / %d", rr2.Resumed, rr2.Executed, cut, n-cut)
+	}
+	if runs.Load() != n {
+		t.Fatalf("worker ran %d trials across both sittings, want exactly %d (no re-runs)", runs.Load(), n)
+	}
+
+	uninterrupted := mustRun(t, testCampaign(n, nil), Options{})
+	if !bytes.Equal(marshal(t, rr2.Results), marshal(t, uninterrupted.Results)) {
+		t.Fatal("resumed results differ from uninterrupted run")
+	}
+
+	// A third run over the complete checkpoint executes nothing.
+	rr3 := mustRun(t, testCampaign(n, &runs), Options{Checkpoint: path})
+	if rr3.Executed != 0 || !rr3.Complete || runs.Load() != n {
+		t.Fatalf("no-op resume executed %d trials", rr3.Executed)
+	}
+}
+
+// TestCheckpointTornFinalLine: a truncated last line (killed mid-write)
+// is dropped and the campaign resumes from the surviving results.
+func TestCheckpointTornFinalLine(t *testing.T) {
+	const n = 10
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	mustRun(t, testCampaign(n, nil), Options{Checkpoint: path, MaxNew: 5})
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(bytes.TrimRight(data, "\n"), []byte("\n{\"result\":{\"trial\":9,\"key\":\"poi")...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h, rs, err := ReadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Campaign != "synthetic" || len(rs) != 5 {
+		t.Fatalf("recovered %d results from torn checkpoint, want 5", len(rs))
+	}
+	rr := mustRun(t, testCampaign(n, nil), Options{Checkpoint: path})
+	if !rr.Complete || rr.Resumed != 5 {
+		t.Fatalf("resume after torn write: resumed %d complete %v", rr.Resumed, rr.Complete)
+	}
+	// The resumed file must be fully readable again: appending must have
+	// truncated the torn tail instead of fusing the next record onto it.
+	_, rs2, err := ReadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("re-read after torn-write resume: %v", err)
+	}
+	if !Complete(rs2, n) {
+		t.Fatalf("post-resume checkpoint incomplete: missing %v", Missing(rs2, n))
+	}
+	if !bytes.Equal(marshal(t, rs2), marshal(t, mustRun(t, testCampaign(n, nil), Options{}).Results)) {
+		t.Fatal("post-resume checkpoint differs from uninterrupted run")
+	}
+}
+
+// TestCheckpointMismatchRejected: resuming or merging with a checkpoint
+// from a different campaign, configuration or shard fails loudly.
+func TestCheckpointMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.jsonl")
+	mustRun(t, testCampaign(10, nil), Options{Checkpoint: path})
+
+	if _, err := Run(testCampaign(12, nil), Options{Checkpoint: path}); err == nil {
+		t.Error("trial-count mismatch should refuse to resume")
+	}
+	if _, err := Run(testCampaign(10, nil), Options{Checkpoint: path, Shard: Shard{Index: 0, Count: 2}}); err == nil {
+		t.Error("shard mismatch should refuse to resume")
+	}
+	other := filepath.Join(dir, "other.jsonl")
+	mustRun(t, testCampaign(12, nil), Options{Checkpoint: other})
+	if _, _, err := MergeFiles(path, other); err == nil {
+		t.Error("merging different campaigns should fail")
+	}
+}
+
+func TestMergeRejectsConflicts(t *testing.T) {
+	a := []Result{{TrialID: 0, Key: "k", Metrics: map[string]float64{"acc": 0.5}}}
+	b := []Result{{TrialID: 0, Key: "k", Metrics: map[string]float64{"acc": 0.6}}}
+	if _, err := Merge(a, b); err == nil {
+		t.Error("conflicting duplicate results should fail to merge")
+	}
+	// Identical duplicates are fine (shard overlap from re-runs).
+	merged, err := Merge(a, a)
+	if err != nil || len(merged) != 1 {
+		t.Errorf("identical duplicates: merged=%v err=%v", merged, err)
+	}
+}
+
+func TestShardPartition(t *testing.T) {
+	trials := make([]Trial, 11)
+	for i := range trials {
+		trials[i] = Trial{ID: i}
+	}
+	seen := make(map[int]int)
+	for i := 0; i < 3; i++ {
+		for _, tr := range (Shard{Index: i, Count: 3}).Of(trials) {
+			seen[tr.ID]++
+		}
+	}
+	if len(seen) != 11 {
+		t.Fatalf("shards cover %d of 11 trials", len(seen))
+	}
+	for id, c := range seen {
+		if c != 1 {
+			t.Errorf("trial %d in %d shards", id, c)
+		}
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Shard
+		ok   bool
+	}{
+		{"", Shard{}, true},
+		{"0/1", Shard{0, 1}, true},
+		{"1/2", Shard{1, 2}, true},
+		{"2/2", Shard{}, false},
+		{"-1/2", Shard{}, false},
+		{"1", Shard{}, false},
+		{"a/b", Shard{}, false},
+	} {
+		got, err := ParseShard(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseShard(%q) = %v, %v; want %v ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+	if (Shard{}).String() != "0/1" || (Shard{1, 4}).String() != "1/4" {
+		t.Error("Shard.String format")
+	}
+}
+
+func TestGroupMeanOrderIndependent(t *testing.T) {
+	rs := []Result{
+		{TrialID: 2, Key: "a", Metrics: map[string]float64{"acc": 0.3}},
+		{TrialID: 0, Key: "a", Metrics: map[string]float64{"acc": 0.1}},
+		{TrialID: 1, Key: "a", Metrics: map[string]float64{"acc": 0.7}},
+		{TrialID: 3, Key: "b", Metrics: map[string]float64{"acc": 1.0}},
+	}
+	shuffled := []Result{rs[3], rs[2], rs[0], rs[1]}
+	m1 := GroupMean(rs, "acc")
+	m2 := GroupMean(shuffled, "acc")
+	if m1["a"] != m2["a"] || m1["b"] != m2["b"] {
+		t.Fatal("GroupMean depends on input order")
+	}
+	want := (0.1 + 0.7 + 0.3) / 3 // ascending trial-ID accumulation order
+	if m1["a"] != want {
+		t.Errorf("mean = %v, want %v", m1["a"], want)
+	}
+	if m1["b"] != 1.0 {
+		t.Errorf("singleton mean = %v", m1["b"])
+	}
+}
+
+func TestRunRejectsNonDenseIDs(t *testing.T) {
+	trials := []Trial{{ID: 0}, {ID: 2}}
+	c := New("bad", trials, func(int) (Worker, error) {
+		return WorkerFunc(func(t Trial) (Result, error) { return Result{TrialID: t.ID}, nil }), nil
+	})
+	if _, err := Run(c, Options{}); err == nil {
+		t.Error("non-dense trial IDs should be rejected")
+	}
+}
+
+func TestWorkerErrorPropagates(t *testing.T) {
+	trials := make([]Trial, 8)
+	for i := range trials {
+		trials[i] = Trial{ID: i}
+	}
+	c := New("failing", trials, func(int) (Worker, error) {
+		return WorkerFunc(func(t Trial) (Result, error) {
+			if t.ID == 3 {
+				return Result{}, fmt.Errorf("boom")
+			}
+			return Result{TrialID: t.ID}, nil
+		}), nil
+	})
+	if _, err := Run(c, Options{Runner: PoolRunner{Engine: tensor.NewParallel(4)}}); err == nil {
+		t.Error("worker error should propagate out of Run")
+	}
+}
+
+func TestGroupByKeyOrdersByID(t *testing.T) {
+	rs := []Result{
+		{TrialID: 5, Key: "k"},
+		{TrialID: 1, Key: "k"},
+		{TrialID: 3, Key: "k"},
+	}
+	g := GroupByKey(rs)["k"]
+	if len(g) != 3 || g[0].TrialID != 1 || g[1].TrialID != 3 || g[2].TrialID != 5 {
+		t.Fatalf("GroupByKey order: %v", g)
+	}
+}

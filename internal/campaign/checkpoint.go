@@ -1,0 +1,232 @@
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+)
+
+// Checkpoint files are JSONL: the first line is a header record
+// identifying the campaign (name, trial count, shard, metadata), every
+// following line is one completed trial's result. Appends are flushed
+// per record, so a killed campaign loses at most the line being written;
+// readers tolerate a truncated final line.
+
+// checkpointVersion is bumped on incompatible schema changes; readers
+// refuse newer files instead of misparsing them.
+const checkpointVersion = 1
+
+// Header identifies the campaign a checkpoint (or shard partial) belongs
+// to. Resume and merge require Campaign, Trials and Meta to agree, so
+// results from a differently configured run can never be mixed in.
+type Header struct {
+	Version  int               `json:"version"`
+	Campaign string            `json:"campaign"`
+	Trials   int               `json:"trials"`
+	Shard    string            `json:"shard,omitempty"`
+	Meta     map[string]string `json:"meta,omitempty"`
+}
+
+// compatible reports whether two headers describe the same campaign
+// (shard may differ — that is the point of merging).
+func (h Header) compatible(other Header) bool {
+	return h.Version == other.Version &&
+		h.Campaign == other.Campaign &&
+		h.Trials == other.Trials &&
+		(len(h.Meta) == 0 && len(other.Meta) == 0 || reflect.DeepEqual(h.Meta, other.Meta))
+}
+
+// record is one checkpoint line: exactly one field set.
+type record struct {
+	Header *Header `json:"header,omitempty"`
+	Result *Result `json:"result,omitempty"`
+}
+
+// Checkpoint appends results to a JSONL file as they complete.
+type Checkpoint struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+// CreateCheckpoint creates (truncating) a checkpoint file and writes its
+// header line.
+func CreateCheckpoint(path string, h Header) (*Checkpoint, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: create checkpoint: %w", err)
+	}
+	c := &Checkpoint{f: f, w: bufio.NewWriter(f)}
+	if err := c.append(record{Header: &h}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// OpenCheckpointAppend reopens an existing checkpoint for appending
+// (resume path; the header is already on disk). A torn final line left
+// by a killed run is truncated away first — ReadCheckpoint ignores such
+// a tail, but appending after it would fuse it with the next record and
+// corrupt the file for every later reader.
+func OpenCheckpointAppend(path string) (*Checkpoint, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: open checkpoint: %w", err)
+	}
+	fail := func(err error) (*Checkpoint, error) {
+		f.Close()
+		return nil, fmt.Errorf("campaign: open checkpoint: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return fail(err)
+	}
+	if st.Size() > 0 {
+		last := make([]byte, 1)
+		if _, err := f.ReadAt(last, st.Size()-1); err != nil {
+			return fail(err)
+		}
+		if last[0] != '\n' {
+			data := make([]byte, st.Size())
+			if _, err := f.ReadAt(data, 0); err != nil {
+				return fail(err)
+			}
+			if err := f.Truncate(int64(bytes.LastIndexByte(data, '\n') + 1)); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		return fail(err)
+	}
+	return &Checkpoint{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Append writes one result line and flushes it to the OS, so results
+// survive the process being killed.
+func (c *Checkpoint) Append(r Result) error {
+	return c.append(record{Result: &r})
+}
+
+func (c *Checkpoint) append(rec record) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("campaign: marshal checkpoint record: %w", err)
+	}
+	if _, err := c.w.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("campaign: write checkpoint: %w", err)
+	}
+	return c.w.Flush()
+}
+
+// Close flushes and closes the file.
+func (c *Checkpoint) Close() error {
+	if err := c.w.Flush(); err != nil {
+		c.f.Close()
+		return err
+	}
+	return c.f.Close()
+}
+
+// ReadCheckpoint loads a checkpoint file: header plus every completed
+// result, sorted by trial ID. A truncated final line (the record being
+// written when a run was killed) is dropped; corruption anywhere else is
+// an error.
+func ReadCheckpoint(path string) (Header, []Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Header{}, nil, fmt.Errorf("campaign: read checkpoint: %w", err)
+	}
+	var (
+		header    Header
+		gotHeader bool
+		results   []Result
+	)
+	lines := splitLines(data)
+	for i, line := range lines {
+		if len(line) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			if i == len(lines)-1 {
+				break // torn final write from a killed run
+			}
+			return Header{}, nil, fmt.Errorf("campaign: checkpoint %s line %d: %w", path, i+1, err)
+		}
+		switch {
+		case rec.Header != nil:
+			if gotHeader {
+				return Header{}, nil, fmt.Errorf("campaign: checkpoint %s has multiple headers", path)
+			}
+			if rec.Header.Version > checkpointVersion {
+				return Header{}, nil, fmt.Errorf("campaign: checkpoint %s version %d newer than supported %d",
+					path, rec.Header.Version, checkpointVersion)
+			}
+			header = *rec.Header
+			gotHeader = true
+		case rec.Result != nil:
+			if !gotHeader {
+				return Header{}, nil, fmt.Errorf("campaign: checkpoint %s: result before header", path)
+			}
+			results = append(results, *rec.Result)
+		}
+	}
+	if !gotHeader {
+		return Header{}, nil, fmt.Errorf("campaign: checkpoint %s has no header", path)
+	}
+	sortResults(results)
+	return header, results, nil
+}
+
+// splitLines splits on '\n' without dropping a trailing unterminated
+// line (needed to detect torn writes).
+func splitLines(data []byte) [][]byte {
+	var out [][]byte
+	start := 0
+	for i, b := range data {
+		if b == '\n' {
+			out = append(out, data[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(data) {
+		out = append(out, data[start:])
+	}
+	return out
+}
+
+// MergeFiles reads several checkpoint files (typically one per shard),
+// verifies they describe the same campaign, and merges their results.
+// The returned header is the first file's with the shard cleared.
+func MergeFiles(paths ...string) (Header, []Result, error) {
+	if len(paths) == 0 {
+		return Header{}, nil, fmt.Errorf("campaign: no checkpoint files to merge")
+	}
+	var (
+		header Header
+		sets   [][]Result
+	)
+	for i, p := range paths {
+		h, rs, err := ReadCheckpoint(p)
+		if err != nil {
+			return Header{}, nil, err
+		}
+		if i == 0 {
+			header = h
+		} else if !header.compatible(h) {
+			return Header{}, nil, fmt.Errorf("campaign: %s is from a different campaign or configuration than %s", p, paths[0])
+		}
+		sets = append(sets, rs)
+	}
+	merged, err := Merge(sets...)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	header.Shard = ""
+	return header, merged, nil
+}

@@ -1,0 +1,55 @@
+package campaign
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"falvolt/internal/tensor"
+)
+
+// Golden-file test for the checkpoint JSONL schema: downstream parsers
+// (shard mergers, external analysis) depend on this byte format, so
+// schema drift must break CI instead of them. Regenerate with
+//
+//	go test ./internal/campaign/ -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestCheckpointGolden(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	// Serial runner: completion order equals trial order, so the file
+	// bytes are fully deterministic.
+	rr, err := Run(testCampaign(8, nil), Options{
+		Checkpoint: path,
+		Runner:     PoolRunner{Engine: tensor.Serial()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Complete {
+		t.Fatal("campaign incomplete")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "checkpoint.golden.jsonl")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("checkpoint JSONL drifted from golden schema:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

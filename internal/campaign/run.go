@@ -1,0 +1,156 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Options configures one Run invocation.
+type Options struct {
+	// Runner executes the trials (nil selects PoolRunner on the
+	// process-default engine).
+	Runner Runner
+	// Shard restricts this run to the Index-th of Count interleaved
+	// trial subsets; partial results from all shards merge via
+	// Merge/MergeFiles. Zero value runs the whole campaign.
+	Shard Shard
+	// Checkpoint is a JSONL path results are appended to as they
+	// complete ("" disables). If the file already exists, trial IDs it
+	// holds are skipped — an interrupted campaign resumes where it
+	// stopped. The existing header must match this run's campaign,
+	// trial count, shard and metadata.
+	Checkpoint string
+	// MaxNew caps how many new trials this invocation executes (0 = no
+	// cap). With a checkpoint this turns one campaign into several
+	// bounded sittings — and gives tests a deterministic "kill" point.
+	MaxNew int
+	// Log receives progress lines (nil silences).
+	Log io.Writer
+}
+
+// RunResult is the outcome of one Run invocation.
+type RunResult struct {
+	// Header describes the campaign (as written to the checkpoint).
+	Header Header
+	// Results are every completed trial of this shard — resumed and
+	// newly executed — sorted by trial ID.
+	Results []Result
+	// Planned, Resumed and Executed count this shard's trials, those
+	// skipped via the checkpoint, and those newly run.
+	Planned, Resumed, Executed int
+	// Complete reports whether every planned trial now has a result
+	// (false after a MaxNew cutoff).
+	Complete bool
+}
+
+// Run executes a campaign (or one shard of it) with checkpointed
+// resume: enumerate trials, subtract those already in the checkpoint,
+// execute the remainder on the runner, and return all completed results
+// sorted by trial ID.
+func Run(c Campaign, opt Options) (*RunResult, error) {
+	if err := opt.Shard.Validate(); err != nil {
+		return nil, err
+	}
+	trials, err := c.Trials()
+	if err != nil {
+		return nil, fmt.Errorf("campaign %s: enumerate: %w", c.Name(), err)
+	}
+	if err := checkTrials(trials); err != nil {
+		return nil, err
+	}
+	header := Header{
+		Version:  checkpointVersion,
+		Campaign: c.Name(),
+		Trials:   len(trials),
+		Shard:    opt.Shard.String(),
+	}
+	if mp, ok := c.(MetaProvider); ok {
+		header.Meta = mp.Meta()
+	}
+	mine := opt.Shard.Of(trials)
+
+	// Resume: load completed trial IDs from an existing checkpoint.
+	var resumed []Result
+	resuming := false
+	if opt.Checkpoint != "" {
+		if _, err := os.Stat(opt.Checkpoint); err == nil {
+			prev, rs, err := ReadCheckpoint(opt.Checkpoint)
+			if err != nil {
+				return nil, err
+			}
+			if !prev.compatible(header) || prev.Shard != header.Shard {
+				return nil, fmt.Errorf("campaign %s: checkpoint %s is from a different campaign, configuration or shard",
+					c.Name(), opt.Checkpoint)
+			}
+			resumed = rs
+			resuming = true
+		}
+	}
+	done := make(map[int]bool, len(resumed))
+	for _, r := range resumed {
+		done[r.TrialID] = true
+	}
+	var pending []Trial
+	for _, t := range mine {
+		if !done[t.ID] {
+			pending = append(pending, t)
+		}
+	}
+	if opt.MaxNew > 0 && len(pending) > opt.MaxNew {
+		pending = pending[:opt.MaxNew]
+	}
+	if opt.Log != nil {
+		fmt.Fprintf(opt.Log, "campaign %s: shard %s: %d trials, %d resumed, %d to run\n",
+			c.Name(), header.Shard, len(mine), len(done), len(pending))
+	}
+
+	var ckpt *Checkpoint
+	if opt.Checkpoint != "" {
+		if resuming {
+			ckpt, err = OpenCheckpointAppend(opt.Checkpoint)
+		} else {
+			ckpt, err = CreateCheckpoint(opt.Checkpoint, header)
+		}
+		if err != nil {
+			return nil, err
+		}
+		defer ckpt.Close()
+	}
+
+	runner := opt.Runner
+	if runner == nil {
+		runner = PoolRunner{}
+	}
+	var fresh []Result
+	sink := func(r Result) error {
+		fresh = append(fresh, r)
+		if ckpt != nil {
+			return ckpt.Append(r)
+		}
+		return nil
+	}
+	if len(pending) > 0 {
+		if err := runner.Run(c, pending, sink); err != nil {
+			return nil, err
+		}
+	}
+
+	all, err := Merge(resumed, fresh)
+	if err != nil {
+		return nil, err
+	}
+	rr := &RunResult{
+		Header:   header,
+		Results:  all,
+		Planned:  len(mine),
+		Resumed:  len(resumed),
+		Executed: len(fresh),
+		Complete: len(all) == len(mine),
+	}
+	if opt.Log != nil {
+		fmt.Fprintf(opt.Log, "campaign %s: shard %s: %d/%d complete\n",
+			c.Name(), header.Shard, len(all), len(mine))
+	}
+	return rr, nil
+}

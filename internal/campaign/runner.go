@@ -1,0 +1,82 @@
+package campaign
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"falvolt/internal/tensor"
+)
+
+// Runner executes a set of trials against a campaign, delivering each
+// result to sink exactly once. Runners must serialize sink calls (sink
+// implementations append to memory and checkpoint files). The in-process
+// PoolRunner is the only implementation today; the interface is the seam
+// where a multi-process or cross-machine runner plugs in, with Shard as
+// the unit of distribution.
+type Runner interface {
+	Run(c Campaign, trials []Trial, sink func(Result) error) error
+}
+
+// PoolRunner executes trials on an in-process worker pool: the lanes of
+// a tensor.Backend's Map. Each lane gets a private Worker (built lazily,
+// so unused lanes never pay for model construction) and trials are
+// distributed dynamically across lanes for load balance.
+type PoolRunner struct {
+	// Engine supplies the lanes (nil selects tensor.Default()). Use
+	// tensor.Serial() to force sequential execution — e.g. when the
+	// campaign's workers cannot be replicated.
+	Engine tensor.Backend
+}
+
+// Run implements Runner.
+func (r PoolRunner) Run(c Campaign, trials []Trial, sink func(Result) error) error {
+	if len(trials) == 0 {
+		return nil
+	}
+	eng := r.Engine
+	if eng == nil {
+		eng = tensor.Default()
+	}
+	workers := make([]Worker, eng.Workers())
+	var (
+		mu     sync.Mutex
+		errs   = make([]error, len(trials))
+		failed atomic.Bool
+	)
+	eng.Map(len(trials), func(lane, i int) {
+		if failed.Load() {
+			return // an earlier trial failed; drain the queue cheaply
+		}
+		// Lanes are slot-sequential, so workers[lane] is only touched by
+		// one goroutine at a time.
+		if workers[lane] == nil {
+			w, err := c.NewWorker(lane)
+			if err != nil {
+				errs[i] = fmt.Errorf("campaign: worker for lane %d: %w", lane, err)
+				failed.Store(true)
+				return
+			}
+			workers[lane] = w
+		}
+		res, err := workers[lane].RunTrial(trials[i])
+		if err != nil {
+			errs[i] = fmt.Errorf("campaign: trial %d (%s): %w", trials[i].ID, trials[i].Key, err)
+			failed.Store(true)
+			return
+		}
+		mu.Lock()
+		err = sink(res)
+		mu.Unlock()
+		if err != nil {
+			errs[i] = err
+			failed.Store(true)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -53,29 +53,23 @@ func (s *Suite) AblationSurrogateWidth() (*Figure, error) {
 		Notes: []string{"same data, init and epochs; width 1 is the paper's exact eq. (2)"},
 	}
 	widths := []float64{1.0, 1.5, 2.0, 3.0}
-	accs := make([]float64, len(widths))
-	errs := make([]error, len(widths))
-	parallelMap(len(widths), func(_, i int) {
+	accs, err := runLocal("ablation-surrogate-width", len(widths), func(i int) (float64, error) {
 		spec := s.ablationSpec()
 		spec.Neuron.Width = widths[i]
 		model, err := snn.Build(spec, rand.New(rand.NewSource(s.Opt.Seed+60)))
 		if err != nil {
-			errs[i] = err
-			return
+			return 0, err
 		}
 		acc, err := core.TrainBaseline(model, ds.Train, ds.Test, sc.epochs, 0.02,
 			rand.New(rand.NewSource(s.Opt.Seed+61)), true)
 		if err != nil {
-			errs[i] = err
-			return
+			return 0, err
 		}
-		accs[i] = acc
 		s.logf("ablation width %.1f: %.3f\n", widths[i], acc)
+		return acc, nil
 	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err != nil {
+		return nil, err
 	}
 	fig.Series = append(fig.Series, Series{Label: "accuracy", X: widths, Y: accs})
 	return fig, nil
@@ -98,17 +92,13 @@ func (s *Suite) AblationVthGradientForm() (*Figure, error) {
 		XTicks: []string{"exact-autodiff", "paper-eq4"},
 	}
 	forms := []bool{false, true}
-	accs := make([]float64, len(forms))
-	errs := make([]error, len(forms))
-	parallelMap(len(forms), func(_, i int) {
+	accs, err := runLocal("ablation-vth-grad", len(forms), func(i int) (float64, error) {
 		model, err := bl.BuildModel()
 		if err != nil {
-			errs[i] = err
-			return
+			return 0, err
 		}
 		if err := model.Net.LoadState(bl.State); err != nil {
-			errs[i] = err
-			return
+			return 0, err
 		}
 		for _, node := range model.Net.SpikingLayers() {
 			cfg := node.Config()
@@ -121,16 +111,13 @@ func (s *Suite) AblationVthGradientForm() (*Figure, error) {
 			Rng: rand.New(rand.NewSource(s.Opt.Seed + 70)), Silent: true,
 		})
 		if err != nil {
-			errs[i] = err
-			return
+			return 0, err
 		}
-		accs[i] = rep.Accuracy
 		s.logf("ablation vth-grad paperForm=%v: %.3f\n", forms[i], rep.Accuracy)
+		return rep.Accuracy, nil
 	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err != nil {
+		return nil, err
 	}
 	fig.Series = append(fig.Series, Series{Label: "accuracy", X: []float64{0, 1}, Y: accs})
 	return fig, nil
@@ -193,33 +180,27 @@ func (s *Suite) AblationQFormat() (*Figure, error) {
 		XTicks: []string{"Q24.8", "Q16.16", "Q8.24"},
 	}
 	formats := []fixed.Format{fixed.Q24x8, fixed.Q16x16, fixed.Q8x24}
-	accs := make([]float64, len(formats))
-	errs := make([]error, len(formats))
-	parallelMap(len(formats), func(_, i int) {
+	accs, err := runLocal("ablation-qformat", len(formats), func(i int) (float64, error) {
 		model, err := bl.BuildModel()
 		if err != nil {
-			errs[i] = err
-			return
+			return 0, err
 		}
 		if err := model.Net.LoadState(bl.State); err != nil {
-			errs[i] = err
-			return
+			return 0, err
 		}
 		arr, err := systolic.New(systolic.Config{
 			Rows: s.Opt.ArrayRows, Cols: s.Opt.ArrayCols, Format: formats[i], Saturate: true,
 		})
 		if err != nil {
-			errs[i] = err
-			return
+			return 0, err
 		}
 		model.Net.Deploy(arr)
-		accs[i] = snn.Evaluate(model.Net, bl.TestSlice(s.Opt.EvalSamples), 32)
-		s.logf("ablation qformat %v: %.3f\n", formats[i], accs[i])
+		acc := snn.Evaluate(model.Net, bl.TestSlice(s.Opt.EvalSamples), 32)
+		s.logf("ablation qformat %v: %.3f\n", formats[i], acc)
+		return acc, nil
 	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err != nil {
+		return nil, err
 	}
 	fig.Series = append(fig.Series, Series{Label: "accuracy", X: []float64{0, 1, 2}, Y: accs})
 	return fig, nil
@@ -241,29 +222,23 @@ func (s *Suite) AblationLIFvsPLIF() (*Figure, error) {
 		XTicks: []string{"LIF", "PLIF"},
 	}
 	variants := []bool{false, true}
-	accs := make([]float64, len(variants))
-	errs := make([]error, len(variants))
-	parallelMap(len(variants), func(_, i int) {
+	accs, err := runLocal("ablation-lif-plif", len(variants), func(i int) (float64, error) {
 		spec := s.ablationSpec()
 		spec.Neuron.LearnTau = variants[i]
 		model, err := snn.Build(spec, rand.New(rand.NewSource(s.Opt.Seed+62)))
 		if err != nil {
-			errs[i] = err
-			return
+			return 0, err
 		}
 		acc, err := core.TrainBaseline(model, ds.Train, ds.Test, sc.epochs, 0.02,
 			rand.New(rand.NewSource(s.Opt.Seed+63)), true)
 		if err != nil {
-			errs[i] = err
-			return
+			return 0, err
 		}
-		accs[i] = acc
 		s.logf("ablation learnTau=%v: %.3f\n", variants[i], acc)
+		return acc, nil
 	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err != nil {
+		return nil, err
 	}
 	fig.Series = append(fig.Series, Series{Label: "accuracy", X: []float64{0, 1}, Y: accs})
 	return fig, nil

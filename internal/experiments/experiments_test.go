@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"sync/atomic"
 	"testing"
 
+	"falvolt/internal/campaign"
 	"falvolt/internal/core"
 )
 
@@ -149,24 +151,142 @@ func TestFigurePrintRaggedSeries(t *testing.T) {
 	}
 }
 
-func TestParallelMapCoversAllIndices(t *testing.T) {
+func TestRunLocalCoversAllIndices(t *testing.T) {
 	var hits [57]int32
-	parallelMap(len(hits), func(worker, i int) {
+	vals, err := runLocal("cover", len(hits), func(i int) (float64, error) {
 		atomic.AddInt32(&hits[i], 1)
+		return float64(i) * 2, nil
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, h := range hits {
 		if h != 1 {
 			t.Fatalf("index %d executed %d times", i, h)
 		}
+		if vals[i] != float64(i)*2 {
+			t.Fatalf("value %d = %v", i, vals[i])
+		}
 	}
 	// n smaller than worker count.
 	var single int32
-	parallelMap(1, func(worker, i int) { atomic.AddInt32(&single, 1) })
+	if _, err := runLocal("single", 1, func(i int) (float64, error) {
+		atomic.AddInt32(&single, 1)
+		return 0, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
 	if single != 1 {
 		t.Errorf("single job executed %d times", single)
 	}
 	// n == 0 is a no-op.
-	parallelMap(0, func(worker, i int) { t.Error("should not run") })
+	if _, err := runLocal("empty", 0, func(i int) (float64, error) {
+		t.Error("should not run")
+		return 0, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Errors propagate.
+	if _, err := runLocal("failing", 3, func(i int) (float64, error) {
+		if i == 1 {
+			return 0, errBoom
+		}
+		return 0, nil
+	}); err == nil {
+		t.Error("runLocal should surface trial errors")
+	}
+}
+
+var errBoom = fmt.Errorf("boom")
+
+// TestCampaignTrialEnumeration checks the sharding preconditions of
+// every suite campaign without training anything: enumeration is pure
+// (identical across calls), IDs are dense, and seeds/keys are stable.
+func TestCampaignTrialEnumeration(t *testing.T) {
+	s := NewSuite(QuickOptions())
+	for _, name := range CampaignNames() {
+		c, err := s.Campaign(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Name() != name {
+			t.Errorf("campaign %q reports name %q", name, c.Name())
+		}
+		a, err := c.Trials()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := c.Trials()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) == 0 || len(a) != len(b) {
+			t.Fatalf("%s: %d/%d trials", name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].ID != i {
+				t.Fatalf("%s: trial %d has id %d", name, i, a[i].ID)
+			}
+			if a[i].Key != b[i].Key || a[i].Seed != b[i].Seed {
+				t.Fatalf("%s: enumeration not pure at trial %d", name, i)
+			}
+			if a[i].Key == "" {
+				t.Fatalf("%s: trial %d has empty key", name, i)
+			}
+		}
+	}
+	if _, err := s.Campaign("nope"); err == nil {
+		t.Error("unknown campaign should error")
+	}
+}
+
+// TestFig5aTrialSeedsMatchLegacyFormula pins the seed addressing of the
+// fig5a sweep: seeds must stay Seed + j*1000 + i*10 + rep so results
+// remain comparable with pre-campaign runs.
+func TestFig5aTrialSeedsMatchLegacyFormula(t *testing.T) {
+	s := NewSuite(QuickOptions())
+	trials := s.fig5aTrials()
+	wantLen := 6 * len(Fig5aBits) * s.Opt.Repeats
+	if len(trials) != wantLen {
+		t.Fatalf("fig5a enumerates %d trials, want %d", len(trials), wantLen)
+	}
+	id := 0
+	for j := 0; j < 6; j++ {
+		for i := range Fig5aBits {
+			for rep := 0; rep < s.Opt.Repeats; rep++ {
+				want := s.Opt.Seed + int64(j*1000+i*10+rep)
+				if trials[id].Seed != want {
+					t.Fatalf("trial %d seed %d, want %d", id, trials[id].Seed, want)
+				}
+				id++
+			}
+		}
+	}
+}
+
+// TestCampaignShardsPartitionTrials: interleaved shards cover every
+// trial exactly once for each suite campaign.
+func TestCampaignShardsPartitionTrials(t *testing.T) {
+	s := NewSuite(QuickOptions())
+	for _, name := range CampaignNames() {
+		c, err := s.Campaign(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trials, err := c.Trials()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[int]int{}
+		for i := 0; i < 3; i++ {
+			for _, tr := range (campaign.Shard{Index: i, Count: 3}).Of(trials) {
+				seen[tr.ID]++
+			}
+		}
+		if len(seen) != len(trials) {
+			t.Fatalf("%s: shards cover %d of %d trials", name, len(seen), len(trials))
+		}
+	}
 }
 
 func TestEpochsToReachTarget(t *testing.T) {

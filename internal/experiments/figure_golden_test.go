@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Golden-file test for Figure serialization: cmd/campaign merge emits
+// figures as JSON, so schema drift must break CI instead of downstream
+// parsers. Regenerate with
+//
+//	go test ./internal/experiments/ -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestFigureJSONGolden(t *testing.T) {
+	fig := &Figure{
+		ID: "Fig5b", Title: "Accuracy vs number of faulty PEs",
+		XLabel: "faultyPEs", YLabel: "accuracy",
+		XTicks: []string{"none", "few", "many"},
+		Notes:  []string{"MSB stuck-at-1 faults, 3 maps/point"},
+		Series: []Series{
+			{Label: "MNIST", X: []float64{0, 4, 8}, Y: []float64{0.975, 0.8125, 0.5}},
+			{Label: "DVSGesture", X: []float64{0, 4, 8}, Y: []float64{0.9375, 0.75, 0.25}},
+		},
+	}
+	got, err := json.MarshalIndent(fig, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "figure.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("Figure JSON drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestFigureJSONRoundTrip: the serialized form reloads to an identical
+// figure (the merge tools round-trip figures through JSON).
+func TestFigureJSONRoundTrip(t *testing.T) {
+	fig := &Figure{
+		ID: "FigX", XLabel: "x", YLabel: "y",
+		Series: []Series{{Label: "s", X: []float64{1, 2}, Y: []float64{0.5, 0.25}}},
+	}
+	b, err := json.Marshal(fig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Figure
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Errorf("figure does not round-trip: %s vs %s", b, b2)
+	}
+}

@@ -1,9 +1,9 @@
 package experiments
 
 import (
-	"fmt"
 	"math/rand"
 
+	"falvolt/internal/campaign"
 	"falvolt/internal/core"
 	"falvolt/internal/faults"
 )
@@ -50,78 +50,11 @@ func (s *Suite) mitigateJob(bl *Baseline, fm *faults.Map, cfg core.Config) (*cor
 // Fig2 reproduces the motivational case study: retraining with a fixed
 // global threshold voltage at several candidate values, with 30% and 60%
 // of PEs faulty, on MNIST and DVS Gesture. The spread across thresholds
-// motivates learning the threshold instead of sweeping it.
+// motivates learning the threshold instead of sweeping it. Runs as the
+// "fig2" campaign (see campaign.go); use RunCampaign/Figures directly to
+// shard or checkpoint it.
 func (s *Suite) Fig2() (*Figure, error) {
-	names := []string{"MNIST", "DVSGesture"}
-	epochs := s.Opt.RetrainEpochs / 2
-	if epochs < 2 {
-		epochs = 2
-	}
-	fig := &Figure{
-		ID: "Fig2", Title: "Fixed-threshold retraining sweep (motivation)",
-		XLabel: "Vth", YLabel: "accuracy",
-		Notes: []string{fmt.Sprintf("FaPIT with forced global threshold, %d retrain epochs, MSB sa1 fault maps", epochs)},
-	}
-	type job struct {
-		dsIdx int
-		bl    *Baseline
-		rate  float64
-		vth   float64
-	}
-	var jobs []job
-	for d, name := range names {
-		bl, err := s.Dataset(name)
-		if err != nil {
-			return nil, err
-		}
-		for _, rate := range []float64{0.30, 0.60} {
-			for _, vth := range Fig2Vths {
-				jobs = append(jobs, job{d, bl, rate, vth})
-			}
-		}
-	}
-	results := make([]float64, len(jobs))
-	errs := make([]error, len(jobs))
-	parallelMap(len(jobs), func(worker, j int) {
-		jb := jobs[j]
-		fm, err := s.mitigationFaultMap(jb.dsIdx, jb.rate)
-		if err != nil {
-			errs[j] = err
-			return
-		}
-		rep, err := s.mitigateJob(jb.bl, fm, core.Config{
-			Method: core.FaPIT, Epochs: epochs, FixedVth: jb.vth,
-			Rng: rand.New(rand.NewSource(s.Opt.Seed + int64(j))),
-		})
-		if err != nil {
-			errs[j] = err
-			return
-		}
-		results[j] = rep.Accuracy
-		s.logf("fig2 %s rate %.0f%% vth %.2f: %.3f\n", jb.bl.Name, jb.rate*100, jb.vth, rep.Accuracy)
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	// Group into series keyed by (dataset, rate).
-	xs := append([]float64(nil), Fig2Vths...)
-	for d, name := range names {
-		for _, rate := range []float64{0.30, 0.60} {
-			ys := make([]float64, 0, len(Fig2Vths))
-			for j, jb := range jobs {
-				if jb.dsIdx == d && jb.rate == rate {
-					ys = append(ys, results[j])
-				}
-			}
-			fig.Series = append(fig.Series, Series{
-				Label: fmt.Sprintf("%s@%.0f%%", name, rate*100),
-				X:     xs, Y: ys,
-			})
-		}
-	}
-	return fig, nil
+	return oneFigure(s.campaignFigures("fig2"))
 }
 
 // mitigationResults caches the shared Fig. 6/7/8 computation.
@@ -134,6 +67,7 @@ type mitigationResults struct {
 // runMitigations executes the full mitigation study once: for every
 // dataset and fault rate, FaP, FaPIT and FalVolt from the same baseline
 // and the same fault map; convergence curves tracked at the 30% rate.
+// The study runs as the "mitigation" campaign.
 func (s *Suite) runMitigations() (*mitigationResults, error) {
 	s.mitOnce.Do(func() {
 		s.mitRes, s.mitErr = s.computeMitigations()
@@ -142,136 +76,11 @@ func (s *Suite) runMitigations() (*mitigationResults, error) {
 }
 
 func (s *Suite) computeMitigations() (*mitigationResults, error) {
-	bls, err := s.AllDatasets()
+	rr, err := s.RunCampaign("mitigation", campaign.Options{})
 	if err != nil {
 		return nil, err
 	}
-	type job struct {
-		dsIdx  int
-		bl     *Baseline
-		rate   float64
-		method core.Method
-	}
-	var jobs []job
-	for d, bl := range bls {
-		for _, rate := range MitigationRates {
-			for _, m := range []core.Method{core.FaP, core.FaPIT, core.FalVolt} {
-				jobs = append(jobs, job{d, bl, rate, m})
-			}
-		}
-	}
-	reports := make([]*core.Report, len(jobs))
-	errs := make([]error, len(jobs))
-	parallelMap(len(jobs), func(worker, j int) {
-		jb := jobs[j]
-		fm, err := s.mitigationFaultMap(jb.dsIdx, jb.rate)
-		if err != nil {
-			errs[j] = err
-			return
-		}
-		cfg := core.Config{
-			Method: jb.method, Epochs: s.Opt.RetrainEpochs,
-			Rng: rand.New(rand.NewSource(s.Opt.Seed + int64(j*17))),
-			// Curves for Fig. 8 at the paper's 30% operating point.
-			TrackCurve:    jb.rate == 0.30 && jb.method != core.FaP,
-			CurveEvalSize: s.Opt.EvalSamples,
-		}
-		rep, err := s.mitigateJob(jb.bl, fm, cfg)
-		if err != nil {
-			errs[j] = err
-			return
-		}
-		reports[j] = rep
-		s.logf("fig7 %s %s rate %.0f%%: acc %.3f (pruned %.1f%%)\n",
-			jb.bl.Name, jb.method, jb.rate*100, rep.Accuracy, rep.PrunedFraction*100)
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	find := func(d int, rate float64, m core.Method) *core.Report {
-		for j, jb := range jobs {
-			if jb.dsIdx == d && jb.rate == rate && jb.method == m {
-				return reports[j]
-			}
-		}
-		return nil
-	}
-
-	res := &mitigationResults{}
-
-	// Fig. 7: accuracy per method per rate, one series per (dataset, method).
-	fig7 := &Figure{
-		ID: "Fig7", Title: "Mitigation comparison: FaP vs FaPIT vs FalVolt",
-		XLabel: "faultRate", YLabel: "accuracy",
-		Notes: []string{fmt.Sprintf("%d retrain epochs, MSB sa1 fault maps shared across methods", s.Opt.RetrainEpochs)},
-	}
-	xs := append([]float64(nil), MitigationRates...)
-	for d, bl := range bls {
-		for _, m := range []core.Method{core.FaP, core.FaPIT, core.FalVolt} {
-			ys := make([]float64, len(MitigationRates))
-			for i, rate := range MitigationRates {
-				if rep := find(d, rate, m); rep != nil {
-					ys[i] = rep.Accuracy
-				}
-			}
-			fig7.Series = append(fig7.Series, Series{
-				Label: fmt.Sprintf("%s-%s", bl.Name, m), X: xs, Y: ys,
-			})
-		}
-	}
-	res.fig7 = fig7
-
-	// Fig. 6: FalVolt's optimized per-layer thresholds, one figure per
-	// dataset (hidden layers only, as the paper reports).
-	for d, bl := range bls {
-		names := bl.Model.SpikingNames
-		fig := &Figure{
-			ID:     "Fig6-" + bl.Name,
-			Title:  fmt.Sprintf("Optimized threshold voltages per layer (%s)", bl.Name),
-			XLabel: "layer", YLabel: "Vth",
-			XTicks: names[1:], // hidden layers; encoder excluded per paper
-		}
-		xsl := make([]float64, len(names)-1)
-		for i := range xsl {
-			xsl[i] = float64(i)
-		}
-		for _, rate := range MitigationRates {
-			rep := find(d, rate, core.FalVolt)
-			if rep == nil || len(rep.Vths) != len(names) {
-				continue
-			}
-			fig.Series = append(fig.Series, Series{
-				Label: fmt.Sprintf("%.0f%%", rate*100), X: xsl, Y: rep.Vths[1:],
-			})
-		}
-		res.fig6 = append(res.fig6, fig)
-	}
-
-	// Fig. 8: convergence curves at 30% faults, one figure per dataset.
-	for d, bl := range bls {
-		fig := &Figure{
-			ID:     "Fig8-" + bl.Name,
-			Title:  fmt.Sprintf("Retraining convergence at 30%% faulty PEs (%s)", bl.Name),
-			XLabel: "epoch", YLabel: "accuracy",
-			Notes: []string{fmt.Sprintf("baseline accuracy %.3f", bl.Acc)},
-		}
-		for _, m := range []core.Method{core.FaPIT, core.FalVolt} {
-			rep := find(d, 0.30, m)
-			if rep == nil {
-				continue
-			}
-			var xsc, ysc []float64
-			for _, p := range rep.Curve {
-				xsc = append(xsc, float64(p.Epoch))
-				ysc = append(ysc, p.Accuracy)
-			}
-			fig.Series = append(fig.Series, Series{Label: m.String(), X: xsc, Y: ysc})
-		}
-		res.fig8 = append(res.fig8, fig)
-	}
-	return res, nil
+	return s.mitigationFigures(rr.Results)
 }
 
 // Fig6 returns the optimized-threshold figures (one per dataset).

@@ -25,7 +25,6 @@ import (
 	"falvolt/internal/fixed"
 	"falvolt/internal/snn"
 	"falvolt/internal/systolic"
-	"falvolt/internal/tensor"
 )
 
 // Options scales the experiment suite.
@@ -303,12 +302,4 @@ func (b *Baseline) TestSlice(n int) []snn.Sample {
 		return b.Data.Test
 	}
 	return b.Data.Test[:n]
-}
-
-// parallelMap runs fn(i) for i in [0, n) on the process-default compute
-// engine's shared worker pool (tensor.Backend.Map). Each invocation
-// receives the id of its executing lane for private-resource pools; lane
-// ids are dense in [0, engine workers).
-func parallelMap(n int, fn func(worker, i int)) {
-	tensor.Default().Map(n, fn)
 }
