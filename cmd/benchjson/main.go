@@ -1,0 +1,113 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document mapping benchmark name to its measurements (ns/op, B/op,
+// allocs/op, iterations). CI pipes the benchmark smoke run through it
+// and uploads BENCH_results.json as an artifact, so every commit leaves
+// a machine-readable perf sample and regressions can be tracked across
+// the build history.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x -benchmem ./... | benchjson -o BENCH_results.json
+//
+// Non-benchmark lines (PASS, ok, pkg headers) are ignored, so the full
+// `go test` stream can be piped in unfiltered. Names keep their
+// GOMAXPROCS suffix ("-8") exactly as go test prints them.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+
+	"falvolt/internal/campaign"
+)
+
+// Entry is one benchmark's parsed measurements. BytesPerOp and
+// AllocsPerOp are present only when -benchmem was set.
+type Entry struct {
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64   `json:"allocs_per_op,omitempty"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkConvForward-8   5   227025639 ns/op   8208 B/op   11 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+(\d+)\s+([0-9.eE+-]+) ns/op(?:\s+([0-9.eE+-]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// parse reads go-test benchmark output into name -> Entry. A benchmark
+// name appearing twice (same bench re-run) keeps the last measurement.
+func parse(r io.Reader) (map[string]Entry, error) {
+	out := make(map[string]Entry)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad iteration count in %q: %w", sc.Text(), err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		e := Entry{Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			b, err := strconv.ParseFloat(m[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad B/op in %q: %w", sc.Text(), err)
+			}
+			e.BytesPerOp = &b
+		}
+		if m[5] != "" {
+			a, err := strconv.ParseInt(m[5], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad allocs/op in %q: %w", sc.Text(), err)
+			}
+			e.AllocsPerOp = &a
+		}
+		out[m[1]] = e
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	out := flag.String("o", "", "output path (default stdout); written atomically")
+	flag.Parse()
+
+	entries, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	// encoding/json sorts map keys, so output order is deterministic.
+	b, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if *out == "" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := campaign.WriteFileAtomic(*out, b); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(entries), *out)
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: falvolt
+cpu: Test CPU
+BenchmarkConvForward-8         	       5	 227025639 ns/op
+BenchmarkConvForwardSerial-8   	       1	1094767276 ns/op	    8208 B/op	      11 allocs/op
+BenchmarkPLIF/sub-case-8       	 1000000	       0.51 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	falvolt	12.3s
+`
+
+func TestParse(t *testing.T) {
+	got, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d entries, want 3: %v", len(got), got)
+	}
+	e := got["BenchmarkConvForward-8"]
+	if e.Iterations != 5 || e.NsPerOp != 227025639 {
+		t.Errorf("ConvForward = %+v", e)
+	}
+	if e.BytesPerOp != nil || e.AllocsPerOp != nil {
+		t.Errorf("ConvForward should have no -benchmem fields: %+v", e)
+	}
+	s := got["BenchmarkConvForwardSerial-8"]
+	if s.BytesPerOp == nil || *s.BytesPerOp != 8208 || s.AllocsPerOp == nil || *s.AllocsPerOp != 11 {
+		t.Errorf("ConvForwardSerial memstats = %+v", s)
+	}
+	p := got["BenchmarkPLIF/sub-case-8"]
+	if p.NsPerOp != 0.51 || p.Iterations != 1000000 {
+		t.Errorf("sub-benchmark = %+v", p)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	got, err := parse(strings.NewReader("PASS\nok something\n--- FAIL: nope\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("noise parsed as benchmarks: %v", got)
+	}
+}

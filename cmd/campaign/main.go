@@ -1,8 +1,8 @@
-// Command campaign plans, runs and merges sharded fault-sweep campaigns:
-// the figure sweeps of cmd/experiments (fig2, fig5a, fig5b, fig5c, the
-// Fig. 6/7/8 "mitigation" study) and the manufacturing-yield study of
-// cmd/yield, decomposed into deterministic seed-addressed trials by
-// internal/campaign.
+// Command campaign plans, runs, distributes and merges sharded
+// fault-sweep campaigns: the figure sweeps of cmd/experiments (fig2,
+// fig5a, fig5b, fig5c, the Fig. 6/7/8 "mitigation" study) and the
+// manufacturing-yield study of cmd/yield, decomposed into deterministic
+// seed-addressed trials by internal/campaign.
 //
 // Usage:
 //
@@ -11,29 +11,41 @@
 //	campaign run  -c fig5a -quick -shard 1/2 -o b.jsonl   # run the other
 //	campaign merge a.jsonl b.jsonl                     # assemble figures
 //
+// Distributed mode replaces manual sharding with a coordinator that
+// leases shards to worker daemons over HTTP (internal/cluster):
+//
+//	campaign serve -c fig5a -quick -addr :9090 -o fig5a.jsonl   # coordinator
+//	campaign work  -c fig5a -quick -coordinator http://host:9090 -checkpoint wrk/
+//
+// Workers build the campaign from their own flags; registration
+// verifies a configuration fingerprint, so a misconfigured worker is
+// rejected instead of corrupting the merge. The merged output is
+// byte-identical to a single-process run however many workers ran (and
+// died) along the way.
+//
 // A run appends each completed trial to its JSONL checkpoint (-o) and
 // resumes from it after an interruption, skipping completed trial IDs;
 // -max bounds one sitting. Shard partials merge bit-identically to a
-// single-process run.
+// single-process run. The "selftest" campaign is a tiny model-free
+// synthetic sweep for smoke-testing this machinery (see -trials).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"falvolt/internal/campaign"
+	"falvolt/internal/cluster"
 	"falvolt/internal/core"
-	"falvolt/internal/datasets"
 	"falvolt/internal/experiments"
 	"falvolt/internal/faults"
-	"falvolt/internal/fixed"
-	"falvolt/internal/snn"
-	"falvolt/internal/systolic"
 	"falvolt/internal/tensor"
 )
 
@@ -47,6 +59,10 @@ func main() {
 		err = planCmd(os.Args[2:])
 	case "run":
 		err = runCmd(os.Args[2:])
+	case "serve":
+		err = serveCmd(os.Args[2:])
+	case "work":
+		err = workCmd(os.Args[2:])
 	case "merge":
 		err = mergeCmd(os.Args[2:])
 	case "-h", "--help", "help":
@@ -62,18 +78,32 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: campaign <plan|run|merge> [flags]
+	fmt.Fprintf(os.Stderr, `usage: campaign <plan|run|serve|work|merge> [flags]
 
   plan  -c <name> [config flags]            print the deterministic trial list as JSON
   run   -c <name> -o <file> [-shard i/n] [-max N] [config flags]
                                             execute (one shard of) a campaign with
                                             JSONL checkpointing and resume
-  merge [-cache dir] [-json file] <file>... merge shard/checkpoint files and print
+  serve -c <name> -addr <host:port> [-shards N] [-lease-ttl D] [-o file] [config flags]
+                                            coordinate the campaign across HTTP workers,
+                                            then print the figures/report
+  work  -c <name> -coordinator <url> [-checkpoint dir] [config flags]
+                                            worker daemon: lease shards from a
+                                            coordinator and stream results back
+  merge [-cache dir] [-json file] [-o file] <file>...
+                                            merge shard/checkpoint files and print
                                             the figures or yield report
 
-campaigns: %s yield
+campaigns: %s yield selftest
 `, strings.Join(experiments.CampaignNames(), " "))
 	os.Exit(2)
+}
+
+// sigCtx is the root context of every subcommand: Ctrl-C or SIGTERM
+// cancels it, aborting in-flight campaigns promptly (checkpoints keep
+// the completed trials, so the same command resumes).
+func sigCtx() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 }
 
 // config collects the union of campaign configuration flags.
@@ -100,10 +130,13 @@ type config struct {
 	method     string
 	mitEpochs  int
 	baseEp     int
+
+	// Selftest campaign options.
+	trials int
 }
 
 func addConfigFlags(fs *flag.FlagSet, c *config) {
-	fs.StringVar(&c.name, "c", "", "campaign: "+strings.Join(experiments.CampaignNames(), " | ")+" | yield")
+	fs.StringVar(&c.name, "c", "", "campaign: "+strings.Join(experiments.CampaignNames(), " | ")+" | yield | selftest")
 	fs.StringVar(&c.backend, "backend", "", tensor.BackendFlagDoc)
 	fs.BoolVar(&c.verbose, "v", false, "progress logging")
 	fs.BoolVar(&c.quick, "quick", false, "reduced model/dataset sizes (figure campaigns)")
@@ -121,6 +154,7 @@ func addConfigFlags(fs *flag.FlagSet, c *config) {
 	fs.StringVar(&c.method, "method", "falvolt", "yield: salvage policy fap | fapit | falvolt")
 	fs.IntVar(&c.mitEpochs, "mit-epochs", 4, "yield: retraining epochs per salvaged die")
 	fs.IntVar(&c.baseEp, "base-epochs", 12, "yield: baseline training epochs")
+	fs.IntVar(&c.trials, "trials", 24, "selftest: synthetic trial count")
 }
 
 func (c *config) suite() *experiments.Suite {
@@ -167,60 +201,90 @@ func (c *config) yieldConfig() (core.YieldConfig, error) {
 			Method: m, Epochs: c.mitEpochs, LR: 0.01, BatchSize: 16, ClipNorm: 5,
 		},
 		EvalSamples: 96,
-		Seed:        c.seed,
+		// +2 matches cmd/yield exactly, so the two tools enumerate
+		// identical die populations for the same -seed flag and their
+		// shard files / cluster workers interoperate.
+		Seed: c.seed + 2,
 	}, nil
 }
 
-// yieldFingerprint records the baseline-training provenance the
-// YieldConfig cannot see; cmd/yield writes the same keys so shard files
-// from either tool merge iff their setups match.
-func (c *config) yieldFingerprint() map[string]string {
-	return map[string]string{
-		"base-epochs": strconv.Itoa(c.baseEp),
-		"baseline":    "synthetic-mnist-320/128",
-	}
-}
-
 // yieldCampaign wraps the yield study as a campaign. The baseline is
-// trained lazily on first worker use, so `plan` and fully-resumed runs
-// never pay for it.
+// trained lazily on first worker use, so `plan`, fully-resumed runs and
+// coordinators (which never execute trials) never pay for it. Build
+// closure and fingerprint are shared with cmd/yield (core.Synthetic*),
+// so shard files and cluster workers from either tool interoperate.
 func (c *config) yieldCampaign() (campaign.Campaign, core.YieldConfig, error) {
 	cfg, err := c.yieldConfig()
 	if err != nil {
 		return nil, cfg, err
 	}
-	build := func() (core.YieldDeps, error) {
-		ds, err := datasets.SyntheticMNIST(datasets.Config{Train: 320, Test: 128, T: 4, Seed: c.seed})
-		if err != nil {
-			return core.YieldDeps{}, err
-		}
-		spec := snn.MNISTSpec()
-		spec.EncoderC, spec.BlockC, spec.FCHidden = 4, []int{8, 8}, 32
-		buildModel := func() (*snn.Model, error) {
-			return snn.Build(spec, rand.New(rand.NewSource(c.seed)))
-		}
-		model, err := buildModel()
-		if err != nil {
-			return core.YieldDeps{}, err
-		}
-		fmt.Fprintln(os.Stderr, "training baseline...")
-		baseAcc, err := core.TrainBaseline(model, ds.Train, ds.Test, c.baseEp, 0.02,
-			rand.New(rand.NewSource(c.seed+1)), true)
-		if err != nil {
-			return core.YieldDeps{}, err
-		}
-		fmt.Fprintf(os.Stderr, "baseline accuracy %.3f; shipping threshold %.2f\n", baseAcc, c.threshold)
-		arr, err := systolic.New(systolic.Config{Rows: c.arrayN, Cols: c.arrayN, Format: fixed.Q16x16, Saturate: true})
-		if err != nil {
-			return core.YieldDeps{}, err
-		}
-		return core.YieldDeps{
-			Model: model, Baseline: model.Net.State(), Arr: arr,
-			Train: ds.Train, Test: ds.Test, BuildModel: buildModel,
-		}, nil
-	}
-	cam, err := core.LazyYieldCampaign(c.arrayN, c.arrayN, cfg, c.yieldFingerprint(), build)
+	cam, err := core.LazyYieldCampaign(c.arrayN, c.arrayN, cfg,
+		core.SyntheticYieldFingerprint(c.baseEp),
+		core.SyntheticYieldBuild(c.seed, c.baseEp, c.arrayN, c.threshold, os.Stderr))
 	return cam, cfg, err
+}
+
+// campaignCtx bundles a built campaign with whatever its output
+// rendering needs (the suite for figure campaigns, the yield config for
+// the report).
+type campaignCtx struct {
+	cam   campaign.Campaign
+	suite *experiments.Suite // figure campaigns only
+	ycfg  core.YieldConfig   // yield only
+}
+
+// buildCampaign constructs the named campaign from the config flags.
+func (c *config) buildCampaign() (*campaignCtx, error) {
+	switch c.name {
+	case "":
+		return nil, fmt.Errorf("missing -c <campaign>")
+	case "yield":
+		cam, ycfg, err := c.yieldCampaign()
+		if err != nil {
+			return nil, err
+		}
+		return &campaignCtx{cam: cam, ycfg: ycfg}, nil
+	case "selftest":
+		return &campaignCtx{cam: campaign.Synthetic(c.trials, c.seed)}, nil
+	default:
+		suite := c.suite()
+		cam, err := suite.Campaign(c.name)
+		if err != nil {
+			return nil, err
+		}
+		return &campaignCtx{cam: cam, suite: suite}, nil
+	}
+}
+
+// printResults renders a complete campaign's merged results: figures
+// for the suite campaigns, the report for yield, canonical result JSON
+// for selftest.
+func (cc *campaignCtx) printResults(results []campaign.Result) error {
+	switch {
+	case cc.cam.Name() == "yield":
+		rep, err := core.YieldFromResults(results, cc.ycfg.Chips, cc.ycfg.Threshold)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
+		return nil
+	case cc.suite != nil:
+		figs, err := cc.suite.Figures(cc.cam.Name(), results)
+		if err != nil {
+			return err
+		}
+		for _, f := range figs {
+			f.Print(os.Stdout)
+		}
+		return nil
+	default: // selftest
+		b, err := campaign.MarshalResults(results)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+		return nil
+	}
 }
 
 func planCmd(args []string) error {
@@ -228,21 +292,11 @@ func planCmd(args []string) error {
 	var c config
 	addConfigFlags(fs, &c)
 	fs.Parse(args)
-	var trials []campaign.Trial
-	var err error
-	if c.name == "yield" {
-		cfg, cerr := c.yieldConfig()
-		if cerr != nil {
-			return cerr
-		}
-		trials, err = core.YieldTrials(c.arrayN, c.arrayN, cfg)
-	} else {
-		cam, cerr := c.suite().Campaign(c.name)
-		if cerr != nil {
-			return cerr
-		}
-		trials, err = cam.Trials()
+	cc, err := c.buildCampaign()
+	if err != nil {
+		return err
 	}
+	trials, err := cc.cam.Trials()
 	if err != nil {
 		return err
 	}
@@ -275,24 +329,17 @@ func runCmd(args []string) error {
 	if *out == "" {
 		*out = fmt.Sprintf("%s-shard%dof%d.jsonl", c.name, shard.Index, max(shard.Count, 1))
 	}
-
-	var cam campaign.Campaign
-	var cfg core.YieldConfig
-	var suite *experiments.Suite
-	if c.name == "yield" {
-		cam, cfg, err = c.yieldCampaign()
-	} else {
-		suite = c.suite()
-		cam, err = suite.Campaign(c.name)
-	}
+	cc, err := c.buildCampaign()
 	if err != nil {
 		return err
 	}
-	opt := campaign.Options{Shard: shard, Checkpoint: *out, MaxNew: *maxNew}
+	ctx, stop := sigCtx()
+	defer stop()
+	opt := campaign.Options{Context: ctx, Shard: shard, Checkpoint: *out, MaxNew: *maxNew}
 	if c.verbose {
 		opt.Log = os.Stderr
 	}
-	rr, err := campaign.Run(cam, opt)
+	rr, err := campaign.Run(cc.cam, opt)
 	if err != nil {
 		return err
 	}
@@ -306,30 +353,84 @@ func runCmd(args []string) error {
 		fmt.Fprintf(os.Stderr, "shard complete: merge all shard files with `campaign merge`\n")
 		return nil
 	}
-	// Whole campaign finished in one process: print the output directly.
-	if c.name == "yield" {
-		rep, err := core.YieldFromResults(rr.Results, cfg.Chips, cfg.Threshold)
-		if err != nil {
-			return err
-		}
-		fmt.Println(rep)
-		return nil
+	return cc.printResults(rr.Results)
+}
+
+func serveCmd(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var c config
+	var (
+		addr     = fs.String("addr", ":9090", "coordinator listen address")
+		shards   = fs.Int("shards", 0, "shard count (0 = auto; more shards = finer reassignment)")
+		leaseTTL = fs.Duration("lease-ttl", 0, "shard lease deadline without a heartbeat (0 = default)")
+		out      = fs.String("o", "", "checkpoint/output JSONL (default <name>-cluster.jsonl); resumes")
+	)
+	addConfigFlags(fs, &c)
+	fs.Parse(args)
+	if *out == "" {
+		*out = c.name + "-cluster.jsonl"
 	}
-	figs, err := suite.Figures(c.name, rr.Results)
+	cc, err := c.buildCampaign()
 	if err != nil {
 		return err
 	}
-	for _, f := range figs {
-		f.Print(os.Stdout)
+	ctx, stop := sigCtx()
+	defer stop()
+	co := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		Addr: *addr, Shards: *shards, LeaseTTL: *leaseTTL, Log: os.Stderr,
+	})
+	opt := campaign.Options{Context: ctx, Runner: co, Checkpoint: *out, Log: os.Stderr}
+	rr, err := campaign.Run(cc.cam, opt)
+	if err != nil {
+		return err
 	}
-	return nil
+	if rr.Executed == 0 && rr.Planned > 0 {
+		// Nothing was pending, so the runner — and thus the HTTP server
+		// — never started; workers pointed here will see connection
+		// refused, not StatusDone.
+		fmt.Fprintf(os.Stderr, "checkpoint %s already complete: no coordinator was started; stop any waiting workers\n", *out)
+	}
+	fmt.Fprintf(os.Stderr, "campaign %s: %d/%d trials complete -> %s\n",
+		c.name, len(rr.Results), rr.Planned, *out)
+	return cc.printResults(rr.Results)
+}
+
+func workCmd(args []string) error {
+	fs := flag.NewFlagSet("work", flag.ExitOnError)
+	var c config
+	var (
+		coord   = fs.String("coordinator", "", "coordinator base URL (http://host:port)")
+		name    = fs.String("name", "", "worker display name (default host-pid)")
+		ckptDir = fs.String("checkpoint", "", "directory for local per-shard JSONL checkpoints (resume on restart)")
+		poll    = fs.Duration("poll", 0, "idle poll interval (0 = default)")
+	)
+	addConfigFlags(fs, &c)
+	fs.Parse(args)
+	if *coord == "" {
+		return fmt.Errorf("work needs -coordinator <url>")
+	}
+	if err := tensor.SetDefaultByName(c.backend); err != nil {
+		return err
+	}
+	cc, err := c.buildCampaign()
+	if err != nil {
+		return err
+	}
+	ctx, stop := sigCtx()
+	defer stop()
+	w := cluster.NewWorker(cluster.WorkerConfig{
+		Coordinator: *coord, Name: *name, CheckpointDir: *ckptDir,
+		Poll: *poll, Log: os.Stderr,
+	})
+	return w.Run(ctx, cc.cam)
 }
 
 func mergeCmd(args []string) error {
 	fs := flag.NewFlagSet("merge", flag.ExitOnError)
 	var (
 		cache   = fs.String("cache", "", "baseline snapshot dir (avoids retraining for mitigation merges)")
-		jsonOut = fs.String("json", "", "also write merged figures/report as JSON to this file")
+		jsonOut = fs.String("json", "", "also write merged figures/report as JSON to this file (atomic)")
+		outFile = fs.String("o", "", "also write the merged results as one checkpoint JSONL (atomic)")
 		backend = fs.String("backend", "", tensor.BackendFlagDoc)
 		verbose = fs.Bool("v", false, "progress logging")
 	)
@@ -349,8 +450,16 @@ func mergeCmd(args []string) error {
 			len(results), header.Trials, missing[0])
 	}
 	fmt.Fprintf(os.Stderr, "merged %d files: campaign %s, %d trials\n", fs.NArg(), header.Campaign, len(results))
+	if *outFile != "" {
+		// Crash-safe: an interrupted merge never leaves a torn artifact.
+		if err := campaign.WriteCheckpointAtomic(*outFile, header, results); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "merged checkpoint -> %s\n", *outFile)
+	}
 
-	if header.Campaign == "yield" {
+	switch header.Campaign {
+	case "yield":
 		chips, err1 := strconv.Atoi(header.Meta["chips"])
 		threshold, err2 := strconv.ParseFloat(header.Meta["threshold"], 64)
 		if err1 != nil || err2 != nil {
@@ -363,6 +472,16 @@ func mergeCmd(args []string) error {
 		fmt.Println(rep)
 		if *jsonOut != "" {
 			return writeJSON(*jsonOut, rep)
+		}
+		return nil
+	case "selftest":
+		b, err := campaign.MarshalResults(results)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+		if *jsonOut != "" {
+			return campaign.WriteFileAtomic(*jsonOut, append(b, '\n'))
 		}
 		return nil
 	}
@@ -416,10 +535,12 @@ func suiteFromMeta(meta map[string]string, cache string, verbose bool) (*experim
 	return experiments.NewSuite(opt), nil
 }
 
+// writeJSON writes indented JSON crash-safely (temp file + fsync +
+// rename), so an interrupted merge never leaves a half-written file.
 func writeJSON(path string, v any) error {
 	b, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	return campaign.WriteFileAtomic(path, append(b, '\n'))
 }

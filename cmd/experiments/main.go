@@ -5,6 +5,9 @@
 // The figure sweeps run as campaigns (internal/campaign): -checkpoint
 // makes them resumable, and -shard splits one campaign across processes
 // whose partial JSONL files merge bit-identically with `campaign merge`.
+// -coordinator serves each selected campaign to remote worker daemons
+// (`campaign work -c <campaign>` with matching flags) instead of
+// running trials locally.
 //
 // Usage:
 //
@@ -14,16 +17,23 @@
 //	experiments -quick -fig 5a -shard 0/2 -checkpoint out/   # half the sweep
 //	experiments -quick -fig 5a -shard 1/2 -checkpoint out/   # other half
 //	campaign merge out/fig5a-shard*.jsonl                    # assembled figure
+//
+//	experiments -quick -fig 5a -coordinator :9090            # distributed
+//	campaign work -c fig5a -quick -coordinator http://host:9090   # each worker
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"falvolt/internal/campaign"
+	"falvolt/internal/cluster"
 	"falvolt/internal/experiments"
 	"falvolt/internal/tensor"
 )
@@ -42,6 +52,7 @@ func main() {
 		verbose  = flag.Bool("v", false, "progress logging")
 		shardArg = flag.String("shard", "", "run the i-th of n interleaved trial subsets of each figure campaign (i/n)")
 		ckptDir  = flag.String("checkpoint", "", "directory for per-campaign JSONL checkpoints (resume + shard partials)")
+		coordArg = flag.String("coordinator", "", "serve each selected campaign to remote workers on this listen address (host:port); workers run `campaign work -c <campaign>` with matching flags")
 	)
 	flag.Parse()
 
@@ -62,6 +73,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments: -shard needs -checkpoint so the partial results can be merged")
 		os.Exit(1)
 	}
+	if *coordArg != "" && !shard.IsWhole() {
+		fmt.Fprintln(os.Stderr, "experiments: -coordinator shards each campaign itself; drop -shard")
+		os.Exit(1)
+	}
+	if strings.Contains(*coordArg, "://") {
+		fmt.Fprintf(os.Stderr, "experiments: -coordinator here is a listen address (host:port), got URL %q; the URL form belongs on `campaign work -coordinator`\n", *coordArg)
+		os.Exit(1)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	opt := experiments.DefaultOptions()
 	if *quick {
@@ -103,14 +124,22 @@ func main() {
 			fmt.Sprintf("%s-shard%dof%d.jsonl", name, shard.Index, max(shard.Count, 1)))
 	}
 	// runCampaign executes one campaign with the shard/checkpoint
-	// options and returns its results when the shard is complete.
+	// options — on remote workers when -coordinator is set — and
+	// returns its results when the shard is complete.
 	runCampaign := func(name string) (*campaign.RunResult, error) {
-		copt := campaign.Options{Shard: shard}
+		copt := campaign.Options{Context: ctx, Shard: shard}
 		if *ckptDir != "" {
 			if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
 				return nil, err
 			}
 			copt.Checkpoint = shardFile(name)
+		}
+		if *coordArg != "" {
+			// One single-use coordinator per campaign; sequential
+			// campaigns reuse the same listen address.
+			copt.Runner = cluster.NewCoordinator(cluster.CoordinatorConfig{
+				Addr: *coordArg, Log: os.Stderr,
+			})
 		}
 		if *verbose {
 			copt.Log = os.Stderr
@@ -174,9 +203,10 @@ func main() {
 		fig.Print(os.Stdout)
 		return nil
 	})
-	if *ckptDir != "" {
-		// Checkpointed whole-campaign mode: run each selected campaign
-		// with resume and print its figures. Fig. 6/7/8 print together.
+	if *ckptDir != "" || *coordArg != "" {
+		// Checkpointed or distributed whole-campaign mode: run each
+		// selected campaign (with resume, and/or on remote workers) and
+		// print its figures. Fig. 6/7/8 print together.
 		ran := map[string]bool{}
 		for _, fc := range figCampaigns {
 			if !selected(fc.fig) || ran[fc.camp] {

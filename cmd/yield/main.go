@@ -8,8 +8,9 @@
 // flow vs the salvage flow at a given accuracy threshold. The population
 // runs as a fault-sweep campaign (internal/campaign): dies execute in
 // parallel across compute-engine lanes, -checkpoint makes the run
-// resumable, and -shard splits it across processes (merge the partial
-// files with `campaign merge`).
+// resumable, -shard splits it across processes (merge the partial
+// files with `campaign merge`), and -coordinator serves the dies to
+// remote worker daemons (`campaign work -c yield` with matching flags).
 //
 // Usage:
 //
@@ -18,21 +19,24 @@
 //	yield -chips 40 -shard 0/2 -checkpoint y0.jsonl   # process 1
 //	yield -chips 40 -shard 1/2 -checkpoint y1.jsonl   # process 2
 //	campaign merge y0.jsonl y1.jsonl                  # combined report
+//
+//	yield -chips 40 -coordinator :9090 -checkpoint y.jsonl   # coordinator
+//	campaign work -c yield -chips 40 -coordinator http://host:9090  # each worker
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"falvolt/internal/campaign"
+	"falvolt/internal/cluster"
 	"falvolt/internal/core"
-	"falvolt/internal/datasets"
 	"falvolt/internal/faults"
-	"falvolt/internal/fixed"
-	"falvolt/internal/snn"
 	"falvolt/internal/systolic"
 	"falvolt/internal/tensor"
 )
@@ -52,6 +56,7 @@ func main() {
 		seed       = flag.Int64("seed", 7, "seed")
 		shardArg   = flag.String("shard", "", "run the i-th of n interleaved die subsets (i/n); merge partials with `campaign merge`")
 		checkpoint = flag.String("checkpoint", "", "JSONL checkpoint: append per-die results, resume by skipping completed dies")
+		coordArg   = flag.String("coordinator", "", "serve the dies to remote workers on this listen address (host:port); workers run `campaign work -c yield` with matching flags")
 	)
 	flag.Parse()
 
@@ -69,6 +74,14 @@ func main() {
 	if !shard.IsWhole() && *checkpoint == "" {
 		fail(fmt.Errorf("-shard needs -checkpoint so the partial results can be merged"))
 	}
+	if *coordArg != "" && !shard.IsWhole() {
+		fail(fmt.Errorf("-coordinator shards the campaign itself; drop -shard"))
+	}
+	if strings.Contains(*coordArg, "://") {
+		fail(fmt.Errorf("-coordinator here is a listen address (host:port), got URL %q; the URL form belongs on `campaign work -coordinator`", *coordArg))
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var m core.Method
 	switch strings.ToLower(*method) {
@@ -82,31 +95,6 @@ func main() {
 		fail(fmt.Errorf("unknown method %q", *method))
 	}
 
-	ds, err := datasets.SyntheticMNIST(datasets.Config{Train: 320, Test: 128, T: 4, Seed: *seed})
-	if err != nil {
-		fail(err)
-	}
-	spec := snn.MNISTSpec()
-	spec.EncoderC, spec.BlockC, spec.FCHidden = 4, []int{8, 8}, 32
-	buildModel := func() (*snn.Model, error) {
-		return snn.Build(spec, rand.New(rand.NewSource(*seed)))
-	}
-	model, err := buildModel()
-	if err != nil {
-		fail(err)
-	}
-	fmt.Println("training baseline...")
-	baseAcc, err := core.TrainBaseline(model, ds.Train, ds.Test, *baseEp, 0.02,
-		rand.New(rand.NewSource(*seed+1)), true)
-	if err != nil {
-		fail(err)
-	}
-	fmt.Printf("baseline accuracy %.3f; shipping threshold %.2f\n", baseAcc, *threshold)
-
-	arr, err := systolic.New(systolic.Config{Rows: *arrayN, Cols: *arrayN, Format: fixed.Q16x16, Saturate: true})
-	if err != nil {
-		fail(err)
-	}
 	cfg := core.YieldConfig{
 		Chips:     *chips,
 		Defects:   faults.DefectModel{MeanFaulty: *meanFaulty, Alpha: *alpha},
@@ -118,24 +106,27 @@ func main() {
 		EvalSamples: 96,
 		Seed:        *seed + 2,
 	}
-	// BuildModel lets the campaign evaluate dies on every engine lane
-	// concurrently instead of one at a time.
-	cam, err := core.YieldCampaign(core.YieldDeps{
-		Model: model, Baseline: model.Net.State(), Arr: arr,
-		Train: ds.Train, Test: ds.Test, BuildModel: buildModel,
-		// Same provenance keys as cmd/campaign, so shard files from
-		// either tool merge iff the baseline setup matches.
-		Fingerprint: map[string]string{
-			"base-epochs": fmt.Sprint(*baseEp),
-			"baseline":    "synthetic-mnist-320/128",
-		},
-	}, cfg)
+	// The baseline trains lazily on first worker use: a plain run pays
+	// for it up front as before, while a fully-resumed checkpoint or a
+	// -coordinator process (whose trials all execute remotely) skips
+	// it. Build closure and fingerprint are shared with cmd/campaign
+	// (core.Synthetic*), so shard files and cluster workers from either
+	// tool interoperate.
+	cam, err := core.LazyYieldCampaign(*arrayN, *arrayN, cfg,
+		core.SyntheticYieldFingerprint(*baseEp),
+		core.SyntheticYieldBuild(*seed, *baseEp, *arrayN, *threshold, os.Stdout))
 	if err != nil {
 		fail(err)
 	}
-	rr, err := campaign.Run(cam, campaign.Options{
-		Shard: shard, Checkpoint: *checkpoint, Log: os.Stderr,
-	})
+	opt := campaign.Options{
+		Context: ctx, Shard: shard, Checkpoint: *checkpoint, Log: os.Stderr,
+	}
+	if *coordArg != "" {
+		opt.Runner = cluster.NewCoordinator(cluster.CoordinatorConfig{
+			Addr: *coordArg, Log: os.Stderr,
+		})
+	}
+	rr, err := campaign.Run(cam, opt)
 	if err != nil {
 		fail(err)
 	}

@@ -10,9 +10,11 @@
 // stand-ins for MNIST / N-MNIST / DVS Gesture (internal/datasets), the
 // FalVolt mitigation algorithm with its FaP and FaPIT baselines
 // (internal/core), per-figure experiment harnesses
-// (internal/experiments), and a sharded fault-sweep campaign engine with
-// deterministic resume and bit-reproducible merging (internal/campaign).
-// See README.md and DESIGN.md.
+// (internal/experiments), a sharded fault-sweep campaign engine with
+// deterministic resume and bit-reproducible merging (internal/campaign),
+// and a distributed campaign cluster — HTTP coordinator, leased shards,
+// worker daemons — that runs any campaign across machines with
+// byte-identical output (internal/cluster). See README.md and DESIGN.md.
 //
 // All heavy math runs on a pluggable compute engine
 // (internal/tensor.Backend) with serial and multi-core worker-pool

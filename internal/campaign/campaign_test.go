@@ -2,6 +2,8 @@ package campaign
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -282,6 +284,179 @@ func TestParseShard(t *testing.T) {
 	}
 	if (Shard{}).String() != "0/1" || (Shard{1, 4}).String() != "1/4" {
 		t.Error("Shard.String format")
+	}
+}
+
+// TestShardCountExceedsTrials: more shards than trials leaves some
+// shards empty; empty-shard runs complete trivially, write header-only
+// checkpoints, and merge cleanly into the full campaign.
+func TestShardCountExceedsTrials(t *testing.T) {
+	const n, shards = 3, 5
+	dir := t.TempDir()
+	want := marshal(t, mustRun(t, testCampaign(n, nil), Options{}).Results)
+
+	var paths []string
+	for i := 0; i < shards; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("shard%d.jsonl", i))
+		rr := mustRun(t, testCampaign(n, nil), Options{
+			Shard: Shard{Index: i, Count: shards}, Checkpoint: path,
+		})
+		if !rr.Complete {
+			t.Fatalf("shard %d/%d incomplete", i, shards)
+		}
+		if i >= n && (rr.Planned != 0 || rr.Executed != 0) {
+			t.Fatalf("empty shard %d/%d planned %d, executed %d", i, shards, rr.Planned, rr.Executed)
+		}
+		// Resuming an empty shard is a no-op, not an error.
+		rr2 := mustRun(t, testCampaign(n, nil), Options{
+			Shard: Shard{Index: i, Count: shards}, Checkpoint: path,
+		})
+		if rr2.Executed != 0 {
+			t.Fatalf("shard %d/%d re-ran %d trials on resume", i, shards, rr2.Executed)
+		}
+		paths = append(paths, path)
+	}
+	h, merged, err := MergeFiles(paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Trials != n || !Complete(merged, n) {
+		t.Fatalf("merge across empty shards: %d trials, missing %v", h.Trials, Missing(merged, n))
+	}
+	if got := marshal(t, merged); !bytes.Equal(got, want) {
+		t.Fatal("merge across empty shards differs from single-process run")
+	}
+}
+
+// TestSingleTrialCampaign: the degenerate one-trial sweep runs whole,
+// sharded (one shard empty), and merges back byte-identically.
+func TestSingleTrialCampaign(t *testing.T) {
+	dir := t.TempDir()
+	whole := mustRun(t, testCampaign(1, nil), Options{})
+	if !whole.Complete || len(whole.Results) != 1 {
+		t.Fatalf("single-trial run: %+v", whole)
+	}
+	want := marshal(t, whole.Results)
+
+	var paths []string
+	for i := 0; i < 2; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("s%d.jsonl", i))
+		rr := mustRun(t, testCampaign(1, nil), Options{Shard: Shard{Index: i, Count: 2}, Checkpoint: path})
+		if !rr.Complete {
+			t.Fatalf("shard %d incomplete", i)
+		}
+		paths = append(paths, path)
+	}
+	_, merged, err := MergeFiles(paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := marshal(t, merged); !bytes.Equal(got, want) {
+		t.Fatal("sharded single-trial campaign differs from whole run")
+	}
+}
+
+// TestRunRejectsInvalidShard: out-of-range i/n configurations fail
+// before any trial executes.
+func TestRunRejectsInvalidShard(t *testing.T) {
+	for _, sh := range []Shard{
+		{Index: 2, Count: 2},
+		{Index: -1, Count: 2},
+		{Index: 0, Count: -3},
+		{Index: 3, Count: 0},
+	} {
+		var runs atomic.Int64
+		if _, err := Run(testCampaign(4, &runs), Options{Shard: sh}); err == nil {
+			t.Errorf("shard %d/%d should be rejected", sh.Index, sh.Count)
+		}
+		if runs.Load() != 0 {
+			t.Errorf("shard %d/%d executed %d trials despite being invalid", sh.Index, sh.Count, runs.Load())
+		}
+	}
+}
+
+// TestRunCancellation: cancelling the context stops dispatch promptly,
+// Run surfaces context.Canceled, completed trials survive in the
+// checkpoint, and a fresh run resumes to completion.
+func TestRunCancellation(t *testing.T) {
+	const n, cut = 20, 5
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var ran atomic.Int64
+	trials := make([]Trial, n)
+	for i := range trials {
+		trials[i] = Trial{ID: i, Key: fmt.Sprintf("k%d", i)}
+	}
+	c := New("cancelling", trials, func(int) (Worker, error) {
+		return WorkerFunc(func(tr Trial) (Result, error) {
+			if ran.Add(1) == cut {
+				cancel() // simulated Ctrl-C mid-campaign
+			}
+			return Result{TrialID: tr.ID, Key: tr.Key}, nil
+		}), nil
+	})
+	_, err := Run(c, Options{
+		Context: ctx, Checkpoint: path,
+		Runner: PoolRunner{Engine: tensor.Serial()},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != cut {
+		t.Fatalf("ran %d trials after cancellation at %d (dispatch did not stop promptly)", got, cut)
+	}
+
+	resume := New("cancelling", trials, func(int) (Worker, error) {
+		return WorkerFunc(func(tr Trial) (Result, error) {
+			return Result{TrialID: tr.ID, Key: tr.Key}, nil
+		}), nil
+	})
+	rr := mustRun(t, resume, Options{Checkpoint: path})
+	if !rr.Complete || rr.Resumed != cut || rr.Executed != n-cut {
+		t.Fatalf("resume after cancellation: complete=%v resumed=%d executed=%d", rr.Complete, rr.Resumed, rr.Executed)
+	}
+
+	// A context cancelled before Run starts executes nothing.
+	dead, deadCancel := context.WithCancel(context.Background())
+	deadCancel()
+	var cold atomic.Int64
+	if _, err := Run(testCampaign(8, &cold), Options{Context: dead}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled run returned %v", err)
+	}
+	if cold.Load() != 0 {
+		t.Fatalf("pre-cancelled run executed %d trials", cold.Load())
+	}
+}
+
+// TestWriteCheckpointAtomic: the atomic writer produces a checkpoint
+// byte-equivalent to the incremental one and leaves no temp debris.
+func TestWriteCheckpointAtomic(t *testing.T) {
+	const n = 9
+	dir := t.TempDir()
+	rr := mustRun(t, testCampaign(n, nil), Options{Checkpoint: filepath.Join(dir, "inc.jsonl")})
+
+	out := filepath.Join(dir, "merged.jsonl")
+	if err := WriteCheckpointAtomic(out, rr.Header, rr.Results); err != nil {
+		t.Fatal(err)
+	}
+	h, rs, err := ReadCheckpoint(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Compatible(rr.Header) || !Complete(rs, n) {
+		t.Fatalf("atomic checkpoint round-trip: header %+v, %d results", h, len(rs))
+	}
+	if !bytes.Equal(marshal(t, rs), marshal(t, rr.Results)) {
+		t.Fatal("atomic checkpoint results differ")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("directory has %d entries (temp file left behind?)", len(entries))
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"reflect"
 )
 
@@ -30,6 +31,28 @@ type Header struct {
 	Shard    string            `json:"shard,omitempty"`
 	Meta     map[string]string `json:"meta,omitempty"`
 }
+
+// NewHeader builds the checkpoint header for one shard of a campaign
+// with trials total trials, including the campaign's metadata
+// fingerprint. Every writer (campaign.Run, the cluster worker's local
+// shard checkpoints) derives headers here so resume and merge
+// compatibility checks compare like with like.
+func NewHeader(c Campaign, trials int, shard Shard) Header {
+	h := Header{
+		Version:  checkpointVersion,
+		Campaign: c.Name(),
+		Trials:   trials,
+		Shard:    shard.String(),
+	}
+	if mp, ok := c.(MetaProvider); ok {
+		h.Meta = mp.Meta()
+	}
+	return h
+}
+
+// Compatible reports whether two headers describe the same campaign and
+// configuration (shard may differ — that is the point of merging).
+func (h Header) Compatible(other Header) bool { return h.compatible(other) }
 
 // compatible reports whether two headers describe the same campaign
 // (shard may differ — that is the point of merging).
@@ -198,6 +221,64 @@ func splitLines(data []byte) [][]byte {
 		out = append(out, data[start:])
 	}
 	return out
+}
+
+// WriteFileAtomic writes data to path crash-safely: the bytes go to a
+// temp file in the same directory, are fsynced, and the temp file is
+// renamed over path. An interrupted write never leaves a half-written
+// artifact at path — readers see either the old content or the new,
+// complete one.
+func WriteFileAtomic(path string, data []byte) error {
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return fmt.Errorf("campaign: atomic write %s: %w", path, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	fail := func(err error) error {
+		tmp.Close()
+		return fmt.Errorf("campaign: atomic write %s: %w", path, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	// CreateTemp's private 0600 would survive the rename; widen to the
+	// conventional 0644 so other readers (artifact collectors, other
+	// uids) keep working as they did with os.WriteFile.
+	if err := tmp.Chmod(0o644); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("campaign: atomic write %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("campaign: atomic write %s: %w", path, err)
+	}
+	return nil
+}
+
+// WriteCheckpointAtomic renders a complete checkpoint (header plus
+// results sorted by trial ID) and writes it crash-safely via
+// WriteFileAtomic. It is the output path of merges: unlike the
+// incremental Checkpoint writer, which appends as trials finish, a
+// merge has every record up front and must never leave a torn file.
+func WriteCheckpointAtomic(path string, h Header, results []Result) error {
+	rs := append([]Result(nil), results...)
+	sortResults(rs)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(record{Header: &h}); err != nil {
+		return fmt.Errorf("campaign: marshal checkpoint header: %w", err)
+	}
+	for i := range rs {
+		if err := enc.Encode(record{Result: &rs[i]}); err != nil {
+			return fmt.Errorf("campaign: marshal checkpoint record: %w", err)
+		}
+	}
+	return WriteFileAtomic(path, buf.Bytes())
 }
 
 // MergeFiles reads several checkpoint files (typically one per shard),

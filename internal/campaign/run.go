@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -8,6 +9,11 @@ import (
 
 // Options configures one Run invocation.
 type Options struct {
+	// Context cancels the run: dispatching stops promptly and Run
+	// returns the context error; completed trials stay in the
+	// checkpoint, so a cancelled run resumes where it stopped. Nil
+	// means context.Background().
+	Context context.Context
 	// Runner executes the trials (nil selects PoolRunner on the
 	// process-default engine).
 	Runner Runner
@@ -59,15 +65,7 @@ func Run(c Campaign, opt Options) (*RunResult, error) {
 	if err := checkTrials(trials); err != nil {
 		return nil, err
 	}
-	header := Header{
-		Version:  checkpointVersion,
-		Campaign: c.Name(),
-		Trials:   len(trials),
-		Shard:    opt.Shard.String(),
-	}
-	if mp, ok := c.(MetaProvider); ok {
-		header.Meta = mp.Meta()
-	}
+	header := NewHeader(c, len(trials), opt.Shard)
 	mine := opt.Shard.Of(trials)
 
 	// Resume: load completed trial IDs from an existing checkpoint.
@@ -122,6 +120,10 @@ func Run(c Campaign, opt Options) (*RunResult, error) {
 	if runner == nil {
 		runner = PoolRunner{}
 	}
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var fresh []Result
 	sink := func(r Result) error {
 		fresh = append(fresh, r)
@@ -131,7 +133,7 @@ func Run(c Campaign, opt Options) (*RunResult, error) {
 		return nil
 	}
 	if len(pending) > 0 {
-		if err := runner.Run(c, pending, sink); err != nil {
+		if err := runner.Run(ctx, c, pending, sink); err != nil {
 			return nil, err
 		}
 	}

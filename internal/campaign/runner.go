@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -10,12 +11,14 @@ import (
 
 // Runner executes a set of trials against a campaign, delivering each
 // result to sink exactly once. Runners must serialize sink calls (sink
-// implementations append to memory and checkpoint files). The in-process
-// PoolRunner is the only implementation today; the interface is the seam
-// where a multi-process or cross-machine runner plugs in, with Shard as
-// the unit of distribution.
+// implementations append to memory and checkpoint files) and must stop
+// dispatching new trials promptly once ctx is cancelled, returning
+// ctx.Err(); results already delivered stay valid, so a cancelled run
+// resumes from its checkpoint. The in-process PoolRunner executes on
+// compute-engine lanes; cluster.Coordinator implements the same
+// interface across machines, with Shard as the unit of distribution.
 type Runner interface {
-	Run(c Campaign, trials []Trial, sink func(Result) error) error
+	Run(ctx context.Context, c Campaign, trials []Trial, sink func(Result) error) error
 }
 
 // PoolRunner executes trials on an in-process worker pool: the lanes of
@@ -29,10 +32,15 @@ type PoolRunner struct {
 	Engine tensor.Backend
 }
 
-// Run implements Runner.
-func (r PoolRunner) Run(c Campaign, trials []Trial, sink func(Result) error) error {
+// Run implements Runner. Cancelling ctx (Ctrl-C, a lost cluster lease)
+// stops new trials from starting — lanes skip the remaining queue — and
+// Run returns ctx.Err(); trials already sunk are kept by the caller.
+func (r PoolRunner) Run(ctx context.Context, c Campaign, trials []Trial, sink func(Result) error) error {
 	if len(trials) == 0 {
 		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	eng := r.Engine
 	if eng == nil {
@@ -45,8 +53,8 @@ func (r PoolRunner) Run(c Campaign, trials []Trial, sink func(Result) error) err
 		failed atomic.Bool
 	)
 	eng.Map(len(trials), func(lane, i int) {
-		if failed.Load() {
-			return // an earlier trial failed; drain the queue cheaply
+		if failed.Load() || ctx.Err() != nil {
+			return // cancelled or an earlier trial failed; drain the queue cheaply
 		}
 		// Lanes are slot-sequential, so workers[lane] is only touched by
 		// one goroutine at a time.
@@ -77,6 +85,9 @@ func (r PoolRunner) Run(c Campaign, trials []Trial, sink func(Result) error) err
 		if err != nil {
 			return err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("campaign: run cancelled: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,42 @@
+package campaign
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Synthetic returns a model-free campaign of n seed-addressed trials
+// whose results are a pure function of each trial's seed. It exists for
+// smoke-testing campaign infrastructure — shard merging, checkpoint
+// resume, distributed coordinator/worker loops — without paying for SNN
+// training: `cmd/campaign -c selftest` and the CI loopback-cluster job
+// run it end to end. Like the real sweeps, identical (n, seed) configs
+// enumerate identical trials and produce byte-identical merged results
+// on any worker topology.
+func Synthetic(n int, seed int64) Campaign {
+	trials := make([]Trial, n)
+	for i := range trials {
+		trials[i] = Trial{
+			ID:   i,
+			Key:  fmt.Sprintf("point%02d", i/4), // 4 repeats per key
+			Seed: seed + int64(1000+i),
+			Tags: map[string]string{"rep": fmt.Sprint(i % 4)},
+		}
+	}
+	meta := map[string]string{"n": fmt.Sprint(n), "seed": fmt.Sprint(seed)}
+	return NewWithMeta("selftest", meta, trials, func(lane int) (Worker, error) {
+		return WorkerFunc(RunSyntheticTrial), nil
+	})
+}
+
+// RunSyntheticTrial computes a Synthetic trial's result from its seed
+// alone (exported so cluster tests can count or wrap executions).
+func RunSyntheticTrial(t Trial) (Result, error) {
+	rng := rand.New(rand.NewSource(t.Seed))
+	return Result{
+		TrialID: t.ID,
+		Key:     t.Key,
+		Metrics: map[string]float64{"acc": rng.Float64(), "loss": rng.Float64()},
+		Series:  map[string][]float64{"curve": {rng.Float64(), rng.Float64()}},
+	}, nil
+}

@@ -1,0 +1,403 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"falvolt/internal/campaign"
+	"falvolt/internal/tensor"
+)
+
+// counting wraps a campaign so tests can assert how many trials
+// actually executed (e.g. "no trial ran twice after a reassignment").
+// It forwards Meta so both ends of a cluster compute the same
+// fingerprint whether or not they count.
+type counting struct {
+	campaign.Campaign
+	runs *atomic.Int64
+}
+
+func (c counting) NewWorker(lane int) (campaign.Worker, error) {
+	w, err := c.Campaign.NewWorker(lane)
+	if err != nil {
+		return nil, err
+	}
+	return campaign.WorkerFunc(func(t campaign.Trial) (campaign.Result, error) {
+		c.runs.Add(1)
+		return w.RunTrial(t)
+	}), nil
+}
+
+func (c counting) Meta() map[string]string {
+	if mp, ok := c.Campaign.(campaign.MetaProvider); ok {
+		return mp.Meta()
+	}
+	return nil
+}
+
+// cancelAfter wraps a runner and cancels a context once `after` results
+// have been delivered — a deterministic simulated worker death
+// mid-shard (the worker stops executing and heartbeating at once).
+type cancelAfter struct {
+	inner  campaign.Runner
+	after  int64
+	count  atomic.Int64
+	cancel context.CancelFunc
+}
+
+func (r *cancelAfter) Run(ctx context.Context, c campaign.Campaign, trials []campaign.Trial,
+	sink func(campaign.Result) error) error {
+	wrapped := func(res campaign.Result) error {
+		if err := sink(res); err != nil {
+			return err
+		}
+		if r.count.Add(1) >= r.after {
+			r.cancel()
+		}
+		return nil
+	}
+	return r.inner.Run(ctx, c, trials, wrapped)
+}
+
+// startCoordinator runs campaign.Run with a Coordinator runner in the
+// background and returns the coordinator, its URL, and a channel with
+// the run outcome.
+func startCoordinator(t *testing.T, c campaign.Campaign, cfg CoordinatorConfig,
+	opt campaign.Options) (*Coordinator, string, <-chan runOutcome) {
+	t.Helper()
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.Linger == 0 {
+		cfg.Linger = 50 * time.Millisecond
+	}
+	co := NewCoordinator(cfg)
+	opt.Runner = co
+	if opt.Context == nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		t.Cleanup(cancel)
+		opt.Context = ctx
+	}
+	out := make(chan runOutcome, 1)
+	go func() {
+		rr, err := campaign.Run(c, opt)
+		out <- runOutcome{rr: rr, err: err}
+	}()
+	select {
+	case <-co.Ready():
+	case <-time.After(10 * time.Second):
+		t.Fatal("coordinator never started listening")
+	}
+	return co, co.URL(), out
+}
+
+type runOutcome struct {
+	rr  *campaign.RunResult
+	err error
+}
+
+func startWorker(t *testing.T, cfg WorkerConfig, c campaign.Campaign, ctx context.Context) <-chan error {
+	t.Helper()
+	if cfg.Poll == 0 {
+		cfg.Poll = 20 * time.Millisecond
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = campaign.PoolRunner{Engine: tensor.NewParallel(2)}
+	}
+	done := make(chan error, 1)
+	go func() { done <- NewWorker(cfg).Run(ctx, c) }()
+	return done
+}
+
+func singleProcessWant(t *testing.T, c campaign.Campaign) []byte {
+	t.Helper()
+	rr, err := campaign.Run(c, campaign.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := campaign.MarshalResults(rr.Results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestDistributedEquivalence is the acceptance gate: a campaign
+// distributed across two loopback workers produces byte-identical
+// merged result JSON to the single-process PoolRunner run, with every
+// trial executed exactly once.
+func TestDistributedEquivalence(t *testing.T) {
+	const n = 37
+	want := singleProcessWant(t, campaign.Synthetic(n, 7))
+
+	var runs atomic.Int64
+	dist := counting{Campaign: campaign.Synthetic(n, 7), runs: &runs}
+	ckpt := filepath.Join(t.TempDir(), "coordinator.jsonl")
+	co, url, out := startCoordinator(t, dist,
+		CoordinatorConfig{Shards: 4, LeaseTTL: 2 * time.Second},
+		campaign.Options{Checkpoint: ckpt})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	w1 := startWorker(t, WorkerConfig{Coordinator: url, Name: "w1", CheckpointDir: t.TempDir()}, dist, ctx)
+	w2 := startWorker(t, WorkerConfig{Coordinator: url, Name: "w2", CheckpointDir: t.TempDir()}, dist, ctx)
+
+	res := <-out
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if !res.rr.Complete || res.rr.Executed != n {
+		t.Fatalf("distributed run executed %d/%d, complete=%v", res.rr.Executed, n, res.rr.Complete)
+	}
+	got, err := campaign.MarshalResults(res.rr.Results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("distributed result JSON differs from single-process run")
+	}
+	if runs.Load() != n {
+		t.Fatalf("workers executed %d trials, want exactly %d", runs.Load(), n)
+	}
+	for i, w := range []<-chan error{w1, w2} {
+		if err := <-w; err != nil {
+			t.Fatalf("worker %d exited with error: %v", i+1, err)
+		}
+	}
+
+	// The coordinator's checkpoint holds each trial exactly once and
+	// merges to the same bytes.
+	h, rs, err := campaign.ReadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Campaign != "selftest" || len(rs) != n || !campaign.Complete(rs, n) {
+		t.Fatalf("coordinator checkpoint: campaign %q, %d results (complete=%v)",
+			h.Campaign, len(rs), campaign.Complete(rs, n))
+	}
+	if b, _ := campaign.MarshalResults(rs); !bytes.Equal(b, want) {
+		t.Fatal("coordinator checkpoint differs from single-process run")
+	}
+	if st := co.Stats(); st.Reassigned != 0 || !st.Complete {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestWorkerDeathReassignment kills a worker mid-shard: its lease must
+// expire, the shard's remaining trials must be reassigned to the
+// surviving worker, no trial may execute twice, and the merged output
+// stays byte-identical.
+func TestWorkerDeathReassignment(t *testing.T) {
+	const n, dieAfter = 24, 3
+	want := singleProcessWant(t, campaign.Synthetic(n, 7))
+
+	var runs atomic.Int64
+	dist := counting{Campaign: campaign.Synthetic(n, 7), runs: &runs}
+	ckpt := filepath.Join(t.TempDir(), "coordinator.jsonl")
+	co, url, out := startCoordinator(t, dist,
+		CoordinatorConfig{Shards: 2, LeaseTTL: 150 * time.Millisecond},
+		campaign.Options{Checkpoint: ckpt})
+
+	// Worker A dies (stops running AND heartbeating) after 3 results.
+	ctxA, cancelA := context.WithCancel(context.Background())
+	defer cancelA()
+	ra := &cancelAfter{inner: campaign.PoolRunner{Engine: tensor.Serial()}, after: dieAfter, cancel: cancelA}
+	wa := startWorker(t, WorkerConfig{Coordinator: url, Name: "doomed", Runner: ra, CheckpointDir: t.TempDir()}, dist, ctxA)
+
+	// Let A claim a shard and push its 3 results before B exists, so
+	// the reassignment path is actually exercised.
+	deadline := time.Now().Add(30 * time.Second)
+	for co.Stats().Done < dieAfter {
+		if time.Now().After(deadline) {
+			t.Fatal("worker A never delivered its first results")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	<-wa // A is dead (context cancelled)
+
+	ctxB, cancelB := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancelB()
+	wb := startWorker(t, WorkerConfig{Coordinator: url, Name: "survivor", CheckpointDir: t.TempDir()}, dist, ctxB)
+
+	res := <-out
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if err := <-wb; err != nil {
+		t.Fatalf("surviving worker exited with error: %v", err)
+	}
+	got, err := campaign.MarshalResults(res.rr.Results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("merged output after reassignment differs from single-process run")
+	}
+	if runs.Load() != n {
+		t.Fatalf("workers executed %d trials across the death+reassignment, want exactly %d", runs.Load(), n)
+	}
+	if st := co.Stats(); st.Reassigned < 1 {
+		t.Fatalf("expected at least one lease reassignment, stats: %+v", st)
+	}
+	// Surviving checkpoint: every trial exactly once.
+	_, rs, err := campaign.ReadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != n || !campaign.Complete(rs, n) {
+		t.Fatalf("surviving checkpoint has %d records for %d trials", len(rs), n)
+	}
+}
+
+// TestRestartedWorkerResumesLocalCheckpoint: a worker that dies and
+// comes back with the same checkpoint directory is re-granted the shard
+// and resumes from disk — streamed records are deduplicated and no
+// trial re-runs.
+func TestRestartedWorkerResumesLocalCheckpoint(t *testing.T) {
+	const n, dieAfter = 16, 5
+	want := singleProcessWant(t, campaign.Synthetic(n, 3))
+
+	var runs atomic.Int64
+	dist := counting{Campaign: campaign.Synthetic(n, 3), runs: &runs}
+	_, url, out := startCoordinator(t, dist,
+		CoordinatorConfig{Shards: 1, LeaseTTL: 150 * time.Millisecond},
+		campaign.Options{})
+
+	dir := t.TempDir() // shared across the worker's two lives
+	ctxA, cancelA := context.WithCancel(context.Background())
+	defer cancelA()
+	ra := &cancelAfter{inner: campaign.PoolRunner{Engine: tensor.Serial()}, after: dieAfter, cancel: cancelA}
+	wa := startWorker(t, WorkerConfig{Coordinator: url, Name: "flaky", Runner: ra, CheckpointDir: dir}, dist, ctxA)
+	<-wa
+
+	ctxB, cancelB := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancelB()
+	wb := startWorker(t, WorkerConfig{Coordinator: url, Name: "flaky", CheckpointDir: dir}, dist, ctxB)
+
+	res := <-out
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if err := <-wb; err != nil {
+		t.Fatalf("restarted worker exited with error: %v", err)
+	}
+	if got, _ := campaign.MarshalResults(res.rr.Results); !bytes.Equal(got, want) {
+		t.Fatal("post-restart merged output differs from single-process run")
+	}
+	if runs.Load() != n {
+		t.Fatalf("executed %d trials across restart, want exactly %d (local checkpoint must prevent re-runs)", runs.Load(), n)
+	}
+	// The local shard checkpoint is complete and re-readable.
+	_, rs, err := campaign.ReadCheckpoint(filepath.Join(dir, shardFileName("selftest", "0/1")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !campaign.Complete(rs, n) {
+		t.Fatalf("local shard checkpoint incomplete: missing %v", campaign.Missing(rs, n))
+	}
+}
+
+// TestFingerprintMismatchRejected: a worker whose locally built
+// campaign differs from the coordinator's is refused at registration.
+func TestFingerprintMismatchRejected(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, url, out := startCoordinator(t, campaign.Synthetic(20, 1),
+		CoordinatorConfig{LeaseTTL: time.Second},
+		campaign.Options{Context: ctx})
+
+	err := NewWorker(WorkerConfig{
+		Coordinator: url, Name: "misconfigured", Poll: 10 * time.Millisecond,
+	}).Run(ctx, campaign.Synthetic(20, 2)) // different seed -> different meta
+	if err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("mismatched worker registered anyway: err=%v", err)
+	}
+	cancel() // nothing will finish the campaign
+	if res := <-out; res.err == nil {
+		t.Fatal("coordinator run should report cancellation")
+	}
+}
+
+// TestHeartbeatKeepsSlowShardAlive: a trial taking several lease TTLs
+// must not be reassigned while its worker heartbeats.
+func TestHeartbeatKeepsSlowShardAlive(t *testing.T) {
+	const n = 3
+	trials := make([]campaign.Trial, n)
+	for i := range trials {
+		trials[i] = campaign.Trial{ID: i, Key: fmt.Sprintf("slow%d", i)}
+	}
+	slow := campaign.New("slow", trials, func(lane int) (campaign.Worker, error) {
+		return campaign.WorkerFunc(func(tr campaign.Trial) (campaign.Result, error) {
+			time.Sleep(350 * time.Millisecond) // > 2x lease TTL
+			return campaign.Result{TrialID: tr.ID, Key: tr.Key,
+				Metrics: map[string]float64{"v": float64(tr.ID)}}, nil
+		}), nil
+	})
+	var runs atomic.Int64
+	dist := counting{Campaign: slow, runs: &runs}
+
+	co, url, out := startCoordinator(t, dist,
+		CoordinatorConfig{Shards: 1, LeaseTTL: 150 * time.Millisecond},
+		campaign.Options{})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	w := startWorker(t, WorkerConfig{
+		Coordinator: url, Name: "slowpoke",
+		Runner: campaign.PoolRunner{Engine: tensor.Serial()},
+	}, dist, ctx)
+
+	res := <-out
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if err := <-w; err != nil {
+		t.Fatalf("worker exited with error: %v", err)
+	}
+	if runs.Load() != n {
+		t.Fatalf("executed %d trials, want %d (reassignment would re-run)", runs.Load(), n)
+	}
+	if st := co.Stats(); st.Reassigned != 0 {
+		t.Fatalf("slow shard was reassigned despite heartbeats: %+v", st)
+	}
+}
+
+// TestTrialErrorAbortsCampaign: a deterministic trial failure on a
+// worker fails the whole run instead of spinning on reassignment.
+func TestTrialErrorAbortsCampaign(t *testing.T) {
+	trials := make([]campaign.Trial, 8)
+	for i := range trials {
+		trials[i] = campaign.Trial{ID: i, Key: "k"}
+	}
+	failing := campaign.New("failing", trials, func(lane int) (campaign.Worker, error) {
+		return campaign.WorkerFunc(func(tr campaign.Trial) (campaign.Result, error) {
+			if tr.ID == 5 {
+				return campaign.Result{}, fmt.Errorf("injected fault")
+			}
+			return campaign.Result{TrialID: tr.ID, Key: tr.Key}, nil
+		}), nil
+	})
+
+	_, url, out := startCoordinator(t, failing,
+		CoordinatorConfig{Shards: 2, LeaseTTL: time.Second},
+		campaign.Options{})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	w := startWorker(t, WorkerConfig{
+		Coordinator: url, Name: "unlucky",
+		Runner: campaign.PoolRunner{Engine: tensor.Serial()},
+	}, failing, ctx)
+
+	res := <-out
+	if res.err == nil || !strings.Contains(res.err.Error(), "injected fault") {
+		t.Fatalf("coordinator run error = %v, want the injected trial fault", res.err)
+	}
+	if err := <-w; err == nil {
+		t.Fatal("worker should surface the trial failure")
+	}
+}

@@ -1,0 +1,455 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"falvolt/internal/campaign"
+)
+
+// DefaultShards is the shard count when CoordinatorConfig.Shards is 0:
+// a few shards per expected worker, so a small fleet load-balances
+// without making shards so fine that lease traffic dominates.
+const DefaultShards = 8
+
+// DefaultLeaseTTL is the lease deadline when CoordinatorConfig.LeaseTTL
+// is 0. Workers heartbeat at a third of the TTL, so a worker death is
+// detected within one TTL while three missed heartbeats are tolerated.
+const DefaultLeaseTTL = 15 * time.Second
+
+// CoordinatorConfig configures a Coordinator.
+type CoordinatorConfig struct {
+	// Addr is the listen address (":9090", "127.0.0.1:0" for an
+	// ephemeral test port).
+	Addr string
+	// Shards is the number of interleaved shards the trial list is
+	// split into (0 = DefaultShards, clamped to the trial count).
+	// More shards than workers lets fast workers take extra shards and
+	// bounds the work lost to a lease reassignment.
+	Shards int
+	// LeaseTTL is how long a shard lease survives without a heartbeat
+	// (0 = DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// Linger keeps the server answering StatusDone after completion so
+	// idle workers observe the result instead of a dead socket
+	// (default 1s; tests shorten it).
+	Linger time.Duration
+	// Log receives progress lines (nil silences).
+	Log io.Writer
+
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+// Coordinator distributes one campaign run across HTTP workers. It
+// implements campaign.Runner, so it drops into campaign.Options.Runner
+// anywhere a PoolRunner would go; Run blocks until every trial has a
+// result, the context is cancelled, or the campaign fails. A
+// Coordinator is single-use: make a new one per Run.
+type Coordinator struct {
+	cfg CoordinatorConfig
+
+	ready chan struct{} // closed once listening; url is then valid
+	url   string
+
+	mu         sync.Mutex
+	started    bool
+	info       CampaignInfo
+	fp         string
+	shards     []*shardState
+	trialShard map[int]int // trial ID -> owning shard index
+	leases     *leaseTable
+	recorded   map[int][]byte // trial ID -> canonical result JSON (conflict check)
+	remaining  int            // trials without results, across all shards
+	sink       func(campaign.Result) error
+	workers    map[string]string // worker ID -> display name
+	wseq       int
+	reassigned int
+	failure    error
+	closed     bool          // Run has returned; handlers must not touch the sink
+	done       chan struct{} // closed on completion or failure
+	doneOnce   sync.Once
+}
+
+// shardState is one shard's scheduling state.
+type shardState struct {
+	label     string // campaign.Shard "i/n" form
+	trials    []campaign.Trial
+	remaining map[int]campaign.Trial // trial ID -> trial, results pending
+	done      bool
+}
+
+// NewCoordinator builds a single-use coordinator.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	if cfg.Shards < 0 {
+		cfg.Shards = 0
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.Linger <= 0 {
+		cfg.Linger = time.Second
+	}
+	return &Coordinator{cfg: cfg, ready: make(chan struct{}), done: make(chan struct{})}
+}
+
+// Ready is closed once the coordinator is listening; URL is valid from
+// then on.
+func (co *Coordinator) Ready() <-chan struct{} { return co.ready }
+
+// URL returns the coordinator's base URL ("http://host:port"). Valid
+// only after Ready.
+func (co *Coordinator) URL() string { return co.url }
+
+// Stats snapshots scheduling counters (used by tests and /v1/status).
+func (co *Coordinator) Stats() StatusResponse {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.statusLocked()
+}
+
+// Run implements campaign.Runner: serve the trial set to registered
+// workers and deliver each result to sink exactly once. It returns when
+// every trial has a result (nil), when ctx is cancelled (ctx.Err()), or
+// when the campaign fails (trial error, result conflict, sink error).
+func (co *Coordinator) Run(ctx context.Context, c campaign.Campaign, trials []campaign.Trial, sink func(campaign.Result) error) error {
+	if len(trials) == 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	info, err := InfoOf(c)
+	if err != nil {
+		return err
+	}
+	co.mu.Lock()
+	if co.started {
+		co.mu.Unlock()
+		return fmt.Errorf("cluster: coordinator is single-use; make a new one per run")
+	}
+	co.started = true
+	co.info = info
+	co.fp = info.Fingerprint()
+	co.sink = sink
+	co.recorded = make(map[int][]byte)
+	co.workers = make(map[string]string)
+	co.leases = newLeaseTable(co.cfg.LeaseTTL, co.cfg.now)
+	co.planShards(trials)
+	co.remaining = len(trials)
+	co.mu.Unlock()
+
+	ln, err := net.Listen("tcp", co.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("cluster: listen %s: %w", co.cfg.Addr, err)
+	}
+	co.url = "http://" + ln.Addr().String()
+	close(co.ready)
+	srv := &http.Server{Handler: co.mux()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	co.logf("coordinator: serving campaign %s (%d trials, %d shards, lease TTL %v) on %s\n",
+		info.Campaign, len(trials), len(co.shards), co.cfg.LeaseTTL, co.url)
+
+	var runErr error
+	select {
+	case <-ctx.Done():
+		runErr = ctx.Err()
+	case <-co.done:
+		co.mu.Lock()
+		runErr = co.failure
+		co.mu.Unlock()
+		// Let idle workers observe StatusDone / StatusFailed from their
+		// next poll before the socket dies; otherwise they burn their
+		// transport-retry budget against a dead address and report
+		// "unreachable" instead of the real outcome.
+		select {
+		case <-time.After(co.cfg.Linger):
+		case <-ctx.Done():
+		}
+	case err := <-serveErr:
+		runErr = fmt.Errorf("cluster: coordinator server: %w", err)
+	}
+	// Bar handlers from the sink before returning: Shutdown's grace can
+	// expire with a results POST still in flight, and once Run returns
+	// the caller owns its result set and checkpoint again. Taking the
+	// mutex also waits out any handler currently inside recordLocked.
+	co.mu.Lock()
+	co.closed = true
+	co.mu.Unlock()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	srv.Shutdown(shutdownCtx)
+	return runErr
+}
+
+// planShards splits the trial set into interleaved shards. Shards that
+// would be empty (sparse trial IDs, more shards than trials) are
+// dropped: an empty shard has nothing to lease.
+func (co *Coordinator) planShards(trials []campaign.Trial) {
+	n := co.cfg.Shards
+	if n == 0 {
+		n = DefaultShards
+	}
+	if n > len(trials) {
+		n = len(trials)
+	}
+	co.trialShard = make(map[int]int, len(trials))
+	for i := 0; i < n; i++ {
+		sh := campaign.Shard{Index: i, Count: n}
+		mine := sh.Of(trials)
+		if len(mine) == 0 {
+			continue
+		}
+		st := &shardState{label: sh.String(), trials: mine, remaining: make(map[int]campaign.Trial, len(mine))}
+		for _, t := range mine {
+			st.remaining[t.ID] = t
+			co.trialShard[t.ID] = len(co.shards)
+		}
+		co.shards = append(co.shards, st)
+	}
+}
+
+// mux wires the protocol endpoints.
+func (co *Coordinator) mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("POST /v1/register", co.handleRegister)
+	m.HandleFunc("POST /v1/lease", co.handleLease)
+	m.HandleFunc("POST /v1/heartbeat", co.handleHeartbeat)
+	m.HandleFunc("POST /v1/results", co.handleResults)
+	m.HandleFunc("GET /v1/status", co.handleStatus)
+	return m
+}
+
+func (co *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if req.Fingerprint != co.fp {
+		writeJSONError(w, http.StatusConflict, fmt.Sprintf(
+			"campaign fingerprint mismatch: worker %q built %s, coordinator serves %s (campaign %s, %d trials) — align the worker's configuration flags",
+			req.Worker, req.Fingerprint, co.fp, co.info.Campaign, co.info.Trials))
+		return
+	}
+	co.wseq++
+	id := fmt.Sprintf("w%d-%s", co.wseq, req.Worker)
+	co.workers[id] = req.Worker
+	co.logf("coordinator: registered worker %s\n", id)
+	writeJSON(w, RegisterResponse{WorkerID: id, LeaseTTLMillis: co.cfg.LeaseTTL.Milliseconds()})
+}
+
+func (co *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if !co.knownWorker(w, req.WorkerID) {
+		return
+	}
+	if resp, over := co.runOverLocked(); over {
+		writeJSON(w, resp)
+		return
+	}
+	co.sweepLocked()
+	for i, st := range co.shards {
+		if st.done || co.leases.holder(i) != nil {
+			continue
+		}
+		l := co.leases.grant(req.WorkerID, i)
+		pending := make([]campaign.Trial, 0, len(st.remaining))
+		for _, t := range st.remaining {
+			pending = append(pending, t)
+		}
+		sort.Slice(pending, func(a, b int) bool { return pending[a].ID < pending[b].ID })
+		co.logf("coordinator: leased shard %s (%d trials pending) to %s as %s\n",
+			st.label, len(pending), req.WorkerID, l.id)
+		writeJSON(w, LeaseResponse{Status: StatusLease, LeaseID: l.id, Shard: st.label, Trials: pending})
+		return
+	}
+	writeJSON(w, LeaseResponse{Status: StatusWait})
+}
+
+func (co *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if !co.knownWorker(w, req.WorkerID) {
+		return
+	}
+	status := StatusWait
+	if resp, over := co.runOverLocked(); over {
+		status = resp.Status
+	}
+	writeJSON(w, HeartbeatResponse{OK: co.leases.renew(req.LeaseID), Status: status})
+}
+
+func (co *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
+	var req ResultsRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.closed {
+		writeJSONError(w, http.StatusServiceUnavailable, "coordinator shutting down")
+		return
+	}
+	if !co.knownWorker(w, req.WorkerID) {
+		return
+	}
+	if req.TrialErr != "" {
+		co.failLocked(fmt.Errorf("cluster: worker %s: %s", req.WorkerID, req.TrialErr))
+		writeJSON(w, ResultsResponse{OK: true})
+		return
+	}
+	// Results are accepted from any registered (fingerprint-verified)
+	// worker, even one whose lease has lapsed: a slow worker's trials
+	// are as deterministic as a fast one's, and the conflict check
+	// catches genuine disagreement. Leases only schedule work.
+	for _, res := range req.Results {
+		if err := co.recordLocked(res); err != nil {
+			co.failLocked(err)
+			writeJSON(w, ResultsResponse{OK: true})
+			return
+		}
+	}
+	writeJSON(w, ResultsResponse{OK: true})
+}
+
+func (co *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	writeJSON(w, co.statusLocked())
+}
+
+// recordLocked folds one streamed result in: exactly-once sink
+// delivery, duplicate verification, shard bookkeeping, completion.
+func (co *Coordinator) recordLocked(res campaign.Result) error {
+	shard, planned := co.trialShard[res.TrialID]
+	if !planned {
+		// Outside this run's trial set — e.g. a restarted worker's local
+		// checkpoint covering trials the coordinator already resumed
+		// from its own. The sink must see each planned trial exactly
+		// once, so out-of-scope records are dropped, not re-sunk.
+		return nil
+	}
+	enc, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("cluster: marshal result for trial %d: %w", res.TrialID, err)
+	}
+	if prev, ok := co.recorded[res.TrialID]; ok {
+		if !bytes.Equal(prev, enc) {
+			return fmt.Errorf("cluster: conflicting results for trial %d — workers disagree about the campaign", res.TrialID)
+		}
+		return nil // duplicate from a reassigned or resumed shard
+	}
+	if err := co.sink(res); err != nil {
+		return err
+	}
+	co.recorded[res.TrialID] = enc
+	st := co.shards[shard]
+	delete(st.remaining, res.TrialID)
+	co.remaining--
+	if len(st.remaining) == 0 && !st.done {
+		st.done = true
+		if l := co.leases.holder(shard); l != nil {
+			co.leases.release(l.id)
+		}
+		co.logf("coordinator: shard %s complete (%d/%d trials done)\n",
+			st.label, len(co.recorded), co.info.Trials)
+	}
+	if co.remaining == 0 {
+		co.logf("coordinator: campaign %s complete\n", co.info.Campaign)
+		co.doneOnce.Do(func() { close(co.done) })
+	}
+	return nil
+}
+
+// sweepLocked expires dead leases, counting shards that go back on the
+// queue with work still pending as reassignments.
+func (co *Coordinator) sweepLocked() {
+	for _, shard := range co.leases.sweep() {
+		st := co.shards[shard]
+		if !st.done && len(st.remaining) > 0 {
+			co.reassigned++
+			co.logf("coordinator: lease on shard %s expired with %d trials pending; reassigning\n",
+				st.label, len(st.remaining))
+		}
+	}
+}
+
+// failLocked aborts the run.
+func (co *Coordinator) failLocked(err error) {
+	if co.failure == nil {
+		co.failure = err
+		co.logf("coordinator: campaign failed: %v\n", err)
+	}
+	co.doneOnce.Do(func() { close(co.done) })
+}
+
+// runOverLocked returns the terminal lease response once the campaign
+// has completed or failed.
+func (co *Coordinator) runOverLocked() (LeaseResponse, bool) {
+	if co.failure != nil {
+		return LeaseResponse{Status: StatusFailed, Error: co.failure.Error()}, true
+	}
+	if co.remaining == 0 {
+		return LeaseResponse{Status: StatusDone}, true
+	}
+	return LeaseResponse{}, false
+}
+
+// knownWorker rejects requests from unregistered worker IDs (a worker
+// that raced a coordinator restart must re-register).
+func (co *Coordinator) knownWorker(w http.ResponseWriter, id string) bool {
+	if _, ok := co.workers[id]; !ok {
+		writeJSONError(w, http.StatusForbidden, fmt.Sprintf("unknown worker %q: register first", id))
+		return false
+	}
+	return true
+}
+
+func (co *Coordinator) statusLocked() StatusResponse {
+	st := StatusResponse{
+		Campaign:    co.info,
+		Fingerprint: co.fp,
+		Planned:     co.info.Trials,
+		Done:        len(co.recorded),
+		Workers:     len(co.workers),
+		Reassigned:  co.reassigned,
+		Complete:    co.started && co.remaining == 0,
+	}
+	if co.failure != nil {
+		st.Failed = co.failure.Error()
+	}
+	for i, sh := range co.shards {
+		s := ShardStatus{Shard: sh.label, Trials: len(sh.trials), Remaining: len(sh.remaining), Done: sh.done}
+		if l := co.leases.holder(i); l != nil {
+			s.Worker = l.worker
+		}
+		st.Shards = append(st.Shards, s)
+	}
+	return st
+}
+
+func (co *Coordinator) logf(format string, args ...any) {
+	if co.cfg.Log != nil {
+		fmt.Fprintf(co.cfg.Log, format, args...)
+	}
+}

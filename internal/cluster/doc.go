@@ -1,0 +1,35 @@
+// Package cluster runs fault-sweep campaigns across machines: a
+// coordinator plans a campaign into interleaved shards
+// (campaign.Shard), leases them to worker daemons over HTTP+JSON, and
+// folds the streamed-back results through the campaign engine's
+// order-independent merge. Coordinator implements campaign.Runner, so
+// any sweep that runs on the in-process PoolRunner — the figure
+// campaigns of cmd/experiments, the yield study of cmd/yield — runs on
+// a fleet by swapping the runner (`cmd/campaign serve` / `cmd/campaign
+// work`, or the -coordinator flag on the sweep tools).
+//
+// Determinism guarantee: distribution never changes results. Every
+// trial is seed-addressed — its result is a pure function of the trial,
+// not of which worker ran it, when, or after how many lease
+// reassignments — and the coordinator delivers each trial's result to
+// the campaign sink exactly once, with reductions consuming them in
+// ascending trial-ID order. A campaign distributed across any number of
+// workers (including workers that die mid-shard and have their leases
+// reassigned) therefore produces figure and report JSON byte-identical
+// to a single-process run; the cluster tests assert exactly that.
+//
+// Fault tolerance: leases carry heartbeat-renewed deadlines. A worker
+// that misses its deadline (crash, network partition) loses the lease,
+// and the shard's remaining trials — those whose results never arrived
+// — are reassigned to the next idle worker. Workers keep a local JSONL
+// checkpoint per shard, so a restarted worker re-registers, resumes its
+// shard from disk, and streams the already-completed records instead of
+// re-running them.
+//
+// Safety: workers are configured independently of the coordinator (each
+// builds the campaign from its own flags), so registration verifies a
+// fingerprint of the campaign configuration — name, trial count, and
+// the metadata fingerprint that checkpoint headers carry. A worker
+// built against a different suite configuration is rejected at
+// registration instead of silently corrupting the merge.
+package cluster

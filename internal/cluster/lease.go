@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// lease is one worker's time-bounded claim on one shard.
+type lease struct {
+	id       string
+	worker   string // worker ID
+	shard    int    // shard index into the coordinator's shard table
+	deadline time.Time
+}
+
+// leaseTable tracks active leases with heartbeat-renewed deadlines. It
+// is not self-locking: the coordinator serializes access under its own
+// mutex. Time is injectable so expiry is unit-testable without
+// sleeping.
+type leaseTable struct {
+	ttl time.Duration
+	now func() time.Time
+	seq int
+	// byID holds active (possibly expired-but-unswept) leases; byShard
+	// indexes the same leases by shard.
+	byID    map[string]*lease
+	byShard map[int]*lease
+}
+
+func newLeaseTable(ttl time.Duration, now func() time.Time) *leaseTable {
+	if now == nil {
+		now = time.Now
+	}
+	return &leaseTable{
+		ttl:     ttl,
+		now:     now,
+		byID:    make(map[string]*lease),
+		byShard: make(map[int]*lease),
+	}
+}
+
+// grant leases a shard to a worker. The shard must not be actively
+// leased (callers sweep first).
+func (t *leaseTable) grant(worker string, shard int) *lease {
+	if l, ok := t.byShard[shard]; ok {
+		panic(fmt.Sprintf("cluster: shard %d already leased as %s", shard, l.id))
+	}
+	t.seq++
+	l := &lease{
+		id:       fmt.Sprintf("l%d-s%d", t.seq, shard),
+		worker:   worker,
+		shard:    shard,
+		deadline: t.now().Add(t.ttl),
+	}
+	t.byID[l.id] = l
+	t.byShard[shard] = l
+	return l
+}
+
+// renew extends a lease's deadline. It returns false — the worker must
+// abandon the shard — when the lease is unknown, was released, or has
+// already expired (renewing past the deadline would resurrect a shard
+// that may have been reassigned).
+func (t *leaseTable) renew(id string) bool {
+	l, ok := t.byID[id]
+	if !ok || t.expired(l) {
+		return false
+	}
+	l.deadline = t.now().Add(t.ttl)
+	return true
+}
+
+// release drops a lease (shard finished or campaign over).
+func (t *leaseTable) release(id string) {
+	if l, ok := t.byID[id]; ok {
+		delete(t.byID, id)
+		delete(t.byShard, l.shard)
+	}
+}
+
+// holder returns the active lease on a shard, nil if none.
+func (t *leaseTable) holder(shard int) *lease {
+	return t.byShard[shard]
+}
+
+// expired reports whether a lease's deadline has passed.
+func (t *leaseTable) expired(l *lease) bool {
+	return t.now().After(l.deadline)
+}
+
+// sweep removes every expired lease and returns the shard indices they
+// held — the shards now eligible for reassignment.
+func (t *leaseTable) sweep() []int {
+	var freed []int
+	for id, l := range t.byID {
+		if t.expired(l) {
+			delete(t.byID, id)
+			delete(t.byShard, l.shard)
+			freed = append(freed, l.shard)
+		}
+	}
+	return freed
+}

@@ -1,0 +1,48 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLeaseTable exercises grant/renew/expiry/sweep on a fake clock.
+func TestLeaseTable(t *testing.T) {
+	now := time.Unix(0, 0)
+	tab := newLeaseTable(10*time.Second, func() time.Time { return now })
+
+	l := tab.grant("w1", 0)
+	if tab.holder(0) != l {
+		t.Fatal("holder should return the granted lease")
+	}
+	now = now.Add(9 * time.Second)
+	if !tab.renew(l.id) {
+		t.Fatal("renew before the deadline should succeed")
+	}
+	now = now.Add(9 * time.Second) // 18s total, but renewed at 9s -> deadline 19s
+	if !tab.renew(l.id) {
+		t.Fatal("renew after an earlier renewal should succeed")
+	}
+	now = now.Add(11 * time.Second)
+	if tab.renew(l.id) {
+		t.Fatal("renew past the deadline must fail")
+	}
+	freed := tab.sweep()
+	if len(freed) != 1 || freed[0] != 0 {
+		t.Fatalf("sweep freed %v, want [0]", freed)
+	}
+	if tab.holder(0) != nil {
+		t.Fatal("swept shard should have no holder")
+	}
+	l2 := tab.grant("w2", 0)
+	if l2.id == l.id {
+		t.Fatal("regrant must mint a fresh lease ID")
+	}
+	if tab.renew(l.id) {
+		t.Fatal("the old lease ID must stay dead after regrant")
+	}
+
+	tab.release(l2.id)
+	if tab.holder(0) != nil || tab.renew(l2.id) {
+		t.Fatal("released lease should be gone")
+	}
+}

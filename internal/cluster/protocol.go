@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"falvolt/internal/campaign"
+)
+
+// The wire protocol is deliberately small: four POST endpoints under
+// /v1/ (register, lease, heartbeat, results) plus a GET /v1/status
+// snapshot, all JSON. Trials travel coordinator -> worker inside lease
+// grants; results stream back worker -> coordinator one record per
+// completed trial. Campaign configuration never travels: each side
+// builds the campaign locally and registration compares fingerprints.
+
+// protocolVersion is bumped on incompatible wire changes; registration
+// rejects mismatched versions via the fingerprint.
+const protocolVersion = 1
+
+// Lease-response statuses.
+const (
+	// StatusLease: a shard lease was granted; Trials holds the work.
+	StatusLease = "lease"
+	// StatusWait: all shards are leased or done but the campaign is not
+	// finished; poll again.
+	StatusWait = "wait"
+	// StatusDone: every trial has a result; the worker can exit.
+	StatusDone = "done"
+	// StatusFailed: the campaign aborted (trial error, sink error,
+	// result conflict); Error carries the cause.
+	StatusFailed = "failed"
+)
+
+// CampaignInfo identifies a campaign configuration: the same fields a
+// checkpoint Header carries, which the fingerprint hashes.
+type CampaignInfo struct {
+	Version  int               `json:"version"`
+	Campaign string            `json:"campaign"`
+	Trials   int               `json:"trials"`
+	Meta     map[string]string `json:"meta,omitempty"`
+}
+
+// InfoOf extracts a campaign's identity (name, full trial count,
+// metadata fingerprint).
+func InfoOf(c campaign.Campaign) (CampaignInfo, error) {
+	trials, err := c.Trials()
+	if err != nil {
+		return CampaignInfo{}, fmt.Errorf("cluster: enumerate %s: %w", c.Name(), err)
+	}
+	info := CampaignInfo{Version: protocolVersion, Campaign: c.Name(), Trials: len(trials)}
+	if mp, ok := c.(campaign.MetaProvider); ok {
+		info.Meta = mp.Meta()
+	}
+	return info, nil
+}
+
+// Fingerprint hashes the campaign identity into a short hex digest.
+// Coordinator and worker compute it independently from their own
+// configuration; registration rejects a mismatch, so shard results from
+// a differently configured worker can never reach the merge.
+func (ci CampaignInfo) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d|%s|%d", ci.Version, ci.Campaign, ci.Trials)
+	keys := make([]string, 0, len(ci.Meta))
+	for k := range ci.Meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(h, "|%s=%s", k, ci.Meta[k])
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// RegisterRequest enrolls a worker for the coordinator's campaign.
+type RegisterRequest struct {
+	// Worker is a self-chosen display name (host:pid by default).
+	Worker string `json:"worker"`
+	// Fingerprint is CampaignInfo.Fingerprint() of the worker's locally
+	// built campaign.
+	Fingerprint string `json:"fingerprint"`
+}
+
+// RegisterResponse acknowledges registration.
+type RegisterResponse struct {
+	WorkerID string `json:"workerID"`
+	// LeaseTTLMillis tells the worker how often to heartbeat (a third
+	// of the TTL).
+	LeaseTTLMillis int64 `json:"leaseTTLMillis"`
+}
+
+// LeaseRequest asks for a shard of work.
+type LeaseRequest struct {
+	WorkerID string `json:"workerID"`
+}
+
+// LeaseResponse grants a shard (StatusLease) or reports the campaign
+// state (StatusWait / StatusDone / StatusFailed).
+type LeaseResponse struct {
+	Status  string `json:"status"`
+	LeaseID string `json:"leaseID,omitempty"`
+	// Shard labels the granted shard in campaign.Shard "i/n" form; the
+	// worker's local checkpoint header records it, so a restarted
+	// worker resumes iff it is re-granted the same shard.
+	Shard string `json:"shard,omitempty"`
+	// Trials are the shard's trials still missing results at the
+	// coordinator, sorted by ID — a reassigned shard only re-runs what
+	// its dead worker never delivered.
+	Trials []campaign.Trial `json:"trials,omitempty"`
+	Error  string           `json:"error,omitempty"`
+}
+
+// HeartbeatRequest renews a lease.
+type HeartbeatRequest struct {
+	WorkerID string `json:"workerID"`
+	LeaseID  string `json:"leaseID"`
+}
+
+// HeartbeatResponse reports whether the lease is still held. OK=false
+// means the lease expired or was reassigned: the worker must abandon
+// the shard (its results so far are kept).
+type HeartbeatResponse struct {
+	OK     bool   `json:"ok"`
+	Status string `json:"status"`
+}
+
+// ResultsRequest streams completed trial results (or a fatal trial
+// error) back to the coordinator.
+type ResultsRequest struct {
+	WorkerID string            `json:"workerID"`
+	LeaseID  string            `json:"leaseID,omitempty"`
+	Results  []campaign.Result `json:"results,omitempty"`
+	// TrialErr aborts the whole campaign: trials are deterministic, so
+	// another worker would fail the same way.
+	TrialErr string `json:"trialErr,omitempty"`
+}
+
+// ResultsResponse acknowledges a results batch.
+type ResultsResponse struct {
+	OK bool `json:"ok"`
+}
+
+// ShardStatus is one shard's entry in a status snapshot.
+type ShardStatus struct {
+	Shard     string `json:"shard"`
+	Trials    int    `json:"trials"`
+	Remaining int    `json:"remaining"`
+	Worker    string `json:"worker,omitempty"`
+	Done      bool   `json:"done"`
+}
+
+// StatusResponse is the GET /v1/status snapshot.
+type StatusResponse struct {
+	Campaign    CampaignInfo  `json:"campaign"`
+	Fingerprint string        `json:"fingerprint"`
+	Planned     int           `json:"planned"`
+	Done        int           `json:"done"`
+	Workers     int           `json:"workers"`
+	Reassigned  int           `json:"reassigned"`
+	Shards      []ShardStatus `json:"shards"`
+	Failed      string        `json:"failed,omitempty"`
+	Complete    bool          `json:"complete"`
+}

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// maxBodyBytes bounds request/response bodies. Lease grants carry at
+// most one shard's trial list and results stream in small batches, so
+// 64 MiB is far above any legitimate message.
+const maxBodyBytes = 64 << 20
+
+// client is the worker side of the wire protocol.
+type client struct {
+	base string
+	hc   *http.Client
+}
+
+func newClient(base string) *client {
+	return &client{
+		base: strings.TrimRight(base, "/"),
+		hc:   &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// statusError is a non-2xx protocol reply — a deliberate rejection
+// (fingerprint mismatch, unknown worker), as opposed to a transport
+// error worth retrying.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string {
+	if e.msg != "" {
+		return fmt.Sprintf("%s (HTTP %d)", e.msg, e.code)
+	}
+	return fmt.Sprintf("HTTP %d", e.code)
+}
+
+// post sends one JSON request and decodes the JSON response. Non-2xx
+// responses come back as *statusError carrying the server's message;
+// other errors are transport failures.
+func (cl *client) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("cluster: marshal %s request: %w", path, err)
+	}
+	resp, err := cl.hc.Post(cl.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("cluster: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return fmt.Errorf("cluster: read %s response: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.Unmarshal(data, &e)
+		return fmt.Errorf("cluster: %s: %w", path, &statusError{code: resp.StatusCode, msg: e.Error})
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("cluster: decode %s response: %w", path, err)
+	}
+	return nil
+}
+
+func (cl *client) register(req RegisterRequest) (RegisterResponse, error) {
+	var resp RegisterResponse
+	err := cl.post("/v1/register", req, &resp)
+	return resp, err
+}
+
+func (cl *client) lease(req LeaseRequest) (LeaseResponse, error) {
+	var resp LeaseResponse
+	err := cl.post("/v1/lease", req, &resp)
+	return resp, err
+}
+
+func (cl *client) heartbeat(req HeartbeatRequest) (HeartbeatResponse, error) {
+	var resp HeartbeatResponse
+	err := cl.post("/v1/heartbeat", req, &resp)
+	return resp, err
+}
+
+func (cl *client) results(req ResultsRequest) (ResultsResponse, error) {
+	var resp ResultsResponse
+	err := cl.post("/v1/results", req, &resp)
+	return resp, err
+}
+
+// readJSON decodes a request body, replying 400 on malformed input.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err == nil {
+		err = json.Unmarshal(data, v)
+	}
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("bad request: %v", err))
+		return false
+	}
+	return true
+}
+
+// writeJSON replies 200 with a JSON body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeJSONError replies with a JSON {"error": ...} body.
+func writeJSONError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{msg})
+}

@@ -1,0 +1,395 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"falvolt/internal/campaign"
+)
+
+// DefaultPoll is the idle poll / retry interval when WorkerConfig.Poll
+// is 0.
+const DefaultPoll = 500 * time.Millisecond
+
+// defaultRetries bounds consecutive transport failures (coordinator not
+// yet listening at startup, restarting mid-campaign) before the worker
+// gives up.
+const defaultRetries = 60
+
+// heartbeatMisses is how many consecutive failed heartbeats a worker
+// tolerates before treating its lease as lost.
+const heartbeatMisses = 3
+
+// errLeaseLost marks a shard abandoned because the coordinator revoked
+// or expired the lease; the worker returns to the lease loop.
+var errLeaseLost = errors.New("cluster: lease lost")
+
+// errPush tags a failed result upload. Unlike a trial failure it is not
+// deterministic — the coordinator may be restarting or the network
+// flaky — so the worker abandons the shard (keeping its local
+// checkpoint) and rejoins the lease loop, whose retry budget decides
+// whether the coordinator is truly gone. It must never abort the whole
+// campaign via TrialErr.
+var errPush = errors.New("cluster: pushing results failed")
+
+// errLocal tags a local checkpoint write failure (disk full,
+// permissions): fatal to THIS worker, but not a reason to abort the
+// campaign — the lease expires and another worker takes the shard.
+var errLocal = errors.New("cluster: local checkpoint write failed")
+
+// errCampaignDone is runShard's signal that the campaign completed
+// (observed via heartbeat) while the shard was running; the worker
+// exits cleanly without another lease round-trip.
+var errCampaignDone = errors.New("cluster: campaign completed")
+
+// WorkerConfig configures a worker daemon.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL ("http://host:9090").
+	Coordinator string
+	// Name is the worker's display name (default "host-pid").
+	Name string
+	// Runner executes leased trials locally (nil selects
+	// campaign.PoolRunner on the process-default engine).
+	Runner campaign.Runner
+	// CheckpointDir, when non-empty, keeps one local JSONL checkpoint
+	// per leased shard: a restarted worker that is re-granted a shard
+	// resumes from disk and streams the completed records instead of
+	// re-running them.
+	CheckpointDir string
+	// Poll is the idle poll and retry interval (0 = DefaultPoll).
+	Poll time.Duration
+	// Retries bounds consecutive transport failures before giving up
+	// (0 = a built-in default generous enough for a coordinator that
+	// starts after its workers).
+	Retries int
+	// Log receives progress lines (nil silences).
+	Log io.Writer
+}
+
+// Worker executes shards of a campaign leased from a coordinator. It
+// builds the campaign locally (expensive resources like trained
+// baselines load lazily on first trial) and must be configured
+// identically to the coordinator's — registration verifies the
+// configuration fingerprint and rejects mismatches.
+type Worker struct {
+	cfg WorkerConfig
+	cl  *client
+}
+
+// NewWorker builds a worker daemon for one coordinator.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.Name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		cfg.Name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = campaign.PoolRunner{}
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = DefaultPoll
+	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = defaultRetries
+	}
+	return &Worker{cfg: cfg, cl: newClient(cfg.Coordinator)}
+}
+
+// Run registers with the coordinator and processes shard leases until
+// the campaign completes (nil), fails, or ctx is cancelled. The
+// campaign must be configured identically to the coordinator's.
+func (w *Worker) Run(ctx context.Context, c campaign.Campaign) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	info, err := InfoOf(c)
+	if err != nil {
+		return err
+	}
+	workerID, ttl, err := w.register(ctx, info)
+	if err != nil {
+		return err
+	}
+	hbEvery := ttl / 3
+	if hbEvery <= 0 {
+		hbEvery = w.cfg.Poll
+	}
+	w.logf("worker %s: registered for campaign %s (%d trials), heartbeat every %v\n",
+		workerID, info.Campaign, info.Trials, hbEvery)
+
+	fails := 0
+	for {
+		if err := sleepCtx(ctx, 0); err != nil {
+			return err
+		}
+		lr, err := w.cl.lease(LeaseRequest{WorkerID: workerID})
+		if err != nil {
+			var se *statusError
+			if errors.As(err, &se) {
+				return err // deliberate rejection, not a transient fault
+			}
+			fails++
+			if fails > w.cfg.Retries {
+				return fmt.Errorf("cluster: coordinator unreachable after %d attempts: %w", fails, err)
+			}
+			if err := sleepCtx(ctx, w.cfg.Poll); err != nil {
+				return err
+			}
+			continue
+		}
+		fails = 0
+		switch lr.Status {
+		case StatusDone:
+			w.logf("worker %s: campaign complete\n", workerID)
+			return nil
+		case StatusFailed:
+			return fmt.Errorf("cluster: campaign failed at coordinator: %s", lr.Error)
+		case StatusWait:
+			if err := sleepCtx(ctx, w.cfg.Poll); err != nil {
+				return err
+			}
+		case StatusLease:
+			err := w.runShard(ctx, c, info, workerID, hbEvery, lr)
+			switch {
+			case errors.Is(err, errLeaseLost):
+				w.logf("worker %s: lease %s lost; rejoining the queue\n", workerID, lr.LeaseID)
+			case errors.Is(err, errCampaignDone):
+				w.logf("worker %s: campaign completed elsewhere; exiting\n", workerID)
+				return nil
+			case err != nil:
+				return err
+			}
+		default:
+			return fmt.Errorf("cluster: coordinator sent unknown lease status %q", lr.Status)
+		}
+	}
+}
+
+// register enrolls the worker, retrying transport failures so workers
+// may start before their coordinator listens.
+func (w *Worker) register(ctx context.Context, info CampaignInfo) (string, time.Duration, error) {
+	req := RegisterRequest{Worker: w.cfg.Name, Fingerprint: info.Fingerprint()}
+	for attempt := 1; ; attempt++ {
+		resp, err := w.cl.register(req)
+		if err == nil {
+			return resp.WorkerID, time.Duration(resp.LeaseTTLMillis) * time.Millisecond, nil
+		}
+		var se *statusError
+		if errors.As(err, &se) {
+			return "", 0, err // fingerprint mismatch or malformed request
+		}
+		if attempt > w.cfg.Retries {
+			return "", 0, fmt.Errorf("cluster: register failed after %d attempts: %w", attempt, err)
+		}
+		if err := sleepCtx(ctx, w.cfg.Poll); err != nil {
+			return "", 0, err
+		}
+	}
+}
+
+// runShard executes one leased shard: resume from the local checkpoint,
+// run the pending trials on the local runner, stream each result back,
+// heartbeat until done.
+func (w *Worker) runShard(ctx context.Context, c campaign.Campaign, info CampaignInfo,
+	workerID string, hbEvery time.Duration, lr LeaseResponse) error {
+	shardCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Local shard checkpoint: resume completed trials from disk and
+	// stream them to the coordinator (it deduplicates).
+	done := make(map[int]bool)
+	var ckpt *campaign.Checkpoint
+	if w.cfg.CheckpointDir != "" {
+		var err error
+		ckpt, done, err = w.openShardCheckpoint(c, info, workerID, lr)
+		if err != nil {
+			if errors.Is(err, errPush) {
+				// Streaming the resumed records failed transiently;
+				// abandon the lease and retry from the loop like any
+				// other push failure.
+				w.logf("worker %s: shard %s: %v\n", workerID, lr.Shard, err)
+				return errLeaseLost
+			}
+			return err
+		}
+		defer ckpt.Close()
+	}
+	var pending []campaign.Trial
+	for _, t := range lr.Trials {
+		if !done[t.ID] {
+			pending = append(pending, t)
+		}
+	}
+	w.logf("worker %s: leased shard %s: %d trials, %d resumed locally\n",
+		workerID, lr.Shard, len(lr.Trials), len(lr.Trials)-len(pending))
+
+	// Heartbeat until the shard run finishes (the deferred cancel stops
+	// the goroutine). A revoked lease cancels the shard context, which
+	// aborts the runner promptly; a terminal campaign status observed
+	// on the heartbeat (failed/done elsewhere in the fleet) does the
+	// same and is remembered, so the worker reports the real outcome
+	// instead of burning its retry budget against a dead socket.
+	var terminal atomic.Value // string: StatusFailed or StatusDone
+	go func() {
+		ticker := time.NewTicker(hbEvery)
+		defer ticker.Stop()
+		misses := 0
+		for {
+			select {
+			case <-shardCtx.Done():
+				return
+			case <-ticker.C:
+			}
+			resp, err := w.cl.heartbeat(HeartbeatRequest{WorkerID: workerID, LeaseID: lr.LeaseID})
+			switch {
+			case err != nil:
+				misses++
+				if misses >= heartbeatMisses {
+					cancel()
+					return
+				}
+			case resp.Status == StatusFailed || resp.Status == StatusDone:
+				terminal.Store(resp.Status)
+				cancel()
+				return
+			case !resp.OK:
+				cancel()
+				return
+			default:
+				misses = 0
+			}
+		}
+	}()
+
+	// One POST per trial keeps progress reporting and durability simple;
+	// real campaign trials cost seconds to minutes of SNN compute, so
+	// the round-trip is noise (micro-batching is the lever if trials
+	// ever get RTT-bound).
+	sink := func(r campaign.Result) error {
+		if ckpt != nil {
+			if err := ckpt.Append(r); err != nil {
+				return fmt.Errorf("%w: %v", errLocal, err)
+			}
+		}
+		if _, err := w.cl.results(ResultsRequest{
+			WorkerID: workerID, LeaseID: lr.LeaseID, Results: []campaign.Result{r},
+		}); err != nil {
+			return fmt.Errorf("%w: %v", errPush, err)
+		}
+		w.logf("worker %s: shard %s: trial %d (%s) done\n", workerID, lr.Shard, r.TrialID, r.Key)
+		return nil
+	}
+	err := w.cfg.Runner.Run(shardCtx, c, pending, sink)
+	if st, _ := terminal.Load().(string); st != "" && ctx.Err() == nil {
+		// The fleet finished (or failed) while this shard ran; report
+		// the observed outcome directly instead of polling a
+		// coordinator that may already be gone.
+		if st == StatusFailed {
+			return fmt.Errorf("cluster: campaign failed at coordinator (observed via heartbeat)")
+		}
+		return errCampaignDone
+	}
+	switch {
+	case err == nil:
+		w.logf("worker %s: shard %s complete\n", workerID, lr.Shard)
+		return nil
+	case shardCtx.Err() != nil && ctx.Err() == nil:
+		return errLeaseLost
+	case ctx.Err() != nil:
+		return err
+	case errors.Is(err, errPush):
+		// Transient upload failure, not a bad trial: the completed
+		// results survive in the local checkpoint; rejoin the lease
+		// loop, whose retry budget decides if the coordinator is gone.
+		w.logf("worker %s: shard %s: %v\n", workerID, lr.Shard, err)
+		return errLeaseLost
+	case errors.Is(err, errLocal):
+		// This worker can no longer checkpoint durably; let it die
+		// without aborting the campaign — the lease will expire and the
+		// shard will be reassigned.
+		return err
+	default:
+		// A deterministic trial (or worker-construction) failure:
+		// another worker would fail the same way, so tell the
+		// coordinator to abort the campaign (best effort).
+		w.cl.results(ResultsRequest{WorkerID: workerID, LeaseID: lr.LeaseID, TrialErr: err.Error()})
+		return err
+	}
+}
+
+// openShardCheckpoint opens (or creates) the local checkpoint for a
+// leased shard, returning the writer, the completed trial IDs, and —
+// when resuming — streaming the completed records to the coordinator.
+func (w *Worker) openShardCheckpoint(c campaign.Campaign, info CampaignInfo,
+	workerID string, lr LeaseResponse) (*campaign.Checkpoint, map[int]bool, error) {
+	shard, err := campaign.ParseShard(lr.Shard)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: coordinator sent bad shard label %q: %w", lr.Shard, err)
+	}
+	header := campaign.NewHeader(c, info.Trials, shard)
+	path := filepath.Join(w.cfg.CheckpointDir, shardFileName(info.Campaign, lr.Shard))
+	done := make(map[int]bool)
+	if _, err := os.Stat(path); err == nil {
+		prev, results, err := campaign.ReadCheckpoint(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !prev.Compatible(header) || prev.Shard != header.Shard {
+			return nil, nil, fmt.Errorf("cluster: local checkpoint %s is from a different campaign, configuration or shard", path)
+		}
+		if len(results) > 0 {
+			if _, err := w.cl.results(ResultsRequest{
+				WorkerID: workerID, LeaseID: lr.LeaseID, Results: results,
+			}); err != nil {
+				return nil, nil, fmt.Errorf("%w: %v", errPush, err)
+			}
+			w.logf("worker %s: shard %s: streamed %d checkpointed results\n", workerID, lr.Shard, len(results))
+		}
+		for _, r := range results {
+			done[r.TrialID] = true
+		}
+		ckpt, err := campaign.OpenCheckpointAppend(path)
+		return ckpt, done, err
+	}
+	if err := os.MkdirAll(w.cfg.CheckpointDir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("cluster: checkpoint dir: %w", err)
+	}
+	ckpt, err := campaign.CreateCheckpoint(path, header)
+	return ckpt, done, err
+}
+
+// shardFileName renders the local checkpoint filename for a shard
+// ("yield-shard3of8.jsonl").
+func shardFileName(name, shard string) string {
+	return fmt.Sprintf("%s-shard%s.jsonl", name, strings.ReplaceAll(shard, "/", "of"))
+}
+
+// sleepCtx waits d (or just checks cancellation when d is 0).
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Log != nil {
+		fmt.Fprintf(w.cfg.Log, format, args...)
+	}
+}

@@ -2,12 +2,15 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"strconv"
 	"sync"
 
 	"falvolt/internal/campaign"
+	"falvolt/internal/datasets"
 	"falvolt/internal/faults"
+	"falvolt/internal/fixed"
 	"falvolt/internal/snn"
 	"falvolt/internal/systolic"
 	"falvolt/internal/tensor"
@@ -415,6 +418,66 @@ func YieldFromResults(results []campaign.Result, chips int, threshold float64) (
 	}
 	rep.MeanFaulty = float64(totalFaulty) / float64(chips)
 	return rep, nil
+}
+
+// SyntheticYieldFingerprint is the provenance metadata for the shared
+// synthetic-MNIST yield baseline: the knobs SyntheticYieldBuild bakes
+// in that YieldConfig cannot see. cmd/yield and cmd/campaign both
+// record it, so their shard files and cluster workers interoperate iff
+// the baseline setup matches.
+func SyntheticYieldFingerprint(baseEpochs int) map[string]string {
+	return map[string]string{
+		"base-epochs": strconv.Itoa(baseEpochs),
+		"baseline":    "synthetic-mnist-320/128",
+	}
+}
+
+// SyntheticYieldBuild returns the canonical baseline-build closure for
+// yield studies on the synthetic MNIST stand-in: dataset, reduced model
+// spec, baseline training, and the systolic array. It exists in one
+// place because cmd/yield and cmd/campaign must construct bit-identical
+// baselines for the SyntheticYieldFingerprint contract to hold — a
+// drift between two hand-copied closures would pass fingerprint
+// verification and only surface as a mid-campaign result conflict.
+// Progress lines go to log (nil silences).
+func SyntheticYieldBuild(seed int64, baseEpochs, arrayN int, threshold float64, log io.Writer) func() (YieldDeps, error) {
+	logf := func(format string, args ...any) {
+		if log != nil {
+			fmt.Fprintf(log, format, args...)
+		}
+	}
+	return func() (YieldDeps, error) {
+		ds, err := datasets.SyntheticMNIST(datasets.Config{Train: 320, Test: 128, T: 4, Seed: seed})
+		if err != nil {
+			return YieldDeps{}, err
+		}
+		spec := snn.MNISTSpec()
+		spec.EncoderC, spec.BlockC, spec.FCHidden = 4, []int{8, 8}, 32
+		buildModel := func() (*snn.Model, error) {
+			return snn.Build(spec, rand.New(rand.NewSource(seed)))
+		}
+		model, err := buildModel()
+		if err != nil {
+			return YieldDeps{}, err
+		}
+		logf("training baseline...\n")
+		baseAcc, err := TrainBaseline(model, ds.Train, ds.Test, baseEpochs, 0.02,
+			rand.New(rand.NewSource(seed+1)), true)
+		if err != nil {
+			return YieldDeps{}, err
+		}
+		logf("baseline accuracy %.3f; shipping threshold %.2f\n", baseAcc, threshold)
+		arr, err := systolic.New(systolic.Config{Rows: arrayN, Cols: arrayN, Format: fixed.Q16x16, Saturate: true})
+		if err != nil {
+			return YieldDeps{}, err
+		}
+		// BuildModel lets the campaign evaluate dies on every engine
+		// lane concurrently instead of one at a time.
+		return YieldDeps{
+			Model: model, Baseline: model.Net.State(), Arr: arr,
+			Train: ds.Train, Test: ds.Test, BuildModel: buildModel,
+		}, nil
+	}
 }
 
 // YieldStudy simulates cfg.Chips manufactured dies of the given array
