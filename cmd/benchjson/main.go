@@ -84,6 +84,11 @@ func parse(r io.Reader) (map[string]Entry, error) {
 func main() {
 	out := flag.String("o", "", "output path (default stdout); written atomically")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: unexpected argument %q (bench output is read from stdin)\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	entries, err := parse(os.Stdin)
 	if err != nil {

@@ -4,6 +4,17 @@
 // manufacturing-yield study of cmd/yield, decomposed into deterministic
 // seed-addressed trials by internal/campaign.
 //
+// Every subcommand is a thin shim over a declarative experiment spec
+// (internal/spec): config flags compile into a Spec, -dump-spec prints
+// it, and -spec runs from a spec file instead of flags ("-" reads
+// stdin), so
+//
+//	campaign run -c fig5a -quick -dump-spec > fig5a.json
+//	campaign run -spec fig5a.json -o fig5a.jsonl
+//
+// are the same run — and the spec file is the durable, reviewable,
+// submittable description of it.
+//
 // Usage:
 //
 //	campaign plan -c fig5a -quick                      # print the trial list
@@ -15,13 +26,13 @@
 // leases shards to worker daemons over HTTP (internal/cluster):
 //
 //	campaign serve -c fig5a -quick -addr :9090 -o fig5a.jsonl   # coordinator
-//	campaign work  -c fig5a -quick -coordinator http://host:9090 -checkpoint wrk/
+//	campaign work  -coordinator http://host:9090 -checkpoint wrk/
 //
-// Workers build the campaign from their own flags; registration
-// verifies a configuration fingerprint, so a misconfigured worker is
-// rejected instead of corrupting the merge. The merged output is
-// byte-identical to a single-process run however many workers ran (and
-// died) along the way.
+// Workers are spec-free: the coordinator ships its canonical spec at
+// registration and each worker builds the campaign from those bytes, so
+// a worker cannot be misconfigured. The merged output is byte-identical
+// to a single-process run however many workers ran (and died) along the
+// way.
 //
 // A run appends each completed trial to its JSONL checkpoint (-o) and
 // resumes from it after an interruption, skipping completed trial IDs;
@@ -37,16 +48,18 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strconv"
 	"strings"
 	"syscall"
 
 	"falvolt/internal/campaign"
 	"falvolt/internal/cluster"
-	"falvolt/internal/core"
-	"falvolt/internal/experiments"
-	"falvolt/internal/faults"
+	"falvolt/internal/spec"
 	"falvolt/internal/tensor"
+
+	// Register the figure ("fig2", "fig5a-c", "mitigation") and "yield"
+	// campaign kinds with the spec registry.
+	_ "falvolt/internal/core"
+	_ "falvolt/internal/experiments"
 )
 
 func main() {
@@ -80,23 +93,36 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: campaign <plan|run|serve|work|merge> [flags]
 
-  plan  -c <name> [config flags]            print the deterministic trial list as JSON
-  run   -c <name> -o <file> [-shard i/n] [-max N] [config flags]
+  plan  -c <kind> [config flags]            print the deterministic trial list as JSON
+  run   -c <kind> -o <file> [-shard i/n] [-max N] [config flags]
                                             execute (one shard of) a campaign with
                                             JSONL checkpointing and resume
-  serve -c <name> -addr <host:port> [-shards N] [-lease-ttl D] [-o file] [config flags]
+  serve -c <kind> -addr <host:port> [-shards N] [-lease-ttl D] [-o file] [config flags]
                                             coordinate the campaign across HTTP workers,
                                             then print the figures/report
-  work  -c <name> -coordinator <url> [-checkpoint dir] [config flags]
-                                            worker daemon: lease shards from a
-                                            coordinator and stream results back
+  work  -coordinator <url> [-checkpoint dir] [-cache dir]
+                                            spec-free worker daemon: the campaign spec
+                                            arrives from the coordinator at registration
   merge [-cache dir] [-json file] [-o file] <file>...
-                                            merge shard/checkpoint files and print
-                                            the figures or yield report
+                                            merge shard/checkpoint files and print the
+                                            figures or report (plus a timing summary)
 
-campaigns: %s yield selftest
-`, strings.Join(experiments.CampaignNames(), " "))
+plan, run and serve also accept -spec <file> (a spec replaces the config
+flags; "-" reads stdin) and -dump-spec (print the compiled spec and exit).
+
+campaign kinds: %s
+`, strings.Join(spec.Kinds(), " "))
 	os.Exit(2)
+}
+
+// noPositional rejects stray arguments after flag parsing: a typo like
+// `campaign run fig5a` must fail with usage, not silently run defaults.
+func noPositional(fs *flag.FlagSet) error {
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	return nil
 }
 
 // sigCtx is the root context of every subcommand: Ctrl-C or SIGTERM
@@ -106,15 +132,18 @@ func sigCtx() (context.Context, context.CancelFunc) {
 	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 }
 
-// config collects the union of campaign configuration flags.
+// config collects the union of campaign configuration flags — the
+// legacy surface that now compiles into a spec.Spec.
 type config struct {
-	name    string
-	backend string
-	verbose bool
+	specPath string
+	dump     bool
+	kind     string
+	backend  string
+	verbose  bool
+	seed     int64
 
 	// Suite (figure campaign) options.
 	quick   bool
-	seed    int64
 	arrayN  int
 	epochs  int
 	repeats int
@@ -136,155 +165,89 @@ type config struct {
 }
 
 func addConfigFlags(fs *flag.FlagSet, c *config) {
-	fs.StringVar(&c.name, "c", "", "campaign: "+strings.Join(experiments.CampaignNames(), " | ")+" | yield | selftest")
+	fs.StringVar(&c.specPath, "spec", "", "experiment spec JSON file (replaces the config flags; \"-\" reads stdin)")
+	fs.BoolVar(&c.dump, "dump-spec", false, "print the spec compiled from the flags and exit")
+	fs.StringVar(&c.kind, "c", "", "campaign kind: "+strings.Join(spec.Kinds(), " | "))
 	fs.StringVar(&c.backend, "backend", "", tensor.BackendFlagDoc)
 	fs.BoolVar(&c.verbose, "v", false, "progress logging")
-	fs.BoolVar(&c.quick, "quick", false, "reduced model/dataset sizes (figure campaigns)")
 	fs.Int64Var(&c.seed, "seed", 7, "seed")
+	fs.BoolVar(&c.quick, "quick", false, "reduced model/dataset sizes (figure campaigns)")
 	fs.IntVar(&c.arrayN, "array", 64, "systolic array side (NxN)")
 	fs.IntVar(&c.epochs, "epochs", 0, "retraining epochs (0 = default for mode)")
 	fs.IntVar(&c.repeats, "repeats", 0, "fault maps averaged per vulnerability point (0 = default)")
 	fs.IntVar(&c.evalN, "eval", 0, "test samples per deployed evaluation (0 = default)")
 	fs.StringVar(&c.cache, "cache", "", "directory for baseline snapshots (reused across shards)")
-	fs.IntVar(&c.chips, "chips", 12, "yield: number of simulated dies")
-	fs.Float64Var(&c.meanFaulty, "mean-faulty", 60, "yield: mean faulty PEs per die")
-	fs.Float64Var(&c.alpha, "alpha", 1.0, "yield: defect clustering (smaller = heavier tails)")
+	// Yield flag defaults come from the one definition of the yield
+	// defaults (spec.YieldSpec.Defaulted), shared with cmd/yield and
+	// the spec builder.
+	ydef := spec.YieldSpec{}.Defaulted()
+	fs.IntVar(&c.chips, "chips", ydef.Chips, "yield: number of simulated dies")
+	fs.Float64Var(&c.meanFaulty, "mean-faulty", ydef.MeanFaulty, "yield: mean faulty PEs per die")
+	fs.Float64Var(&c.alpha, "alpha", ydef.Alpha, "yield: defect clustering (smaller = heavier tails)")
 	fs.BoolVar(&c.clustered, "clustered", true, "yield: spatially clustered fault maps")
-	fs.Float64Var(&c.threshold, "threshold", 0.85, "yield: minimum shipping accuracy")
-	fs.StringVar(&c.method, "method", "falvolt", "yield: salvage policy fap | fapit | falvolt")
-	fs.IntVar(&c.mitEpochs, "mit-epochs", 4, "yield: retraining epochs per salvaged die")
-	fs.IntVar(&c.baseEp, "base-epochs", 12, "yield: baseline training epochs")
+	fs.Float64Var(&c.threshold, "threshold", ydef.Threshold, "yield: minimum shipping accuracy")
+	fs.StringVar(&c.method, "method", ydef.Method, "yield: salvage policy fap | fapit | falvolt")
+	fs.IntVar(&c.mitEpochs, "mit-epochs", ydef.MitEpochs, "yield: retraining epochs per salvaged die")
+	fs.IntVar(&c.baseEp, "base-epochs", ydef.BaseEpochs, "yield: baseline training epochs")
 	fs.IntVar(&c.trials, "trials", 24, "selftest: synthetic trial count")
 }
 
-func (c *config) suite() *experiments.Suite {
-	opt := experiments.DefaultOptions()
-	if c.quick {
-		opt = experiments.QuickOptions()
+// spec loads -spec or compiles the config flags into a Spec. The
+// -backend flag overrides the spec's execution backend either way.
+func (c *config) spec() (*spec.Spec, error) {
+	if c.specPath != "" {
+		return spec.LoadOverride(c.specPath, c.backend)
 	}
-	opt.Seed = c.seed
-	opt.ArrayRows, opt.ArrayCols = c.arrayN, c.arrayN
-	opt.CacheDir = c.cache
-	if c.epochs > 0 {
-		opt.RetrainEpochs = c.epochs
+	s := &spec.Spec{Version: spec.Version, Kind: c.kind, Seed: c.seed, Backend: c.backend}
+	switch c.kind {
+	case "":
+		return nil, fmt.Errorf("missing -c <kind> or -spec <file>")
+	case "yield":
+		s.Yield = &spec.YieldSpec{
+			Chips: c.chips, MeanFaulty: c.meanFaulty, Alpha: c.alpha,
+			Clustered: c.clustered, Threshold: c.threshold, Method: c.method,
+			MitEpochs: c.mitEpochs, BaseEpochs: c.baseEp, Array: c.arrayN,
+			Eval: c.evalN,
+		}
+	case "selftest":
+		s.Selftest = &spec.SelftestSpec{Trials: c.trials}
+	default:
+		s.Suite = &spec.SuiteSpec{
+			Quick: c.quick, Array: c.arrayN, Epochs: c.epochs,
+			Repeats: c.repeats, Eval: c.evalN,
+		}
 	}
-	if c.repeats > 0 {
-		opt.Repeats = c.repeats
-	}
-	if c.evalN > 0 {
-		opt.EvalSamples = c.evalN
-	}
+	return s, nil
+}
+
+// buildOpts assembles the execution-local builder resources.
+func (c *config) buildOpts() spec.BuildOpts {
+	opt := spec.BuildOpts{CacheDir: c.cache}
 	if c.verbose {
 		opt.Log = os.Stderr
 	}
-	return experiments.NewSuite(opt)
+	return opt
 }
 
-func (c *config) yieldConfig() (core.YieldConfig, error) {
-	var m core.Method
-	switch strings.ToLower(c.method) {
-	case "fap":
-		m = core.FaP
-	case "fapit":
-		m = core.FaPIT
-	case "falvolt":
-		m = core.FalVolt
-	default:
-		return core.YieldConfig{}, fmt.Errorf("unknown method %q", c.method)
-	}
-	return core.YieldConfig{
-		Chips:     c.chips,
-		Defects:   faults.DefectModel{MeanFaulty: c.meanFaulty, Alpha: c.alpha},
-		Clustered: c.clustered,
-		Threshold: c.threshold,
-		Mitigation: core.Config{
-			Method: m, Epochs: c.mitEpochs, LR: 0.01, BatchSize: 16, ClipNorm: 5,
-		},
-		EvalSamples: 96,
-		// +2 matches cmd/yield exactly, so the two tools enumerate
-		// identical die populations for the same -seed flag and their
-		// shard files / cluster workers interoperate.
-		Seed: c.seed + 2,
-	}, nil
-}
-
-// yieldCampaign wraps the yield study as a campaign. The baseline is
-// trained lazily on first worker use, so `plan`, fully-resumed runs and
-// coordinators (which never execute trials) never pay for it. Build
-// closure and fingerprint are shared with cmd/yield (core.Synthetic*),
-// so shard files and cluster workers from either tool interoperate.
-func (c *config) yieldCampaign() (campaign.Campaign, core.YieldConfig, error) {
-	cfg, err := c.yieldConfig()
+// prepare resolves the spec and, unless -dump-spec short-circuits,
+// applies the backend and builds the campaign. A nil Built with nil
+// error means the spec was dumped and the subcommand should exit.
+func (c *config) prepare() (*spec.Spec, *spec.Built, error) {
+	s, err := c.spec()
 	if err != nil {
-		return nil, cfg, err
+		return nil, nil, err
 	}
-	cam, err := core.LazyYieldCampaign(c.arrayN, c.arrayN, cfg,
-		core.SyntheticYieldFingerprint(c.baseEp),
-		core.SyntheticYieldBuild(c.seed, c.baseEp, c.arrayN, c.threshold, os.Stderr))
-	return cam, cfg, err
-}
-
-// campaignCtx bundles a built campaign with whatever its output
-// rendering needs (the suite for figure campaigns, the yield config for
-// the report).
-type campaignCtx struct {
-	cam   campaign.Campaign
-	suite *experiments.Suite // figure campaigns only
-	ycfg  core.YieldConfig   // yield only
-}
-
-// buildCampaign constructs the named campaign from the config flags.
-func (c *config) buildCampaign() (*campaignCtx, error) {
-	switch c.name {
-	case "":
-		return nil, fmt.Errorf("missing -c <campaign>")
-	case "yield":
-		cam, ycfg, err := c.yieldCampaign()
-		if err != nil {
-			return nil, err
-		}
-		return &campaignCtx{cam: cam, ycfg: ycfg}, nil
-	case "selftest":
-		return &campaignCtx{cam: campaign.Synthetic(c.trials, c.seed)}, nil
-	default:
-		suite := c.suite()
-		cam, err := suite.Campaign(c.name)
-		if err != nil {
-			return nil, err
-		}
-		return &campaignCtx{cam: cam, suite: suite}, nil
+	if c.dump {
+		return s, nil, s.Dump(os.Stdout)
 	}
-}
-
-// printResults renders a complete campaign's merged results: figures
-// for the suite campaigns, the report for yield, canonical result JSON
-// for selftest.
-func (cc *campaignCtx) printResults(results []campaign.Result) error {
-	switch {
-	case cc.cam.Name() == "yield":
-		rep, err := core.YieldFromResults(results, cc.ycfg.Chips, cc.ycfg.Threshold)
-		if err != nil {
-			return err
-		}
-		fmt.Println(rep)
-		return nil
-	case cc.suite != nil:
-		figs, err := cc.suite.Figures(cc.cam.Name(), results)
-		if err != nil {
-			return err
-		}
-		for _, f := range figs {
-			f.Print(os.Stdout)
-		}
-		return nil
-	default: // selftest
-		b, err := campaign.MarshalResults(results)
-		if err != nil {
-			return err
-		}
-		fmt.Println(string(b))
-		return nil
+	if err := tensor.SetDefaultByName(s.Backend); err != nil {
+		return nil, nil, err
 	}
+	built, err := spec.Build(s, c.buildOpts())
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, built, nil
 }
 
 func planCmd(args []string) error {
@@ -292,11 +255,14 @@ func planCmd(args []string) error {
 	var c config
 	addConfigFlags(fs, &c)
 	fs.Parse(args)
-	cc, err := c.buildCampaign()
-	if err != nil {
+	if err := noPositional(fs); err != nil {
 		return err
 	}
-	trials, err := cc.cam.Trials()
+	s, built, err := c.prepare()
+	if err != nil || built == nil {
+		return err
+	}
+	trials, err := built.Campaign.Trials()
 	if err != nil {
 		return err
 	}
@@ -305,7 +271,7 @@ func planCmd(args []string) error {
 		return err
 	}
 	fmt.Println(string(b))
-	fmt.Fprintf(os.Stderr, "%d trials\n", len(trials))
+	fmt.Fprintf(os.Stderr, "%d trials (spec %s)\n", len(trials), fingerprintOf(s))
 	return nil
 }
 
@@ -313,25 +279,25 @@ func runCmd(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	var c config
 	var (
-		out      = fs.String("o", "", "checkpoint/output JSONL (default <name>-shard<i>of<n>.jsonl)")
-		shardArg = fs.String("shard", "", "run the i-th of n interleaved trial subsets (i/n)")
+		out      = fs.String("o", "", "checkpoint/output JSONL (default <kind>-shard<i>of<n>.jsonl)")
+		shardArg = fs.String("shard", "", "run the i-th of n interleaved trial subsets (i/n); overrides the spec's shard")
 		maxNew   = fs.Int("max", 0, "max new trials this sitting (0 = unlimited)")
 	)
 	addConfigFlags(fs, &c)
 	fs.Parse(args)
-	if err := tensor.SetDefaultByName(c.backend); err != nil {
+	if err := noPositional(fs); err != nil {
 		return err
 	}
-	shard, err := campaign.ParseShard(*shardArg)
+	s, built, err := c.prepare()
+	if err != nil || built == nil {
+		return err
+	}
+	shard, err := shardFor(s, *shardArg)
 	if err != nil {
 		return err
 	}
 	if *out == "" {
-		*out = fmt.Sprintf("%s-shard%dof%d.jsonl", c.name, shard.Index, max(shard.Count, 1))
-	}
-	cc, err := c.buildCampaign()
-	if err != nil {
-		return err
+		*out = fmt.Sprintf("%s-shard%dof%d.jsonl", s.Kind, shard.Index, max(shard.Count, 1))
 	}
 	ctx, stop := sigCtx()
 	defer stop()
@@ -339,12 +305,12 @@ func runCmd(args []string) error {
 	if c.verbose {
 		opt.Log = os.Stderr
 	}
-	rr, err := campaign.Run(cc.cam, opt)
+	rr, err := campaign.Run(built.Campaign, opt)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "campaign %s shard %s: %d/%d trials complete (%d resumed, %d run) -> %s\n",
-		c.name, shard, len(rr.Results), rr.Planned, rr.Resumed, rr.Executed, *out)
+		s.Kind, shard, len(rr.Results), rr.Planned, rr.Resumed, rr.Executed, *out)
 	if !rr.Complete {
 		fmt.Fprintln(os.Stderr, "partial: rerun the same command to resume")
 		return nil
@@ -353,7 +319,7 @@ func runCmd(args []string) error {
 		fmt.Fprintf(os.Stderr, "shard complete: merge all shard files with `campaign merge`\n")
 		return nil
 	}
-	return cc.printResults(rr.Results)
+	return built.Render(os.Stdout, rr.Results)
 }
 
 func serveCmd(args []string) error {
@@ -363,24 +329,27 @@ func serveCmd(args []string) error {
 		addr     = fs.String("addr", ":9090", "coordinator listen address")
 		shards   = fs.Int("shards", 0, "shard count (0 = auto; more shards = finer reassignment)")
 		leaseTTL = fs.Duration("lease-ttl", 0, "shard lease deadline without a heartbeat (0 = default)")
-		out      = fs.String("o", "", "checkpoint/output JSONL (default <name>-cluster.jsonl); resumes")
+		out      = fs.String("o", "", "checkpoint/output JSONL (default <kind>-cluster.jsonl); resumes")
 	)
 	addConfigFlags(fs, &c)
 	fs.Parse(args)
-	if *out == "" {
-		*out = c.name + "-cluster.jsonl"
-	}
-	cc, err := c.buildCampaign()
-	if err != nil {
+	if err := noPositional(fs); err != nil {
 		return err
+	}
+	s, built, err := c.prepare()
+	if err != nil || built == nil {
+		return err
+	}
+	if *out == "" {
+		*out = s.Kind + "-cluster.jsonl"
 	}
 	ctx, stop := sigCtx()
 	defer stop()
 	co := cluster.NewCoordinator(cluster.CoordinatorConfig{
-		Addr: *addr, Shards: *shards, LeaseTTL: *leaseTTL, Log: os.Stderr,
+		Addr: *addr, Spec: s, Shards: *shards, LeaseTTL: *leaseTTL, Log: os.Stderr,
 	})
 	opt := campaign.Options{Context: ctx, Runner: co, Checkpoint: *out, Log: os.Stderr}
-	rr, err := campaign.Run(cc.cam, opt)
+	rr, err := campaign.Run(built.Campaign, opt)
 	if err != nil {
 		return err
 	}
@@ -391,38 +360,39 @@ func serveCmd(args []string) error {
 		fmt.Fprintf(os.Stderr, "checkpoint %s already complete: no coordinator was started; stop any waiting workers\n", *out)
 	}
 	fmt.Fprintf(os.Stderr, "campaign %s: %d/%d trials complete -> %s\n",
-		c.name, len(rr.Results), rr.Planned, *out)
-	return cc.printResults(rr.Results)
+		s.Kind, len(rr.Results), rr.Planned, *out)
+	return built.Render(os.Stdout, rr.Results)
 }
 
 func workCmd(args []string) error {
 	fs := flag.NewFlagSet("work", flag.ExitOnError)
-	var c config
 	var (
 		coord   = fs.String("coordinator", "", "coordinator base URL (http://host:port)")
 		name    = fs.String("name", "", "worker display name (default host-pid)")
 		ckptDir = fs.String("checkpoint", "", "directory for local per-shard JSONL checkpoints (resume on restart)")
+		cache   = fs.String("cache", "", "directory for baseline snapshots (reused across runs)")
 		poll    = fs.Duration("poll", 0, "idle poll interval (0 = default)")
+		backend = fs.String("backend", "", tensor.BackendFlagDoc)
 	)
-	addConfigFlags(fs, &c)
 	fs.Parse(args)
+	if err := noPositional(fs); err != nil {
+		return err
+	}
 	if *coord == "" {
 		return fmt.Errorf("work needs -coordinator <url>")
 	}
-	if err := tensor.SetDefaultByName(c.backend); err != nil {
-		return err
-	}
-	cc, err := c.buildCampaign()
-	if err != nil {
+	if err := tensor.SetDefaultByName(*backend); err != nil {
 		return err
 	}
 	ctx, stop := sigCtx()
 	defer stop()
+	// No campaign configuration here, by design: the coordinator ships
+	// its canonical spec at registration and the worker builds from it.
 	w := cluster.NewWorker(cluster.WorkerConfig{
 		Coordinator: *coord, Name: *name, CheckpointDir: *ckptDir,
-		Poll: *poll, Log: os.Stderr,
+		CacheDir: *cache, Poll: *poll, Log: os.Stderr,
 	})
-	return w.Run(ctx, cc.cam)
+	return w.Run(ctx)
 }
 
 func mergeCmd(args []string) error {
@@ -436,6 +406,7 @@ func mergeCmd(args []string) error {
 	)
 	fs.Parse(args)
 	if fs.NArg() == 0 {
+		fs.Usage()
 		return fmt.Errorf("merge needs at least one checkpoint file")
 	}
 	if err := tensor.SetDefaultByName(*backend); err != nil {
@@ -450,6 +421,27 @@ func mergeCmd(args []string) error {
 			len(results), header.Trials, missing[0])
 	}
 	fmt.Fprintf(os.Stderr, "merged %d files: campaign %s, %d trials\n", fs.NArg(), header.Campaign, len(results))
+	// Per-key wall-clock: where this campaign's compute actually went
+	// (the load-aware shard-sizing signal).
+	campaign.WriteTimingSummary(os.Stderr, results)
+
+	// The checkpoint header carries the canonical spec, so the merge
+	// rebuilds the exact campaign — and its renderers — with no
+	// matching flags. Resolve it before writing any artifact, so a
+	// renderless merge (e.g. pre-spec checkpoint files) fails cleanly
+	// instead of half-succeeding.
+	s, err := spec.FromMeta(header.Meta)
+	if err != nil {
+		return err
+	}
+	opt := spec.BuildOpts{CacheDir: *cache}
+	if *verbose {
+		opt.Log = os.Stderr
+	}
+	built, err := spec.Build(s, opt)
+	if err != nil {
+		return err
+	}
 	if *outFile != "" {
 		// Crash-safe: an interrupted merge never leaves a torn artifact.
 		if err := campaign.WriteCheckpointAtomic(*outFile, header, results); err != nil {
@@ -457,82 +449,35 @@ func mergeCmd(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "merged checkpoint -> %s\n", *outFile)
 	}
-
-	switch header.Campaign {
-	case "yield":
-		chips, err1 := strconv.Atoi(header.Meta["chips"])
-		threshold, err2 := strconv.ParseFloat(header.Meta["threshold"], 64)
-		if err1 != nil || err2 != nil {
-			return fmt.Errorf("yield checkpoint header missing chips/threshold metadata")
-		}
-		rep, err := core.YieldFromResults(results, chips, threshold)
-		if err != nil {
-			return err
-		}
-		fmt.Println(rep)
-		if *jsonOut != "" {
-			return writeJSON(*jsonOut, rep)
-		}
-		return nil
-	case "selftest":
-		b, err := campaign.MarshalResults(results)
-		if err != nil {
-			return err
-		}
-		fmt.Println(string(b))
-		if *jsonOut != "" {
-			return campaign.WriteFileAtomic(*jsonOut, append(b, '\n'))
-		}
-		return nil
-	}
-
-	suite, err := suiteFromMeta(header.Meta, *cache, *verbose)
-	if err != nil {
+	if err := built.Render(os.Stdout, results); err != nil {
 		return err
-	}
-	figs, err := suite.Figures(header.Campaign, results)
-	if err != nil {
-		return err
-	}
-	for _, f := range figs {
-		f.Print(os.Stdout)
 	}
 	if *jsonOut != "" {
-		return writeJSON(*jsonOut, figs)
+		v, err := built.JSON(results)
+		if err != nil {
+			return err
+		}
+		return writeJSON(*jsonOut, v)
 	}
 	return nil
 }
 
-// suiteFromMeta reconstructs the suite a figure campaign ran with from
-// its checkpoint metadata, so merge needs no matching flags.
-func suiteFromMeta(meta map[string]string, cache string, verbose bool) (*experiments.Suite, error) {
-	quick := meta["quick"] == "true"
-	opt := experiments.DefaultOptions()
-	if quick {
-		opt = experiments.QuickOptions()
+// shardFor resolves the effective shard: the -shard flag wins over the
+// spec's shard field.
+func shardFor(s *spec.Spec, flagArg string) (campaign.Shard, error) {
+	arg := flagArg
+	if arg == "" {
+		arg = s.Shard
 	}
-	if v, err := strconv.ParseInt(meta["seed"], 10, 64); err == nil {
-		opt.Seed = v
+	return campaign.ParseShard(arg)
+}
+
+func fingerprintOf(s *spec.Spec) string {
+	fp, err := s.Fingerprint()
+	if err != nil {
+		return "?"
 	}
-	if rows, _, ok := strings.Cut(meta["array"], "x"); ok {
-		if n, err := strconv.Atoi(rows); err == nil {
-			opt.ArrayRows, opt.ArrayCols = n, n
-		}
-	}
-	if v, err := strconv.Atoi(meta["repeats"]); err == nil && v > 0 {
-		opt.Repeats = v
-	}
-	if v, err := strconv.Atoi(meta["epochs"]); err == nil && v > 0 {
-		opt.RetrainEpochs = v
-	}
-	if v, err := strconv.Atoi(meta["eval"]); err == nil && v > 0 {
-		opt.EvalSamples = v
-	}
-	opt.CacheDir = cache
-	if verbose {
-		opt.Log = os.Stderr
-	}
-	return experiments.NewSuite(opt), nil
+	return fp
 }
 
 // writeJSON writes indented JSON crash-safely (temp file + fsync +

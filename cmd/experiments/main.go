@@ -2,12 +2,19 @@
 // (Fig. 2, 5a–c, 6, 7, 8 and the §V-A baselines) on the synthetic-dataset
 // reproduction, printing each figure's data series as a table.
 //
+// The flags compile into declarative experiment specs (internal/spec),
+// one per selected figure campaign: -dump-spec prints the spec of a
+// single selected campaign, and -spec runs from a spec file. Because
+// every tool and cluster worker builds campaigns through the same spec
+// registry, a figure launched here, resumed by cmd/campaign, and
+// finished by remote workers is one and the same campaign.
+//
 // The figure sweeps run as campaigns (internal/campaign): -checkpoint
 // makes them resumable, and -shard splits one campaign across processes
 // whose partial JSONL files merge bit-identically with `campaign merge`.
-// -coordinator serves each selected campaign to remote worker daemons
-// (`campaign work -c <campaign>` with matching flags) instead of
-// running trials locally.
+// -coordinator serves each selected campaign to remote spec-free worker
+// daemons (`campaign work -coordinator <url>`) instead of running
+// trials locally.
 //
 // Usage:
 //
@@ -19,7 +26,7 @@
 //	campaign merge out/fig5a-shard*.jsonl                    # assembled figure
 //
 //	experiments -quick -fig 5a -coordinator :9090            # distributed
-//	campaign work -c fig5a -quick -coordinator http://host:9090   # each worker
+//	campaign work -coordinator http://host:9090              # each worker
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"falvolt/internal/campaign"
 	"falvolt/internal/cluster"
 	"falvolt/internal/experiments"
+	"falvolt/internal/spec"
 	"falvolt/internal/tensor"
 )
 
@@ -50,9 +58,11 @@ func main() {
 		repeats  = flag.Int("repeats", 0, "fault maps averaged per vulnerability point (0 = default)")
 		evalN    = flag.Int("eval", 0, "test samples per deployed evaluation (0 = default)")
 		verbose  = flag.Bool("v", false, "progress logging")
+		specPath = flag.String("spec", "", "experiment spec JSON file (replaces the config flags and selects its kind's figure; \"-\" reads stdin)")
+		dumpSpec = flag.Bool("dump-spec", false, "print the spec of the single selected campaign and exit")
 		shardArg = flag.String("shard", "", "run the i-th of n interleaved trial subsets of each figure campaign (i/n)")
 		ckptDir  = flag.String("checkpoint", "", "directory for per-campaign JSONL checkpoints (resume + shard partials)")
-		coordArg = flag.String("coordinator", "", "serve each selected campaign to remote workers on this listen address (host:port); workers run `campaign work -c <campaign>` with matching flags")
+		coordArg = flag.String("coordinator", "", "serve each selected campaign to remote spec-free workers on this listen address (host:port); workers run `campaign work -coordinator <url>`")
 	)
 	flag.Parse()
 
@@ -60,50 +70,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", context, err)
 		os.Exit(1)
 	}
-	if err := tensor.SetDefaultByName(*backend); err != nil {
+	failTop := func(err error) {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
-	shard, err := campaign.ParseShard(*shardArg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
 	}
-	if !shard.IsWhole() && *ckptDir == "" {
-		fmt.Fprintln(os.Stderr, "experiments: -shard needs -checkpoint so the partial results can be merged")
-		os.Exit(1)
-	}
-	if *coordArg != "" && !shard.IsWhole() {
-		fmt.Fprintln(os.Stderr, "experiments: -coordinator shards each campaign itself; drop -shard")
-		os.Exit(1)
-	}
-	if strings.Contains(*coordArg, "://") {
-		fmt.Fprintf(os.Stderr, "experiments: -coordinator here is a listen address (host:port), got URL %q; the URL form belongs on `campaign work -coordinator`\n", *coordArg)
-		os.Exit(1)
-	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
-	opt := experiments.DefaultOptions()
-	if *quick {
-		opt = experiments.QuickOptions()
-	}
-	opt.Seed = *seed
-	opt.ArrayRows, opt.ArrayCols = *arrayN, *arrayN
-	opt.CacheDir = *cache
-	if *epochs > 0 {
-		opt.RetrainEpochs = *epochs
-	}
-	if *repeats > 0 {
-		opt.Repeats = *repeats
-	}
-	if *evalN > 0 {
-		opt.EvalSamples = *evalN
-	}
-	if *verbose {
-		opt.Log = os.Stderr
-	}
-	suite := experiments.NewSuite(opt)
 
 	want := map[string]bool{}
 	for _, f := range strings.Split(*figs, ",") {
@@ -119,18 +94,114 @@ func main() {
 		{"6", "mitigation"}, {"7", "mitigation"}, {"8", "mitigation"},
 	}
 
+	// base is the suite configuration every selected campaign shares;
+	// specFor stamps a campaign kind onto it.
+	base := &spec.Spec{
+		Version: spec.Version, Seed: *seed, Backend: *backend,
+		Suite: &spec.SuiteSpec{
+			Quick: *quick, Array: *arrayN, Epochs: *epochs,
+			Repeats: *repeats, Eval: *evalN,
+		},
+	}
+	if *specPath != "" {
+		loaded, err := spec.LoadOverride(*specPath, *backend)
+		if err != nil {
+			failTop(err)
+		}
+		if loaded.Suite == nil {
+			failTop(fmt.Errorf("spec kind %q carries no suite section; run it with its own tool", loaded.Kind))
+		}
+		base = loaded
+		// A spec names one campaign; narrow the selection to its figures.
+		want = map[string]bool{}
+		all = false
+		for _, fc := range figCampaigns {
+			if fc.camp == loaded.Kind {
+				want[fc.fig] = true
+			}
+		}
+		if len(want) == 0 {
+			failTop(fmt.Errorf("spec kind %q is not a figure campaign", loaded.Kind))
+		}
+	}
+	specFor := func(camp string) *spec.Spec {
+		s := *base
+		s.Kind = camp
+		return &s
+	}
+
+	if *dumpSpec {
+		// Dumping needs exactly one campaign: -fig 5a (or a loaded spec).
+		var camps []string
+		seen := map[string]bool{}
+		for _, fc := range figCampaigns {
+			if selected(fc.fig) && !seen[fc.camp] {
+				seen[fc.camp] = true
+				camps = append(camps, fc.camp)
+			}
+		}
+		if len(camps) != 1 {
+			failTop(fmt.Errorf("-dump-spec needs -fig naming exactly one campaign-backed figure (got %d campaigns)", len(camps)))
+		}
+		if err := specFor(camps[0]).Dump(os.Stdout); err != nil {
+			failTop(err)
+		}
+		return
+	}
+
+	if err := tensor.SetDefaultByName(base.Backend); err != nil {
+		failTop(err)
+	}
+	shard, err := campaign.ParseShard(*shardArg)
+	if err != nil {
+		failTop(err)
+	}
+	if shard.IsWhole() && base.Shard != "" {
+		if shard, err = campaign.ParseShard(base.Shard); err != nil {
+			failTop(err)
+		}
+	}
+	if !shard.IsWhole() && *ckptDir == "" {
+		failTop(fmt.Errorf("-shard needs -checkpoint so the partial results can be merged"))
+	}
+	if *coordArg != "" && !shard.IsWhole() {
+		failTop(fmt.Errorf("-coordinator shards each campaign itself; drop -shard"))
+	}
+	if strings.Contains(*coordArg, "://") {
+		failTop(fmt.Errorf("-coordinator here is a listen address (host:port), got URL %q; the URL form belongs on `campaign work -coordinator`", *coordArg))
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	bopt := spec.BuildOpts{CacheDir: *cache}
+	if *verbose {
+		bopt.Log = os.Stderr
+	}
+	// The suite behind the campaigns: SuiteFromSpec caches per
+	// configuration, so the registry builders below and the direct
+	// baseline/ablation harnesses share one set of trained baselines.
+	suite, err := experiments.SuiteFromSpec(base, bopt)
+	if err != nil {
+		failTop(err)
+	}
+
 	shardFile := func(name string) string {
 		return filepath.Join(*ckptDir,
 			fmt.Sprintf("%s-shard%dof%d.jsonl", name, shard.Index, max(shard.Count, 1)))
 	}
-	// runCampaign executes one campaign with the shard/checkpoint
-	// options — on remote workers when -coordinator is set — and
-	// returns its results when the shard is complete.
-	runCampaign := func(name string) (*campaign.RunResult, error) {
+	// runCampaign builds the named campaign from its spec and executes
+	// it with the shard/checkpoint options — on remote workers when
+	// -coordinator is set — returning the built renderers alongside.
+	runCampaign := func(name string) (*spec.Built, *campaign.RunResult, error) {
+		s := specFor(name)
+		built, err := spec.Build(s, bopt)
+		if err != nil {
+			return nil, nil, err
+		}
 		copt := campaign.Options{Context: ctx, Shard: shard}
 		if *ckptDir != "" {
 			if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			copt.Checkpoint = shardFile(name)
 		}
@@ -138,13 +209,14 @@ func main() {
 			// One single-use coordinator per campaign; sequential
 			// campaigns reuse the same listen address.
 			copt.Runner = cluster.NewCoordinator(cluster.CoordinatorConfig{
-				Addr: *coordArg, Log: os.Stderr,
+				Addr: *coordArg, Spec: s, Log: os.Stderr,
 			})
 		}
 		if *verbose {
 			copt.Log = os.Stderr
 		}
-		return suite.RunCampaign(name, copt)
+		rr, err := campaign.Run(built.Campaign, copt)
+		return built, rr, err
 	}
 
 	if !shard.IsWhole() {
@@ -156,7 +228,7 @@ func main() {
 				continue
 			}
 			ran[fc.camp] = true
-			rr, err := runCampaign(fc.camp)
+			_, rr, err := runCampaign(fc.camp)
 			if err != nil {
 				fail(fc.camp, err)
 			}
@@ -181,18 +253,11 @@ func main() {
 	// prints its figures (used when -checkpoint is set; otherwise the
 	// plain Fig* methods below run the campaign in memory).
 	printCampaign := func(camp string) error {
-		rr, err := runCampaign(camp)
+		built, rr, err := runCampaign(camp)
 		if err != nil {
 			return err
 		}
-		figs, err := suite.Figures(camp, rr.Results)
-		if err != nil {
-			return err
-		}
-		for _, f := range figs {
-			f.Print(os.Stdout)
-		}
-		return nil
+		return built.Render(os.Stdout, rr.Results)
 	}
 
 	run("baseline", func() error {

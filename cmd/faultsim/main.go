@@ -1,7 +1,13 @@
-// Command faultsim explores stuck-at fault vulnerability of a systolicSNN
-// without any mitigation: sweep the stuck bit position, the number of
-// faulty PEs, or the array size, and report classification accuracy
+// Command faultsim explores stuck-at fault vulnerability of a systolic
+// SNN without any mitigation: sweep the stuck bit position, the number
+// of faulty PEs, or the array size, and report classification accuracy
 // (the paper's Fig. 5 family) for one dataset.
+//
+// The flags compile into a declarative experiment spec (internal/spec,
+// kind "faultsim"): -dump-spec prints it and -spec runs from a spec
+// file. Dataset and sweep names are validated before any training
+// starts, so a typo fails immediately instead of after the baseline
+// epochs.
 //
 // Usage:
 //
@@ -22,65 +28,120 @@ import (
 	"falvolt/internal/faults"
 	"falvolt/internal/fixed"
 	"falvolt/internal/snn"
+	"falvolt/internal/spec"
 	"falvolt/internal/systolic"
 	"falvolt/internal/tensor"
 )
 
 func main() {
+	// Flag defaults come from the one definition in
+	// spec.FaultSimSpec.Defaulted.
+	def := spec.FaultSimSpec{}.Defaulted()
 	var (
-		backend = flag.String("backend", "", tensor.BackendFlagDoc)
-		dataset = flag.String("dataset", "mnist", "mnist | nmnist | dvsgesture")
-		sweep   = flag.String("sweep", "bits", "bits | count | size")
-		arrayN  = flag.Int("array", 64, "systolic array side for bits/count sweeps")
-		nFaults = flag.Int("faults", 16, "faulty PEs for bits/size sweeps")
-		repeats = flag.Int("repeats", 3, "fault maps averaged per point")
-		baseEp  = flag.Int("base-epochs", 12, "baseline training epochs")
-		trainN  = flag.Int("train", 320, "training samples")
-		testN   = flag.Int("test", 128, "test samples")
-		seed    = flag.Int64("seed", 7, "seed")
+		backend  = flag.String("backend", "", tensor.BackendFlagDoc)
+		dataset  = flag.String("dataset", def.Dataset, "mnist | nmnist | dvsgesture")
+		sweep    = flag.String("sweep", def.Sweep, "bits | count | size")
+		arrayN   = flag.Int("array", def.Array, "systolic array side for bits/count sweeps")
+		nFaults  = flag.Int("faults", def.Faults, "faulty PEs for bits/size sweeps")
+		repeats  = flag.Int("repeats", def.Repeats, "fault maps averaged per point")
+		baseEp   = flag.Int("base-epochs", def.BaseEpochs, "baseline training epochs")
+		trainN   = flag.Int("train", def.Train, "training samples")
+		testN    = flag.Int("test", def.Test, "test samples")
+		seed     = flag.Int64("seed", 7, "seed")
+		specPath = flag.String("spec", "", "experiment spec JSON file (replaces the config flags; \"-\" reads stdin)")
+		dumpSpec = flag.Bool("dump-spec", false, "print the spec compiled from the flags and exit")
 	)
 	flag.Parse()
-	if err := tensor.SetDefaultByName(*backend); err != nil {
+
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "faultsim:", err)
 		os.Exit(1)
 	}
-	if err := run(*dataset, *sweep, *arrayN, *nFaults, *repeats, *baseEp, *trainN, *testN, *seed); err != nil {
-		fmt.Fprintln(os.Stderr, "faultsim:", err)
-		os.Exit(1)
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "faultsim: unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var s *spec.Spec
+	if *specPath != "" {
+		loaded, err := spec.LoadOverride(*specPath, *backend)
+		if err != nil {
+			fail(err)
+		}
+		if loaded.Kind != "faultsim" || loaded.FaultSim == nil {
+			fail(fmt.Errorf("spec kind %q is not a faultsim sweep", loaded.Kind))
+		}
+		s = loaded
+	} else {
+		s = &spec.Spec{
+			Version: spec.Version, Kind: "faultsim", Seed: *seed, Backend: *backend,
+			FaultSim: &spec.FaultSimSpec{
+				Dataset: *dataset, Sweep: *sweep, Array: *arrayN, Faults: *nFaults,
+				Repeats: *repeats, BaseEpochs: *baseEp, Train: *trainN, Test: *testN,
+			},
+		}
+	}
+	if *dumpSpec {
+		if err := s.Dump(os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	if err := tensor.SetDefaultByName(s.Backend); err != nil {
+		fail(err)
+	}
+	if err := run(s); err != nil {
+		fail(err)
 	}
 }
 
-func run(dataset, sweep string, arrayN, nFaults, repeats, baseEpochs, trainN, testN int, seed int64) error {
-	var spec snn.ModelSpec
+func run(s *spec.Spec) error {
+	f := s.FaultSim.Defaulted()
+	seed := s.Seed
+	arrayN, nFaults, repeats, baseEpochs := f.Array, f.Faults, f.Repeats, f.BaseEpochs
+	trainN, testN := f.Train, f.Test
+
+	// Validate every user-named knob before the (expensive) baseline
+	// training, so misconfiguration fails in milliseconds.
+	sweep := strings.ToLower(f.Sweep)
+	switch sweep {
+	case "bits", "count", "size":
+	default:
+		return fmt.Errorf("unknown sweep %q (want bits | count | size)", f.Sweep)
+	}
+	var mspec snn.ModelSpec
 	var gen func(datasets.Config) (*datasets.Dataset, error)
 	dcfg := datasets.Config{Train: trainN, Test: testN, Seed: seed}
-	switch strings.ToLower(dataset) {
+	dsName := strings.ToLower(f.Dataset)
+	switch dsName {
 	case "mnist":
-		spec, gen = snn.MNISTSpec(), datasets.SyntheticMNIST
+		mspec, gen = snn.MNISTSpec(), datasets.SyntheticMNIST
 	case "nmnist":
-		spec, gen = snn.NMNISTSpec(), datasets.SyntheticNMNIST
+		mspec, gen = snn.NMNISTSpec(), datasets.SyntheticNMNIST
 	case "dvsgesture":
-		spec, gen = snn.DVSGestureSpec(), datasets.SyntheticDVSGesture
-		spec.InH, spec.InW, spec.BlockC = 16, 16, []int{8, 8, 16}
+		mspec, gen = snn.DVSGestureSpec(), datasets.SyntheticDVSGesture
+		mspec.InH, mspec.InW, mspec.BlockC = 16, 16, []int{8, 8, 16}
 		dcfg.H, dcfg.W = 16, 16
 	default:
-		return fmt.Errorf("unknown dataset %q", dataset)
+		return fmt.Errorf("unknown dataset %q", f.Dataset)
 	}
-	spec.EncoderC, spec.FCHidden = 4, 32
-	if len(spec.BlockC) == 2 {
-		spec.BlockC = []int{8, 8}
+	mspec.EncoderC, mspec.FCHidden = 4, 32
+	if len(mspec.BlockC) == 2 {
+		mspec.BlockC = []int{8, 8}
 	}
-	dcfg.T = spec.T
+	dcfg.T = mspec.T
 
 	ds, err := gen(dcfg)
 	if err != nil {
 		return err
 	}
-	model, err := snn.Build(spec, rand.New(rand.NewSource(seed)))
+	model, err := snn.Build(mspec, rand.New(rand.NewSource(seed)))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("training %s baseline...\n", dataset)
+	fmt.Printf("training %s baseline...\n", dsName)
 	baseAcc, err := core.TrainBaseline(model, ds.Train, ds.Test, baseEpochs, 0.02,
 		rand.New(rand.NewSource(seed+1)), true)
 	if err != nil {
@@ -107,7 +168,7 @@ func run(dataset, sweep string, arrayN, nFaults, repeats, baseEpochs, trainN, te
 		return systolic.New(systolic.Config{Rows: side, Cols: side, Format: fixed.Q16x16, Saturate: true})
 	}
 
-	switch strings.ToLower(sweep) {
+	switch sweep {
 	case "bits":
 		arr, err := newArr(arrayN)
 		if err != nil {
@@ -163,8 +224,6 @@ func run(dataset, sweep string, arrayN, nFaults, repeats, baseEpochs, trainN, te
 			}
 			fmt.Printf("%-10d  %-8.3f\n", side*side, acc)
 		}
-	default:
-		return fmt.Errorf("unknown sweep %q", sweep)
 	}
 	return nil
 }

@@ -37,6 +37,11 @@ func main() {
 		seed    = flag.Int64("seed", 7, "seed")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "perf: unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
 	if err := tensor.SetDefaultByName(*backend); err != nil {
 		fmt.Fprintln(os.Stderr, "perf:", err)
 		os.Exit(1)

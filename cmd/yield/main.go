@@ -3,14 +3,17 @@
 // manufacturing yield, while FalVolt-style salvage (one per-chip
 // mitigation run keyed to the die's fault map) ships most of them.
 //
-// It trains one baseline model, samples a population of dies from a
-// (clustered) defect model, and reports shippable yield for the discard
-// flow vs the salvage flow at a given accuracy threshold. The population
-// runs as a fault-sweep campaign (internal/campaign): dies execute in
-// parallel across compute-engine lanes, -checkpoint makes the run
-// resumable, -shard splits it across processes (merge the partial
-// files with `campaign merge`), and -coordinator serves the dies to
-// remote worker daemons (`campaign work -c yield` with matching flags).
+// It is a thin shim over the declarative experiment spec
+// (internal/spec): the flags compile into a Spec of kind "yield",
+// -dump-spec prints it, -spec runs from a spec file, and the spec
+// registry builds the identical campaign here, in cmd/campaign, and on
+// cluster workers — so shard files and workers from any tool
+// interoperate by construction. The population runs as a fault-sweep
+// campaign (internal/campaign): dies execute in parallel across
+// compute-engine lanes, -checkpoint makes the run resumable, -shard
+// splits it across processes (merge the partial files with `campaign
+// merge`), and -coordinator serves the dies to remote spec-free worker
+// daemons (`campaign work -coordinator <url>`).
 //
 // Usage:
 //
@@ -21,7 +24,7 @@
 //	campaign merge y0.jsonl y1.jsonl                  # combined report
 //
 //	yield -chips 40 -coordinator :9090 -checkpoint y.jsonl   # coordinator
-//	campaign work -c yield -chips 40 -coordinator http://host:9090  # each worker
+//	campaign work -coordinator http://host:9090              # each worker
 package main
 
 import (
@@ -36,27 +39,33 @@ import (
 	"falvolt/internal/campaign"
 	"falvolt/internal/cluster"
 	"falvolt/internal/core"
-	"falvolt/internal/faults"
+	"falvolt/internal/spec"
 	"falvolt/internal/systolic"
 	"falvolt/internal/tensor"
 )
 
 func main() {
+	// Flag defaults come from the one definition of the yield defaults
+	// (spec.YieldSpec.Defaulted), so this tool, cmd/campaign and the
+	// spec builder cannot drift apart.
+	def := spec.YieldSpec{}.Defaulted()
 	var (
 		backend    = flag.String("backend", "", tensor.BackendFlagDoc)
-		chips      = flag.Int("chips", 12, "number of simulated dies")
-		meanFaulty = flag.Float64("mean-faulty", 60, "mean faulty PEs per die")
-		alpha      = flag.Float64("alpha", 1.0, "defect clustering (smaller = heavier tails)")
+		chips      = flag.Int("chips", def.Chips, "number of simulated dies")
+		meanFaulty = flag.Float64("mean-faulty", def.MeanFaulty, "mean faulty PEs per die")
+		alpha      = flag.Float64("alpha", def.Alpha, "defect clustering (smaller = heavier tails)")
 		clustered  = flag.Bool("clustered", true, "spatially clustered fault maps")
-		threshold  = flag.Float64("threshold", 0.85, "minimum shipping accuracy")
-		method     = flag.String("method", "falvolt", "salvage policy: fap | fapit | falvolt")
-		epochs     = flag.Int("epochs", 4, "retraining epochs per salvaged die")
-		arrayN     = flag.Int("array", 64, "array side")
-		baseEp     = flag.Int("base-epochs", 12, "baseline training epochs")
+		threshold  = flag.Float64("threshold", def.Threshold, "minimum shipping accuracy")
+		method     = flag.String("method", def.Method, "salvage policy: fap | fapit | falvolt")
+		epochs     = flag.Int("epochs", def.MitEpochs, "retraining epochs per salvaged die")
+		arrayN     = flag.Int("array", def.Array, "array side")
+		baseEp     = flag.Int("base-epochs", def.BaseEpochs, "baseline training epochs")
 		seed       = flag.Int64("seed", 7, "seed")
+		specPath   = flag.String("spec", "", "experiment spec JSON file (replaces the config flags; \"-\" reads stdin)")
+		dumpSpec   = flag.Bool("dump-spec", false, "print the spec compiled from the flags and exit")
 		shardArg   = flag.String("shard", "", "run the i-th of n interleaved die subsets (i/n); merge partials with `campaign merge`")
 		checkpoint = flag.String("checkpoint", "", "JSONL checkpoint: append per-die results, resume by skipping completed dies")
-		coordArg   = flag.String("coordinator", "", "serve the dies to remote workers on this listen address (host:port); workers run `campaign work -c yield` with matching flags")
+		coordArg   = flag.String("coordinator", "", "serve the dies to remote spec-free workers on this listen address (host:port); workers run `campaign work -coordinator <url>`")
 	)
 	flag.Parse()
 
@@ -64,12 +73,50 @@ func main() {
 		fmt.Fprintln(os.Stderr, "yield:", err)
 		os.Exit(1)
 	}
-	if err := tensor.SetDefaultByName(*backend); err != nil {
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "yield: unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var s *spec.Spec
+	if *specPath != "" {
+		loaded, err := spec.LoadOverride(*specPath, *backend)
+		if err != nil {
+			fail(err)
+		}
+		if loaded.Kind != "yield" || loaded.Yield == nil {
+			fail(fmt.Errorf("spec kind %q is not a yield study (run it with cmd/campaign)", loaded.Kind))
+		}
+		s = loaded
+	} else {
+		s = &spec.Spec{
+			Version: spec.Version, Kind: "yield", Seed: *seed, Backend: *backend,
+			Yield: &spec.YieldSpec{
+				Chips: *chips, MeanFaulty: *meanFaulty, Alpha: *alpha,
+				Clustered: *clustered, Threshold: *threshold, Method: *method,
+				MitEpochs: *epochs, BaseEpochs: *baseEp, Array: *arrayN,
+			},
+		}
+	}
+	if *dumpSpec {
+		if err := s.Dump(os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	if err := tensor.SetDefaultByName(s.Backend); err != nil {
 		fail(err)
 	}
 	shard, err := campaign.ParseShard(*shardArg)
 	if err != nil {
 		fail(err)
+	}
+	if shard.IsWhole() && s.Shard != "" {
+		if shard, err = campaign.ParseShard(s.Shard); err != nil {
+			fail(err)
+		}
 	}
 	if !shard.IsWhole() && *checkpoint == "" {
 		fail(fmt.Errorf("-shard needs -checkpoint so the partial results can be merged"))
@@ -83,38 +130,10 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	var m core.Method
-	switch strings.ToLower(*method) {
-	case "fap":
-		m = core.FaP
-	case "fapit":
-		m = core.FaPIT
-	case "falvolt":
-		m = core.FalVolt
-	default:
-		fail(fmt.Errorf("unknown method %q", *method))
-	}
-
-	cfg := core.YieldConfig{
-		Chips:     *chips,
-		Defects:   faults.DefectModel{MeanFaulty: *meanFaulty, Alpha: *alpha},
-		Clustered: *clustered,
-		Threshold: *threshold,
-		Mitigation: core.Config{
-			Method: m, Epochs: *epochs, LR: 0.01, BatchSize: 16, ClipNorm: 5,
-		},
-		EvalSamples: 96,
-		Seed:        *seed + 2,
-	}
-	// The baseline trains lazily on first worker use: a plain run pays
-	// for it up front as before, while a fully-resumed checkpoint or a
-	// -coordinator process (whose trials all execute remotely) skips
-	// it. Build closure and fingerprint are shared with cmd/campaign
-	// (core.Synthetic*), so shard files and cluster workers from either
-	// tool interoperate.
-	cam, err := core.LazyYieldCampaign(*arrayN, *arrayN, cfg,
-		core.SyntheticYieldFingerprint(*baseEp),
-		core.SyntheticYieldBuild(*seed, *baseEp, *arrayN, *threshold, os.Stdout))
+	// The registry is the single construction path for yield campaigns:
+	// cmd/campaign and spec-free cluster workers build bit-identical
+	// populations from the same canonical spec.
+	built, err := spec.Build(s, spec.BuildOpts{Log: os.Stderr})
 	if err != nil {
 		fail(err)
 	}
@@ -123,10 +142,10 @@ func main() {
 	}
 	if *coordArg != "" {
 		opt.Runner = cluster.NewCoordinator(cluster.CoordinatorConfig{
-			Addr: *coordArg, Log: os.Stderr,
+			Addr: *coordArg, Spec: s, Log: os.Stderr,
 		})
 	}
-	rr, err := campaign.Run(cam, opt)
+	rr, err := campaign.Run(built.Campaign, opt)
 	if err != nil {
 		fail(err)
 	}
@@ -135,13 +154,19 @@ func main() {
 			shard, len(rr.Results), *checkpoint)
 		return
 	}
+	// One report computation feeds both the standard line (identical to
+	// built.Render's output, used by cmd/campaign) and the trailer.
+	cfg, err := core.YieldConfigFromSpec(s)
+	if err != nil {
+		fail(err)
+	}
 	rep, err := core.YieldFromResults(rr.Results, cfg.Chips, cfg.Threshold)
 	if err != nil {
 		fail(err)
 	}
 	fmt.Println(rep)
 	fmt.Printf("fault-free dies: %d/%d; salvage policy: %s (%d epochs)\n",
-		rep.FaultFree, rep.Chips, m, *epochs)
+		rep.FaultFree, rep.Chips, cfg.Mitigation.Method, cfg.Mitigation.Epochs)
 	lat, en := systolic.ReexecutionOverhead()
 	fmt.Printf("for comparison, redundant re-execution would cost %.2fx latency and %.2fx energy on every inference, forever\n", lat, en)
 }

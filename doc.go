@@ -12,9 +12,15 @@
 // (internal/core), per-figure experiment harnesses
 // (internal/experiments), a sharded fault-sweep campaign engine with
 // deterministic resume and bit-reproducible merging (internal/campaign),
-// and a distributed campaign cluster — HTTP coordinator, leased shards,
+// a distributed campaign cluster — HTTP coordinator, leased shards,
 // worker daemons — that runs any campaign across machines with
-// byte-identical output (internal/cluster). See README.md and DESIGN.md.
+// byte-identical output (internal/cluster), and a declarative
+// experiment-spec layer (internal/spec): one versioned, JSON-serializable
+// Spec describes any run, a registry builds the campaign from it in one
+// place per kind, every cmd tool compiles its flags to a Spec
+// (-spec / -dump-spec round-trip), and cluster coordinators ship the
+// canonical Spec to spec-free workers at registration. See README.md
+// and DESIGN.md.
 //
 // All heavy math runs on a pluggable compute engine
 // (internal/tensor.Backend) with serial and multi-core worker-pool

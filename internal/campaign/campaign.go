@@ -52,6 +52,15 @@ type Result struct {
 	Key     string               `json:"key"`
 	Metrics map[string]float64   `json:"metrics,omitempty"`
 	Series  map[string][]float64 `json:"series,omitempty"`
+
+	// Wall is the trial's wall-clock execution time in seconds, as
+	// measured by the runner that executed it. It is observability
+	// metadata, NOT part of the result's identity: canonical result JSON
+	// (json.Marshal, MarshalResults, the merge conflict checks) excludes
+	// it, so two executions of the same trial merge bit-identically
+	// however long each took. Checkpoint records and the cluster wire
+	// protocol carry it out of band (see checkpoint.go, cluster).
+	Wall float64 `json:"-"`
 }
 
 // Worker executes trials sequentially. One worker is private to one
@@ -219,6 +228,14 @@ func GroupByKey(results []Result) map[string][]Result {
 		out[r.Key] = append(out[r.Key], r)
 	}
 	return out
+}
+
+// SortedResults returns a copy of results sorted by trial ID — the
+// canonical ordering of every serialized artifact.
+func SortedResults(results []Result) []Result {
+	rs := append([]Result(nil), results...)
+	sortResults(rs)
+	return rs
 }
 
 // MarshalResults renders results as canonical indented JSON sorted by

@@ -63,10 +63,14 @@ func (h Header) compatible(other Header) bool {
 		(len(h.Meta) == 0 && len(other.Meta) == 0 || reflect.DeepEqual(h.Meta, other.Meta))
 }
 
-// record is one checkpoint line: exactly one field set.
+// record is one checkpoint line: exactly one of Header/Result set.
 type record struct {
 	Header *Header `json:"header,omitempty"`
 	Result *Result `json:"result,omitempty"`
+	// Wall carries Result.Wall (seconds), which the result's canonical
+	// JSON deliberately excludes: checkpoints preserve per-trial timing
+	// without perturbing result identity or merge byte-reproducibility.
+	Wall float64 `json:"wall,omitempty"`
 }
 
 // Checkpoint appends results to a JSONL file as they complete.
@@ -132,7 +136,7 @@ func OpenCheckpointAppend(path string) (*Checkpoint, error) {
 // Append writes one result line and flushes it to the OS, so results
 // survive the process being killed.
 func (c *Checkpoint) Append(r Result) error {
-	return c.append(record{Result: &r})
+	return c.append(record{Result: &r, Wall: r.Wall})
 }
 
 func (c *Checkpoint) append(rec record) error {
@@ -196,6 +200,7 @@ func ReadCheckpoint(path string) (Header, []Result, error) {
 			if !gotHeader {
 				return Header{}, nil, fmt.Errorf("campaign: checkpoint %s: result before header", path)
 			}
+			rec.Result.Wall = rec.Wall
 			results = append(results, *rec.Result)
 		}
 	}
@@ -274,7 +279,7 @@ func WriteCheckpointAtomic(path string, h Header, results []Result) error {
 		return fmt.Errorf("campaign: marshal checkpoint header: %w", err)
 	}
 	for i := range rs {
-		if err := enc.Encode(record{Result: &rs[i]}); err != nil {
+		if err := enc.Encode(record{Result: &rs[i], Wall: rs[i].Wall}); err != nil {
 			return fmt.Errorf("campaign: marshal checkpoint record: %w", err)
 		}
 	}

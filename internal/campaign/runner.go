@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"falvolt/internal/tensor"
 )
@@ -67,12 +68,16 @@ func (r PoolRunner) Run(ctx context.Context, c Campaign, trials []Trial, sink fu
 			}
 			workers[lane] = w
 		}
+		start := time.Now()
 		res, err := workers[lane].RunTrial(trials[i])
 		if err != nil {
 			errs[i] = fmt.Errorf("campaign: trial %d (%s): %w", trials[i].ID, trials[i].Key, err)
 			failed.Store(true)
 			return
 		}
+		// Wall-clock is recorded per trial (groundwork for load-aware
+		// shard sizing); it rides outside the result's canonical JSON.
+		res.Wall = time.Since(start).Seconds()
 		mu.Lock()
 		err = sink(res)
 		mu.Unlock()

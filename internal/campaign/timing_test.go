@@ -1,0 +1,101 @@
+package campaign
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"falvolt/internal/tensor"
+)
+
+// TestPoolRunnerRecordsWall: every executed trial carries a positive
+// wall-clock duration.
+func TestPoolRunnerRecordsWall(t *testing.T) {
+	rr := mustRun(t, testCampaign(8, nil), Options{Runner: PoolRunner{Engine: tensor.Serial()}})
+	for _, r := range rr.Results {
+		if r.Wall <= 0 {
+			t.Fatalf("trial %d has no recorded wall-clock", r.TrialID)
+		}
+	}
+}
+
+// TestWallExcludedFromCanonicalJSON: identical results with different
+// timings marshal to identical canonical bytes — the merge
+// byte-reproducibility contract must survive the timing field.
+func TestWallExcludedFromCanonicalJSON(t *testing.T) {
+	a := []Result{{TrialID: 0, Key: "k", Metrics: map[string]float64{"acc": 0.5}, Wall: 0.001}}
+	b := []Result{{TrialID: 0, Key: "k", Metrics: map[string]float64{"acc": 0.5}, Wall: 42.0}}
+	if !bytes.Equal(marshal(t, a), marshal(t, b)) {
+		t.Fatal("Wall leaked into canonical result JSON")
+	}
+	if !sameResult(a[0], b[0]) {
+		t.Fatal("Wall participates in result-identity comparison")
+	}
+}
+
+// TestCheckpointPreservesWall: durations round-trip through checkpoint
+// write and read (both the incremental writer and the atomic one).
+func TestCheckpointPreservesWall(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	rr := mustRun(t, testCampaign(6, nil), Options{
+		Checkpoint: path, Runner: PoolRunner{Engine: tensor.Serial()},
+	})
+	_, rs, err := ReadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rs {
+		if r.Wall != rr.Results[i].Wall {
+			t.Fatalf("trial %d: checkpoint wall %v, ran %v", r.TrialID, r.Wall, rr.Results[i].Wall)
+		}
+		if r.Wall <= 0 {
+			t.Fatalf("trial %d lost its wall-clock through the checkpoint", r.TrialID)
+		}
+	}
+	atomicPath := filepath.Join(t.TempDir(), "merged.jsonl")
+	if err := WriteCheckpointAtomic(atomicPath, rr.Header, rr.Results); err != nil {
+		t.Fatal(err)
+	}
+	_, rs2, err := ReadCheckpoint(atomicPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rs2 {
+		if r.Wall != rr.Results[i].Wall {
+			t.Fatalf("atomic checkpoint dropped wall for trial %d", r.TrialID)
+		}
+	}
+}
+
+// TestTimingByKey: aggregation math and ordering (expensive keys first).
+func TestTimingByKey(t *testing.T) {
+	results := []Result{
+		{TrialID: 0, Key: "cheap", Wall: 0.1},
+		{TrialID: 1, Key: "cheap", Wall: 0.3},
+		{TrialID: 2, Key: "dear", Wall: 2.0},
+		{TrialID: 3, Key: "untimed"}, // e.g. from a pre-timing checkpoint
+	}
+	kts := TimingByKey(results)
+	if len(kts) != 2 {
+		t.Fatalf("got %d keys, want 2 (untimed results skipped)", len(kts))
+	}
+	if kts[0].Key != "dear" || kts[1].Key != "cheap" {
+		t.Fatalf("keys not sorted by descending total: %+v", kts)
+	}
+	cheap := kts[1]
+	if cheap.Count != 2 || math.Abs(cheap.Total-0.4) > 1e-12 || cheap.Max != 0.3 ||
+		math.Abs(cheap.Mean()-0.2) > 1e-12 {
+		t.Fatalf("cheap timing wrong: %+v", cheap)
+	}
+	var buf bytes.Buffer
+	WriteTimingSummary(&buf, results)
+	if buf.Len() == 0 {
+		t.Fatal("summary empty despite timed results")
+	}
+	buf.Reset()
+	WriteTimingSummary(&buf, []Result{{TrialID: 0, Key: "x"}})
+	if buf.Len() != 0 {
+		t.Fatal("summary printed for a result set with no durations")
+	}
+}

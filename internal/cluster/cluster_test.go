@@ -11,34 +11,46 @@ import (
 	"time"
 
 	"falvolt/internal/campaign"
+	"falvolt/internal/spec"
 	"falvolt/internal/tensor"
 )
 
-// counting wraps a campaign so tests can assert how many trials
-// actually executed (e.g. "no trial ran twice after a reassignment").
-// It forwards Meta so both ends of a cluster compute the same
-// fingerprint whether or not they count.
-type counting struct {
-	campaign.Campaign
-	runs *atomic.Int64
+// selftestSpec declares the synthetic smoke campaign the way a cmd tool
+// would compile it from flags.
+func selftestSpec(n int, seed int64) *spec.Spec {
+	return &spec.Spec{
+		Version: spec.Version, Kind: "selftest", Seed: seed,
+		Selftest: &spec.SelftestSpec{Trials: n},
+	}
 }
 
-func (c counting) NewWorker(lane int) (campaign.Worker, error) {
-	w, err := c.Campaign.NewWorker(lane)
+// buildFromSpec constructs the campaign a spec describes — the same
+// path coordinators, workers and cmd tools share.
+func buildFromSpec(t *testing.T, sp *spec.Spec) campaign.Campaign {
+	t.Helper()
+	built, err := spec.Build(sp, spec.BuildOpts{})
 	if err != nil {
-		return nil, err
+		t.Fatal(err)
 	}
-	return campaign.WorkerFunc(func(t campaign.Trial) (campaign.Result, error) {
-		c.runs.Add(1)
-		return w.RunTrial(t)
-	}), nil
+	return built.Campaign
 }
 
-func (c counting) Meta() map[string]string {
-	if mp, ok := c.Campaign.(campaign.MetaProvider); ok {
-		return mp.Meta()
-	}
-	return nil
+// countingRunner wraps a Runner and counts delivered results, so tests
+// can assert how many trials actually executed on workers (resumed
+// checkpoint records are streamed without passing through the runner,
+// so they are not counted — exactly the "no re-runs" property under
+// test).
+type countingRunner struct {
+	inner campaign.Runner
+	runs  *atomic.Int64
+}
+
+func (r countingRunner) Run(ctx context.Context, c campaign.Campaign, trials []campaign.Trial,
+	sink func(campaign.Result) error) error {
+	return r.inner.Run(ctx, c, trials, func(res campaign.Result) error {
+		r.runs.Add(1)
+		return sink(res)
+	})
 }
 
 // cancelAfter wraps a runner and cancels a context once `after` results
@@ -67,10 +79,11 @@ func (r *cancelAfter) Run(ctx context.Context, c campaign.Campaign, trials []cam
 
 // startCoordinator runs campaign.Run with a Coordinator runner in the
 // background and returns the coordinator, its URL, and a channel with
-// the run outcome.
-func startCoordinator(t *testing.T, c campaign.Campaign, cfg CoordinatorConfig,
+// the run outcome. sp is the spec the coordinator ships to workers.
+func startCoordinator(t *testing.T, c campaign.Campaign, sp *spec.Spec, cfg CoordinatorConfig,
 	opt campaign.Options) (*Coordinator, string, <-chan runOutcome) {
 	t.Helper()
+	cfg.Spec = sp
 	if cfg.Addr == "" {
 		cfg.Addr = "127.0.0.1:0"
 	}
@@ -102,7 +115,10 @@ type runOutcome struct {
 	err error
 }
 
-func startWorker(t *testing.T, cfg WorkerConfig, c campaign.Campaign, ctx context.Context) <-chan error {
+// startWorker launches a worker daemon. Unless the test injects a
+// Build hook, the worker is spec-free: everything it knows about the
+// campaign arrives from the coordinator at registration.
+func startWorker(t *testing.T, cfg WorkerConfig, ctx context.Context) <-chan error {
 	t.Helper()
 	if cfg.Poll == 0 {
 		cfg.Poll = 20 * time.Millisecond
@@ -111,7 +127,7 @@ func startWorker(t *testing.T, cfg WorkerConfig, c campaign.Campaign, ctx contex
 		cfg.Runner = campaign.PoolRunner{Engine: tensor.NewParallel(2)}
 	}
 	done := make(chan error, 1)
-	go func() { done <- NewWorker(cfg).Run(ctx, c) }()
+	go func() { done <- NewWorker(cfg).Run(ctx) }()
 	return done
 }
 
@@ -129,24 +145,39 @@ func singleProcessWant(t *testing.T, c campaign.Campaign) []byte {
 }
 
 // TestDistributedEquivalence is the acceptance gate: a campaign
-// distributed across two loopback workers produces byte-identical
-// merged result JSON to the single-process PoolRunner run, with every
-// trial executed exactly once.
+// distributed across two loopback workers launched spec-free (the
+// coordinator ships the canonical spec at registration) produces
+// byte-identical merged result JSON to the single-process PoolRunner
+// run, with every trial executed exactly once.
 func TestDistributedEquivalence(t *testing.T) {
 	const n = 37
-	want := singleProcessWant(t, campaign.Synthetic(n, 7))
+	sp := selftestSpec(n, 7)
+	want := singleProcessWant(t, buildFromSpec(t, sp))
 
-	var runs atomic.Int64
-	dist := counting{Campaign: campaign.Synthetic(n, 7), runs: &runs}
 	ckpt := filepath.Join(t.TempDir(), "coordinator.jsonl")
-	co, url, out := startCoordinator(t, dist,
+	co, url, out := startCoordinator(t, buildFromSpec(t, sp), sp,
 		CoordinatorConfig{Shards: 4, LeaseTTL: 2 * time.Second},
 		campaign.Options{Checkpoint: ckpt})
 
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
-	w1 := startWorker(t, WorkerConfig{Coordinator: url, Name: "w1", CheckpointDir: t.TempDir()}, dist, ctx)
-	w2 := startWorker(t, WorkerConfig{Coordinator: url, Name: "w2", CheckpointDir: t.TempDir()}, dist, ctx)
+	var runs atomic.Int64
+	counting := func() campaign.Runner {
+		return countingRunner{inner: campaign.PoolRunner{Engine: tensor.NewParallel(2)}, runs: &runs}
+	}
+	// w1 is fully spec-free; w2 additionally records what arrived, to
+	// pin down that the campaign really came over the wire.
+	var gotKind atomic.Value
+	w1 := startWorker(t, WorkerConfig{
+		Coordinator: url, Name: "w1", CheckpointDir: t.TempDir(), Runner: counting(),
+	}, ctx)
+	w2 := startWorker(t, WorkerConfig{
+		Coordinator: url, Name: "w2", CheckpointDir: t.TempDir(), Runner: counting(),
+		Build: func(s *spec.Spec) (*spec.Built, error) {
+			gotKind.Store(s.Kind)
+			return spec.Build(s, spec.BuildOpts{})
+		},
+	}, ctx)
 
 	res := <-out
 	if res.err != nil {
@@ -170,9 +201,12 @@ func TestDistributedEquivalence(t *testing.T) {
 			t.Fatalf("worker %d exited with error: %v", i+1, err)
 		}
 	}
+	if k, _ := gotKind.Load().(string); k != "selftest" {
+		t.Fatalf("worker 2 received spec kind %q, want %q", k, "selftest")
+	}
 
-	// The coordinator's checkpoint holds each trial exactly once and
-	// merges to the same bytes.
+	// The coordinator's checkpoint holds each trial exactly once, keeps
+	// the wire-carried wall-clock, and merges to the same bytes.
 	h, rs, err := campaign.ReadCheckpoint(ckpt)
 	if err != nil {
 		t.Fatal(err)
@@ -180,6 +214,21 @@ func TestDistributedEquivalence(t *testing.T) {
 	if h.Campaign != "selftest" || len(rs) != n || !campaign.Complete(rs, n) {
 		t.Fatalf("coordinator checkpoint: campaign %q, %d results (complete=%v)",
 			h.Campaign, len(rs), campaign.Complete(rs, n))
+	}
+	if sjson, err := spec.FromMeta(h.Meta); err != nil || sjson.Kind != "selftest" {
+		t.Fatalf("checkpoint header spec metadata: %v (kind %v)", err, sjson)
+	}
+	// At least some trials must carry a wire-delivered wall-clock; not
+	// all, because a sub-clock-tick synthetic trial can legitimately
+	// measure zero on coarse monotonic clocks.
+	timed := 0
+	for _, r := range rs {
+		if r.Wall > 0 {
+			timed++
+		}
+	}
+	if timed == 0 {
+		t.Fatal("no trial reached the coordinator checkpoint with a wall-clock")
 	}
 	if b, _ := campaign.MarshalResults(rs); !bytes.Equal(b, want) {
 		t.Fatal("coordinator checkpoint differs from single-process run")
@@ -195,20 +244,24 @@ func TestDistributedEquivalence(t *testing.T) {
 // stays byte-identical.
 func TestWorkerDeathReassignment(t *testing.T) {
 	const n, dieAfter = 24, 3
-	want := singleProcessWant(t, campaign.Synthetic(n, 7))
+	sp := selftestSpec(n, 7)
+	want := singleProcessWant(t, buildFromSpec(t, sp))
 
-	var runs atomic.Int64
-	dist := counting{Campaign: campaign.Synthetic(n, 7), runs: &runs}
 	ckpt := filepath.Join(t.TempDir(), "coordinator.jsonl")
-	co, url, out := startCoordinator(t, dist,
+	co, url, out := startCoordinator(t, buildFromSpec(t, sp), sp,
 		CoordinatorConfig{Shards: 2, LeaseTTL: 150 * time.Millisecond},
 		campaign.Options{Checkpoint: ckpt})
 
 	// Worker A dies (stops running AND heartbeating) after 3 results.
+	var runs atomic.Int64
 	ctxA, cancelA := context.WithCancel(context.Background())
 	defer cancelA()
-	ra := &cancelAfter{inner: campaign.PoolRunner{Engine: tensor.Serial()}, after: dieAfter, cancel: cancelA}
-	wa := startWorker(t, WorkerConfig{Coordinator: url, Name: "doomed", Runner: ra, CheckpointDir: t.TempDir()}, dist, ctxA)
+	ra := &cancelAfter{
+		inner:  countingRunner{inner: campaign.PoolRunner{Engine: tensor.Serial()}, runs: &runs},
+		after:  dieAfter,
+		cancel: cancelA,
+	}
+	wa := startWorker(t, WorkerConfig{Coordinator: url, Name: "doomed", Runner: ra, CheckpointDir: t.TempDir()}, ctxA)
 
 	// Let A claim a shard and push its 3 results before B exists, so
 	// the reassignment path is actually exercised.
@@ -223,7 +276,10 @@ func TestWorkerDeathReassignment(t *testing.T) {
 
 	ctxB, cancelB := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancelB()
-	wb := startWorker(t, WorkerConfig{Coordinator: url, Name: "survivor", CheckpointDir: t.TempDir()}, dist, ctxB)
+	wb := startWorker(t, WorkerConfig{
+		Coordinator: url, Name: "survivor", CheckpointDir: t.TempDir(),
+		Runner: countingRunner{inner: campaign.PoolRunner{Engine: tensor.Serial()}, runs: &runs},
+	}, ctxB)
 
 	res := <-out
 	if res.err != nil {
@@ -261,24 +317,31 @@ func TestWorkerDeathReassignment(t *testing.T) {
 // trial re-runs.
 func TestRestartedWorkerResumesLocalCheckpoint(t *testing.T) {
 	const n, dieAfter = 16, 5
-	want := singleProcessWant(t, campaign.Synthetic(n, 3))
+	sp := selftestSpec(n, 3)
+	want := singleProcessWant(t, buildFromSpec(t, sp))
 
 	var runs atomic.Int64
-	dist := counting{Campaign: campaign.Synthetic(n, 3), runs: &runs}
-	_, url, out := startCoordinator(t, dist,
+	_, url, out := startCoordinator(t, buildFromSpec(t, sp), sp,
 		CoordinatorConfig{Shards: 1, LeaseTTL: 150 * time.Millisecond},
 		campaign.Options{})
 
 	dir := t.TempDir() // shared across the worker's two lives
 	ctxA, cancelA := context.WithCancel(context.Background())
 	defer cancelA()
-	ra := &cancelAfter{inner: campaign.PoolRunner{Engine: tensor.Serial()}, after: dieAfter, cancel: cancelA}
-	wa := startWorker(t, WorkerConfig{Coordinator: url, Name: "flaky", Runner: ra, CheckpointDir: dir}, dist, ctxA)
+	ra := &cancelAfter{
+		inner:  countingRunner{inner: campaign.PoolRunner{Engine: tensor.Serial()}, runs: &runs},
+		after:  dieAfter,
+		cancel: cancelA,
+	}
+	wa := startWorker(t, WorkerConfig{Coordinator: url, Name: "flaky", Runner: ra, CheckpointDir: dir}, ctxA)
 	<-wa
 
 	ctxB, cancelB := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancelB()
-	wb := startWorker(t, WorkerConfig{Coordinator: url, Name: "flaky", CheckpointDir: dir}, dist, ctxB)
+	wb := startWorker(t, WorkerConfig{
+		Coordinator: url, Name: "flaky", CheckpointDir: dir,
+		Runner: countingRunner{inner: campaign.PoolRunner{Engine: tensor.Serial()}, runs: &runs},
+	}, ctxB)
 
 	res := <-out
 	if res.err != nil {
@@ -303,22 +366,46 @@ func TestRestartedWorkerResumesLocalCheckpoint(t *testing.T) {
 	}
 }
 
-// TestFingerprintMismatchRejected: a worker whose locally built
-// campaign differs from the coordinator's is refused at registration.
-func TestFingerprintMismatchRejected(t *testing.T) {
+// TestProtocolMismatchRejected: a worker speaking an older wire
+// protocol is refused at registration with a deliberate (non-retried)
+// rejection.
+func TestProtocolMismatchRejected(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	_, url, out := startCoordinator(t, campaign.Synthetic(20, 1),
+	sp := selftestSpec(20, 1)
+	_, url, out := startCoordinator(t, buildFromSpec(t, sp), sp,
+		CoordinatorConfig{LeaseTTL: time.Second},
+		campaign.Options{Context: ctx})
+
+	cl := newClient(url)
+	_, err := cl.register(RegisterRequest{Worker: "stale-build", Proto: protocolVersion - 1})
+	if err == nil || !strings.Contains(err.Error(), "protocol version mismatch") {
+		t.Fatalf("stale worker registered anyway: err=%v", err)
+	}
+	cancel() // nothing will finish the campaign
+	if res := <-out; res.err == nil {
+		t.Fatal("coordinator run should report cancellation")
+	}
+}
+
+// TestUnknownSpecKindFailsWorker: a worker handed a spec whose kind its
+// build has no registered builder for fails cleanly at build time
+// instead of looping or corrupting anything.
+func TestUnknownSpecKindFailsWorker(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	sp := &spec.Spec{Version: spec.Version, Kind: "martian"}
+	_, url, out := startCoordinator(t, campaign.Synthetic(8, 1), sp,
 		CoordinatorConfig{LeaseTTL: time.Second},
 		campaign.Options{Context: ctx})
 
 	err := NewWorker(WorkerConfig{
-		Coordinator: url, Name: "misconfigured", Poll: 10 * time.Millisecond,
-	}).Run(ctx, campaign.Synthetic(20, 2)) // different seed -> different meta
-	if err == nil || !strings.Contains(err.Error(), "fingerprint") {
-		t.Fatalf("mismatched worker registered anyway: err=%v", err)
+		Coordinator: url, Name: "confused", Poll: 10 * time.Millisecond,
+	}).Run(ctx)
+	if err == nil || !strings.Contains(err.Error(), "unknown kind") {
+		t.Fatalf("worker with unbuildable spec should fail with unknown kind, got: %v", err)
 	}
-	cancel() // nothing will finish the campaign
+	cancel()
 	if res := <-out; res.err == nil {
 		t.Fatal("coordinator run should report cancellation")
 	}
@@ -339,18 +426,19 @@ func TestHeartbeatKeepsSlowShardAlive(t *testing.T) {
 				Metrics: map[string]float64{"v": float64(tr.ID)}}, nil
 		}), nil
 	})
-	var runs atomic.Int64
-	dist := counting{Campaign: slow, runs: &runs}
 
-	co, url, out := startCoordinator(t, dist,
+	var runs atomic.Int64
+	co, url, out := startCoordinator(t, slow, selftestSpec(n, 1),
 		CoordinatorConfig{Shards: 1, LeaseTTL: 150 * time.Millisecond},
 		campaign.Options{})
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 	w := startWorker(t, WorkerConfig{
 		Coordinator: url, Name: "slowpoke",
-		Runner: campaign.PoolRunner{Engine: tensor.Serial()},
-	}, dist, ctx)
+		Runner: countingRunner{inner: campaign.PoolRunner{Engine: tensor.Serial()}, runs: &runs},
+		// The test campaign is not spec-buildable; inject it directly.
+		Build: func(*spec.Spec) (*spec.Built, error) { return &spec.Built{Campaign: slow}, nil },
+	}, ctx)
 
 	res := <-out
 	if res.err != nil {
@@ -383,7 +471,7 @@ func TestTrialErrorAbortsCampaign(t *testing.T) {
 		}), nil
 	})
 
-	_, url, out := startCoordinator(t, failing,
+	_, url, out := startCoordinator(t, failing, selftestSpec(8, 1),
 		CoordinatorConfig{Shards: 2, LeaseTTL: time.Second},
 		campaign.Options{})
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
@@ -391,7 +479,8 @@ func TestTrialErrorAbortsCampaign(t *testing.T) {
 	w := startWorker(t, WorkerConfig{
 		Coordinator: url, Name: "unlucky",
 		Runner: campaign.PoolRunner{Engine: tensor.Serial()},
-	}, failing, ctx)
+		Build:  func(*spec.Spec) (*spec.Built, error) { return &spec.Built{Campaign: failing}, nil },
+	}, ctx)
 
 	res := <-out
 	if res.err == nil || !strings.Contains(res.err.Error(), "injected fault") {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"falvolt/internal/campaign"
+	"falvolt/internal/spec"
 )
 
 // DefaultShards is the shard count when CoordinatorConfig.Shards is 0:
@@ -30,6 +31,11 @@ type CoordinatorConfig struct {
 	// Addr is the listen address (":9090", "127.0.0.1:0" for an
 	// ephemeral test port).
 	Addr string
+	// Spec is the experiment this coordinator serves. Its canonical
+	// JSON is shipped to every worker at registration — workers build
+	// their campaign from these bytes — and its fingerprint names the
+	// run in logs and /v1/status. Required: Run fails without it.
+	Spec *spec.Spec
 	// Shards is the number of interleaved shards the trial list is
 	// split into (0 = DefaultShards, clamped to the trial count).
 	// More shards than workers lets fast workers take extra shards and
@@ -63,6 +69,7 @@ type Coordinator struct {
 	mu         sync.Mutex
 	started    bool
 	info       CampaignInfo
+	specJSON   []byte // canonical spec, shipped at registration
 	fp         string
 	shards     []*shardState
 	trialShard map[int]int // trial ID -> owning shard index
@@ -127,9 +134,29 @@ func (co *Coordinator) Run(ctx context.Context, c campaign.Campaign, trials []ca
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if co.cfg.Spec == nil {
+		return fmt.Errorf("cluster: coordinator needs CoordinatorConfig.Spec (workers build their campaign from it)")
+	}
+	canonical, err := co.cfg.Spec.Canonical()
+	if err != nil {
+		return err
+	}
+	fp, err := co.cfg.Spec.Fingerprint()
+	if err != nil {
+		return err
+	}
 	info, err := InfoOf(c)
 	if err != nil {
 		return err
+	}
+	// The campaign's own metadata records the canonical spec it was
+	// built from (spec.Build embeds it). If the caller wired a
+	// different Spec into the coordinator, workers would build — and
+	// return results for — a different experiment than the one whose
+	// checkpoint header this run writes; refuse up front instead.
+	if embedded, ok := info.Meta["spec"]; ok && embedded != string(canonical) {
+		return fmt.Errorf("cluster: CoordinatorConfig.Spec does not match the campaign's spec (%s vs campaign %s)",
+			fp, c.Name())
 	}
 	co.mu.Lock()
 	if co.started {
@@ -138,7 +165,8 @@ func (co *Coordinator) Run(ctx context.Context, c campaign.Campaign, trials []ca
 	}
 	co.started = true
 	co.info = info
-	co.fp = info.Fingerprint()
+	co.specJSON = canonical
+	co.fp = fp
 	co.sink = sink
 	co.recorded = make(map[int][]byte)
 	co.workers = make(map[string]string)
@@ -236,17 +264,22 @@ func (co *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	co.mu.Lock()
 	defer co.mu.Unlock()
-	if req.Fingerprint != co.fp {
+	if req.Proto != protocolVersion {
 		writeJSONError(w, http.StatusConflict, fmt.Sprintf(
-			"campaign fingerprint mismatch: worker %q built %s, coordinator serves %s (campaign %s, %d trials) — align the worker's configuration flags",
-			req.Worker, req.Fingerprint, co.fp, co.info.Campaign, co.info.Trials))
+			"protocol version mismatch: worker %q speaks v%d, coordinator v%d — rebuild the worker",
+			req.Worker, req.Proto, protocolVersion))
 		return
 	}
 	co.wseq++
 	id := fmt.Sprintf("w%d-%s", co.wseq, req.Worker)
 	co.workers[id] = req.Worker
-	co.logf("coordinator: registered worker %s\n", id)
-	writeJSON(w, RegisterResponse{WorkerID: id, LeaseTTLMillis: co.cfg.LeaseTTL.Milliseconds()})
+	co.logf("coordinator: registered worker %s (shipping spec %s)\n", id, co.fp)
+	writeJSON(w, RegisterResponse{
+		WorkerID:       id,
+		LeaseTTLMillis: co.cfg.LeaseTTL.Milliseconds(),
+		Spec:           json.RawMessage(co.specJSON),
+		Fingerprint:    co.fp,
+	})
 }
 
 func (co *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
@@ -318,11 +351,16 @@ func (co *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, ResultsResponse{OK: true})
 		return
 	}
-	// Results are accepted from any registered (fingerprint-verified)
-	// worker, even one whose lease has lapsed: a slow worker's trials
-	// are as deterministic as a fast one's, and the conflict check
-	// catches genuine disagreement. Leases only schedule work.
-	for _, res := range req.Results {
+	// Results are accepted from any registered worker (every worker
+	// runs the campaign built from the coordinator's own spec), even
+	// one whose lease has lapsed: a slow worker's trials are as
+	// deterministic as a fast one's, and the conflict check catches
+	// genuine disagreement. Leases only schedule work.
+	for i, res := range req.Results {
+		if i < len(req.Wall) {
+			// Re-attach the out-of-band wall-clock (identity-neutral).
+			res.Wall = req.Wall[i]
+		}
 		if err := co.recordLocked(res); err != nil {
 			co.failLocked(err)
 			writeJSON(w, ResultsResponse{OK: true})

@@ -26,10 +26,13 @@
 // shard from disk, and streams the already-completed records instead of
 // re-running them.
 //
-// Safety: workers are configured independently of the coordinator (each
-// builds the campaign from its own flags), so registration verifies a
-// fingerprint of the campaign configuration — name, trial count, and
-// the metadata fingerprint that checkpoint headers carry. A worker
-// built against a different suite configuration is rejected at
-// registration instead of silently corrupting the merge.
+// Safety: workers carry no campaign configuration of their own. At
+// registration the coordinator ships the canonical experiment spec
+// (internal/spec) and the worker builds its campaign from exactly those
+// bytes via the spec registry — `campaign work -coordinator <url>` is
+// all it takes to join a fleet. The misconfigured-worker failure mode
+// the old flag-matching + fingerprint scheme could only detect is
+// therefore unrepresentable; registration still rejects wire-protocol
+// version mismatches up front, and the spec fingerprint names the
+// experiment in logs and /v1/status.
 package cluster

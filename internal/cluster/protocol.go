@@ -1,10 +1,8 @@
 package cluster
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
+	"encoding/json"
 	"fmt"
-	"sort"
 
 	"falvolt/internal/campaign"
 )
@@ -13,12 +11,16 @@ import (
 // /v1/ (register, lease, heartbeat, results) plus a GET /v1/status
 // snapshot, all JSON. Trials travel coordinator -> worker inside lease
 // grants; results stream back worker -> coordinator one record per
-// completed trial. Campaign configuration never travels: each side
-// builds the campaign locally and registration compares fingerprints.
+// completed trial. The campaign configuration travels exactly once, as
+// the canonical experiment spec (internal/spec) inside the registration
+// response: workers build their campaign from the received bytes, so a
+// worker cannot be configured differently from its coordinator — the
+// misconfiguration class the old flag-matching + fingerprint scheme
+// could only detect is unrepresentable.
 
 // protocolVersion is bumped on incompatible wire changes; registration
-// rejects mismatched versions via the fingerprint.
-const protocolVersion = 1
+// rejects mismatched versions up front.
+const protocolVersion = 2
 
 // Lease-response statuses.
 const (
@@ -57,39 +59,32 @@ func InfoOf(c campaign.Campaign) (CampaignInfo, error) {
 	return info, nil
 }
 
-// Fingerprint hashes the campaign identity into a short hex digest.
-// Coordinator and worker compute it independently from their own
-// configuration; registration rejects a mismatch, so shard results from
-// a differently configured worker can never reach the merge.
-func (ci CampaignInfo) Fingerprint() string {
-	h := sha256.New()
-	fmt.Fprintf(h, "v%d|%s|%d", ci.Version, ci.Campaign, ci.Trials)
-	keys := make([]string, 0, len(ci.Meta))
-	for k := range ci.Meta {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		fmt.Fprintf(h, "|%s=%s", k, ci.Meta[k])
-	}
-	return hex.EncodeToString(h.Sum(nil))[:16]
-}
-
-// RegisterRequest enrolls a worker for the coordinator's campaign.
+// RegisterRequest enrolls a worker for the coordinator's campaign. The
+// worker brings nothing but a name and its protocol version — the
+// campaign configuration flows the other way, in the response.
 type RegisterRequest struct {
 	// Worker is a self-chosen display name (host:pid by default).
 	Worker string `json:"worker"`
-	// Fingerprint is CampaignInfo.Fingerprint() of the worker's locally
-	// built campaign.
-	Fingerprint string `json:"fingerprint"`
+	// Proto is the worker's wire-protocol version; the coordinator
+	// rejects mismatches at registration instead of failing obscurely
+	// mid-campaign.
+	Proto int `json:"proto"`
 }
 
-// RegisterResponse acknowledges registration.
+// RegisterResponse acknowledges registration and ships the experiment.
 type RegisterResponse struct {
 	WorkerID string `json:"workerID"`
 	// LeaseTTLMillis tells the worker how often to heartbeat (a third
 	// of the TTL).
 	LeaseTTLMillis int64 `json:"leaseTTLMillis"`
+	// Spec is the canonical JSON of the experiment spec this
+	// coordinator serves (internal/spec). The worker builds its
+	// campaign from exactly these bytes via the spec registry.
+	Spec json.RawMessage `json:"spec"`
+	// Fingerprint is the spec's digest (spec.Fingerprint), echoed so
+	// the worker can verify the payload arrived intact and logs can
+	// name the experiment.
+	Fingerprint string `json:"fingerprint"`
 }
 
 // LeaseRequest asks for a shard of work.
@@ -133,6 +128,9 @@ type ResultsRequest struct {
 	WorkerID string            `json:"workerID"`
 	LeaseID  string            `json:"leaseID,omitempty"`
 	Results  []campaign.Result `json:"results,omitempty"`
+	// Wall carries Results[i].Wall (seconds), which canonical result
+	// JSON excludes, so coordinator checkpoints keep per-trial timing.
+	Wall []float64 `json:"wall,omitempty"`
 	// TrialErr aborts the whole campaign: trials are deterministic, so
 	// another worker would fail the same way.
 	TrialErr string `json:"trialErr,omitempty"`

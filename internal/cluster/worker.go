@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"falvolt/internal/campaign"
+	"falvolt/internal/spec"
 )
 
 // DefaultPoll is the idle poll / retry interval when WorkerConfig.Poll
@@ -63,6 +64,14 @@ type WorkerConfig struct {
 	// resumes from disk and streams the completed records instead of
 	// re-running them.
 	CheckpointDir string
+	// CacheDir persists trained baselines between runs; it is passed to
+	// the spec builder (execution-local, never affects results).
+	CacheDir string
+	// Build constructs the campaign from the spec the coordinator ships
+	// at registration. Nil selects spec.Build with this worker's
+	// CacheDir and Log — the production path. Tests inject wrappers
+	// (trial counters, simulated deaths) here.
+	Build func(s *spec.Spec) (*spec.Built, error)
 	// Poll is the idle poll and retry interval (0 = DefaultPoll).
 	Poll time.Duration
 	// Retries bounds consecutive transport failures before giving up
@@ -74,10 +83,11 @@ type WorkerConfig struct {
 }
 
 // Worker executes shards of a campaign leased from a coordinator. It
-// builds the campaign locally (expensive resources like trained
-// baselines load lazily on first trial) and must be configured
-// identically to the coordinator's — registration verifies the
-// configuration fingerprint and rejects mismatches.
+// needs no campaign configuration of its own: registration hands it the
+// coordinator's canonical experiment spec, and it builds the campaign
+// from those bytes (expensive resources like trained baselines still
+// load lazily on first trial). A worker therefore cannot be
+// misconfigured relative to its coordinator.
 type Worker struct {
 	cfg WorkerConfig
 	cl  *client
@@ -104,18 +114,29 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	return &Worker{cfg: cfg, cl: newClient(cfg.Coordinator)}
 }
 
-// Run registers with the coordinator and processes shard leases until
-// the campaign completes (nil), fails, or ctx is cancelled. The
-// campaign must be configured identically to the coordinator's.
-func (w *Worker) Run(ctx context.Context, c campaign.Campaign) error {
+// Run registers with the coordinator, builds the campaign from the
+// spec received at registration, and processes shard leases until the
+// campaign completes (nil), fails, or ctx is cancelled.
+func (w *Worker) Run(ctx context.Context) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	info, err := InfoOf(c)
+	workerID, ttl, sp, err := w.register(ctx)
 	if err != nil {
 		return err
 	}
-	workerID, ttl, err := w.register(ctx, info)
+	build := w.cfg.Build
+	if build == nil {
+		build = func(s *spec.Spec) (*spec.Built, error) {
+			return spec.Build(s, spec.BuildOpts{CacheDir: w.cfg.CacheDir, Log: w.cfg.Log})
+		}
+	}
+	built, err := build(sp)
+	if err != nil {
+		return fmt.Errorf("cluster: build campaign from coordinator spec: %w", err)
+	}
+	c := built.Campaign
+	info, err := InfoOf(c)
 	if err != nil {
 		return err
 	}
@@ -174,24 +195,37 @@ func (w *Worker) Run(ctx context.Context, c campaign.Campaign) error {
 	}
 }
 
-// register enrolls the worker, retrying transport failures so workers
-// may start before their coordinator listens.
-func (w *Worker) register(ctx context.Context, info CampaignInfo) (string, time.Duration, error) {
-	req := RegisterRequest{Worker: w.cfg.Name, Fingerprint: info.Fingerprint()}
+// register enrolls the worker — retrying transport failures so workers
+// may start before their coordinator listens — and returns the
+// experiment spec the coordinator shipped, verified against its
+// fingerprint.
+func (w *Worker) register(ctx context.Context) (string, time.Duration, *spec.Spec, error) {
+	req := RegisterRequest{Worker: w.cfg.Name, Proto: protocolVersion}
 	for attempt := 1; ; attempt++ {
 		resp, err := w.cl.register(req)
 		if err == nil {
-			return resp.WorkerID, time.Duration(resp.LeaseTTLMillis) * time.Millisecond, nil
+			sp, err := spec.Decode(resp.Spec)
+			if err != nil {
+				return "", 0, nil, fmt.Errorf("cluster: coordinator shipped an unreadable spec: %w", err)
+			}
+			fp, err := sp.Fingerprint()
+			if err != nil {
+				return "", 0, nil, fmt.Errorf("cluster: fingerprint received spec: %w", err)
+			}
+			if resp.Fingerprint != "" && fp != resp.Fingerprint {
+				return "", 0, nil, fmt.Errorf("cluster: received spec fingerprint %s does not match coordinator's %s", fp, resp.Fingerprint)
+			}
+			return resp.WorkerID, time.Duration(resp.LeaseTTLMillis) * time.Millisecond, sp, nil
 		}
 		var se *statusError
 		if errors.As(err, &se) {
-			return "", 0, err // fingerprint mismatch or malformed request
+			return "", 0, nil, err // protocol mismatch or malformed request
 		}
 		if attempt > w.cfg.Retries {
-			return "", 0, fmt.Errorf("cluster: register failed after %d attempts: %w", attempt, err)
+			return "", 0, nil, fmt.Errorf("cluster: register failed after %d attempts: %w", attempt, err)
 		}
 		if err := sleepCtx(ctx, w.cfg.Poll); err != nil {
-			return "", 0, err
+			return "", 0, nil, err
 		}
 	}
 }
@@ -281,7 +315,8 @@ func (w *Worker) runShard(ctx context.Context, c campaign.Campaign, info Campaig
 			}
 		}
 		if _, err := w.cl.results(ResultsRequest{
-			WorkerID: workerID, LeaseID: lr.LeaseID, Results: []campaign.Result{r},
+			WorkerID: workerID, LeaseID: lr.LeaseID,
+			Results: []campaign.Result{r}, Wall: []float64{r.Wall},
 		}); err != nil {
 			return fmt.Errorf("%w: %v", errPush, err)
 		}
@@ -347,8 +382,12 @@ func (w *Worker) openShardCheckpoint(c campaign.Campaign, info CampaignInfo,
 			return nil, nil, fmt.Errorf("cluster: local checkpoint %s is from a different campaign, configuration or shard", path)
 		}
 		if len(results) > 0 {
+			walls := make([]float64, len(results))
+			for i, r := range results {
+				walls[i] = r.Wall
+			}
 			if _, err := w.cl.results(ResultsRequest{
-				WorkerID: workerID, LeaseID: lr.LeaseID, Results: results,
+				WorkerID: workerID, LeaseID: lr.LeaseID, Results: results, Wall: walls,
 			}); err != nil {
 				return nil, nil, fmt.Errorf("%w: %v", errPush, err)
 			}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"falvolt/internal/campaign"
+	"falvolt/internal/spec"
+)
+
+// Spec-registry integration: every figure campaign (fig2, fig5a-c, and
+// the shared Fig. 6/7/8 "mitigation" study) is constructible from a
+// declarative spec.Spec. Identically configured specs share one Suite
+// per process, so a tool that runs several figure campaigns — or a
+// cluster worker leasing shards of different figures of the same sweep
+// configuration — trains each dataset baseline exactly once.
+
+var (
+	suiteCacheMu sync.Mutex
+	suiteCache   = map[string]*Suite{}
+)
+
+// SuiteFromSpec resolves a spec's suite section into a Suite, applying
+// the mode defaults (DefaultOptions, or QuickOptions when Quick is set)
+// for zero values, exactly like the historical cmd flags. Suites are
+// cached per resolved configuration (including the cache directory):
+// repeated builds from equivalent specs return the same Suite and
+// therefore share trained baselines. The log writer is fixed by
+// whichever build populated the cache entry first — execution detail,
+// never results.
+func SuiteFromSpec(s *spec.Spec, opt spec.BuildOpts) (*Suite, error) {
+	ss := s.Suite
+	if ss == nil {
+		return nil, fmt.Errorf("experiments: spec kind %q needs a suite section", s.Kind)
+	}
+	o := DefaultOptions()
+	if ss.Quick {
+		o = QuickOptions()
+	}
+	o.Seed = s.EffectiveSeed()
+	if ss.Array > 0 {
+		o.ArrayRows, o.ArrayCols = ss.Array, ss.Array
+	}
+	if ss.Epochs > 0 {
+		o.RetrainEpochs = ss.Epochs
+	}
+	if ss.Repeats > 0 {
+		o.Repeats = ss.Repeats
+	}
+	if ss.Eval > 0 {
+		o.EvalSamples = ss.Eval
+	}
+	o.CacheDir = opt.CacheDir
+	o.Log = opt.Log
+	key := fmt.Sprintf("quick=%v seed=%d array=%dx%d repeats=%d epochs=%d eval=%d cache=%q",
+		o.Quick, o.Seed, o.ArrayRows, o.ArrayCols, o.Repeats, o.RetrainEpochs, o.EvalSamples, o.CacheDir)
+	suiteCacheMu.Lock()
+	defer suiteCacheMu.Unlock()
+	if su, ok := suiteCache[key]; ok {
+		return su, nil
+	}
+	su := NewSuite(o)
+	suiteCache[key] = su
+	return su, nil
+}
+
+func init() {
+	for _, name := range CampaignNames() {
+		spec.Register(name, buildFigureCampaign)
+	}
+}
+
+// buildFigureCampaign is the registered builder for every figure kind:
+// resolve the (shared) suite, construct the campaign, and render
+// results as the kind's figures.
+func buildFigureCampaign(s *spec.Spec, opt spec.BuildOpts) (*spec.Built, error) {
+	suite, err := SuiteFromSpec(s, opt)
+	if err != nil {
+		return nil, err
+	}
+	cam, err := suite.Campaign(s.Kind)
+	if err != nil {
+		return nil, err
+	}
+	kind := s.Kind
+	figures := func(results []campaign.Result) ([]*Figure, error) {
+		return suite.Figures(kind, results)
+	}
+	return &spec.Built{
+		Campaign: cam,
+		Render: func(w io.Writer, results []campaign.Result) error {
+			figs, err := figures(results)
+			if err != nil {
+				return err
+			}
+			for _, f := range figs {
+				f.Print(w)
+			}
+			return nil
+		},
+		JSON: func(results []campaign.Result) (any, error) {
+			return figures(results)
+		},
+	}, nil
+}

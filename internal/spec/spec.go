@@ -1,0 +1,414 @@
+// Package spec is the declarative experiment-spec layer: one versioned,
+// JSON-serializable Spec value fully describes any run of this
+// repository — which campaign kind (a figure sweep, the yield study,
+// the synthetic selftest), the model/suite scale, the fault model, the
+// mitigation method, the seeds — plus execution placement (backend,
+// shard). Every cmd tool compiles its flags into a Spec (and accepts
+// -spec / -dump-spec to round-trip it), a registry turns a Spec into a
+// runnable campaign.Campaign in exactly one place per kind, and cluster
+// coordinators ship their canonical Spec to workers at registration, so
+// a worker cannot be misconfigured: it builds from the bytes it was
+// handed, not from flags that happen to match.
+//
+// The canonical form — Canonical() — is the Spec's identity: execution
+// placement (Backend, Shard) is cleared, and the remaining fields
+// marshal in fixed struct order, so the same spec fields always produce
+// the same bytes and the same Fingerprint regardless of how the JSON
+// was originally formatted or ordered. Field values are taken literally
+// and NOT semantically normalized: a spec that spells out a documented
+// default (e.g. "trials": 24) and one that omits it build the same
+// campaign but are conservatively treated as distinct experiments —
+// shards intended to merge must come from byte-equal canonical specs,
+// which dump-spec/-spec round-trips guarantee.
+package spec
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"falvolt/internal/campaign"
+)
+
+// Version is the current spec schema version. Decode rejects any other
+// value: a spec written by a future schema must not be silently
+// misinterpreted by an older build.
+const Version = 1
+
+// Spec declares one experiment run. Exactly the section matching Kind
+// is consulted by the registry builder; Backend and Shard are execution
+// placement and excluded from Canonical/Fingerprint (two shards of one
+// campaign, or the same campaign on different engines, are the same
+// experiment).
+type Spec struct {
+	// Version is the schema version (see Version).
+	Version int `json:"version"`
+	// Kind names the campaign builder: "fig2", "fig5a", "fig5b",
+	// "fig5c", "mitigation", "yield", "selftest" (registry kinds), or
+	// the tool-private "falvolt" / "faultsim" pipelines.
+	Kind string `json:"kind"`
+	// Seed drives all randomness of the run. 0 means the default seed
+	// (7) for every kind — flag-compiled specs always pin it explicitly.
+	Seed int64 `json:"seed,omitempty"`
+
+	// Backend selects the compute engine ("", "serial", "parallel",
+	// "parallel:N"). Execution-only: excluded from the canonical form.
+	Backend string `json:"backend,omitempty"`
+	// Shard restricts execution to the i-th of n interleaved trial
+	// subsets ("i/n"). Execution-only: excluded from the canonical form.
+	Shard string `json:"shard,omitempty"`
+
+	// Suite configures the figure campaigns (fig2, fig5a-c, mitigation).
+	Suite *SuiteSpec `json:"suite,omitempty"`
+	// Yield configures the manufacturing-yield study.
+	Yield *YieldSpec `json:"yield,omitempty"`
+	// Selftest configures the model-free synthetic smoke campaign.
+	Selftest *SelftestSpec `json:"selftest,omitempty"`
+	// Pipeline configures the single end-to-end run of cmd/falvolt.
+	Pipeline *PipelineSpec `json:"pipeline,omitempty"`
+	// FaultSim configures the unmitigated sweeps of cmd/faultsim.
+	FaultSim *FaultSimSpec `json:"faultsim,omitempty"`
+}
+
+// SuiteSpec scales the experiment suite behind the figure campaigns.
+// Zero values select the mode defaults (experiments.DefaultOptions, or
+// QuickOptions when Quick is set), matching the 0-means-default
+// semantics the cmd flags always had.
+type SuiteSpec struct {
+	// Quick selects the reduced model/dataset sizes.
+	Quick bool `json:"quick,omitempty"`
+	// Array is the systolic array side (NxN); 0 = default (64).
+	Array int `json:"array,omitempty"`
+	// Epochs is the mitigation retraining budget (0 = mode default).
+	Epochs int `json:"epochs,omitempty"`
+	// Repeats is the fault maps averaged per vulnerability point
+	// (0 = mode default).
+	Repeats int `json:"repeats,omitempty"`
+	// Eval caps test samples per deployed evaluation (0 = mode default).
+	Eval int `json:"eval,omitempty"`
+}
+
+// YieldSpec describes a manufacturing-yield study population and its
+// salvage policy. Zero values select the documented defaults (the
+// historical cmd/yield flag defaults), except Clustered, which is a
+// plain bool: a spec that wants clustered defect maps must say so.
+type YieldSpec struct {
+	// Chips is the number of simulated dies (0 = 12).
+	Chips int `json:"chips,omitempty"`
+	// MeanFaulty is the mean faulty PEs per die (0 = 60).
+	MeanFaulty float64 `json:"meanFaulty,omitempty"`
+	// Alpha is the defect clustering parameter (0 = 1.0).
+	Alpha float64 `json:"alpha,omitempty"`
+	// Clustered draws spatially clustered fault maps.
+	Clustered bool `json:"clustered,omitempty"`
+	// Threshold is the minimum shipping accuracy (0 = 0.85).
+	Threshold float64 `json:"threshold,omitempty"`
+	// Method is the salvage policy: "fap", "fapit" or "falvolt"
+	// ("" = "falvolt").
+	Method string `json:"method,omitempty"`
+	// MitEpochs is the retraining budget per salvaged die (0 = 4).
+	MitEpochs int `json:"mitEpochs,omitempty"`
+	// BaseEpochs is the baseline training budget (0 = 12).
+	BaseEpochs int `json:"baseEpochs,omitempty"`
+	// Array is the systolic array side (0 = 64).
+	Array int `json:"array,omitempty"`
+	// Eval caps evaluation samples per die (0 = 96).
+	Eval int `json:"eval,omitempty"`
+}
+
+// SelftestSpec sizes the synthetic smoke campaign.
+type SelftestSpec struct {
+	// Trials is the synthetic trial count (0 = 24).
+	Trials int `json:"trials,omitempty"`
+}
+
+// PipelineSpec describes the single end-to-end FalVolt pipeline of
+// cmd/falvolt: train a baseline, inject one fault map, mitigate. Rate
+// and Quick are taken literally (like YieldSpec.Clustered): an omitted
+// rate means a fault-free run, not the `falvolt` flag default of 0.30 —
+// flag-compiled specs always spell both out.
+type PipelineSpec struct {
+	// Dataset is "mnist", "nmnist" or "dvsgesture" ("" = "mnist").
+	Dataset string `json:"dataset,omitempty"`
+	// Rate is the fraction of faulty PEs (literal: 0 injects nothing).
+	Rate float64 `json:"rate,omitempty"`
+	// Method is "fap", "fapit" or "falvolt" ("" = "falvolt").
+	Method string `json:"method,omitempty"`
+	// Array is the systolic array side (0 = 64).
+	Array int `json:"array,omitempty"`
+	// BaseEpochs is the baseline training budget (0 = 12).
+	BaseEpochs int `json:"baseEpochs,omitempty"`
+	// Epochs is the mitigation retraining budget (0 = 8).
+	Epochs int `json:"epochs,omitempty"`
+	// Train and Test are the dataset sizes (0 = 320 / 128).
+	Train int `json:"train,omitempty"`
+	Test  int `json:"test,omitempty"`
+	// Quick selects the reduced model sizes (literal: omitted = full
+	// size, though the `falvolt` flag defaults it to true).
+	Quick bool `json:"quick,omitempty"`
+}
+
+// FaultSimSpec describes an unmitigated vulnerability sweep of
+// cmd/faultsim.
+type FaultSimSpec struct {
+	// Dataset is "mnist", "nmnist" or "dvsgesture" ("" = "mnist").
+	Dataset string `json:"dataset,omitempty"`
+	// Sweep is "bits", "count" or "size" ("" = "bits").
+	Sweep string `json:"sweep,omitempty"`
+	// Array is the array side for bits/count sweeps (0 = 64).
+	Array int `json:"array,omitempty"`
+	// Faults is the faulty-PE count for bits/size sweeps (0 = 16).
+	Faults int `json:"faults,omitempty"`
+	// Repeats is the fault maps averaged per point (0 = 3).
+	Repeats int `json:"repeats,omitempty"`
+	// BaseEpochs is the baseline training budget (0 = 12).
+	BaseEpochs int `json:"baseEpochs,omitempty"`
+	// Train and Test are the dataset sizes (0 = 320 / 128).
+	Train int `json:"train,omitempty"`
+	Test  int `json:"test,omitempty"`
+}
+
+// Defaulted returns a copy with every zero field replaced by its
+// documented default. It is THE definition of the yield defaults:
+// builders resolve through it and the cmd tools register their flag
+// defaults from it, so the three surfaces cannot drift. (Clustered is a
+// literal bool and stays as written; the flags default it to true.)
+func (y YieldSpec) Defaulted() YieldSpec {
+	def := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	deff := func(v *float64, d float64) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&y.Chips, 12)
+	deff(&y.MeanFaulty, 60)
+	deff(&y.Alpha, 1.0)
+	deff(&y.Threshold, 0.85)
+	if y.Method == "" {
+		y.Method = "falvolt"
+	}
+	def(&y.MitEpochs, 4)
+	def(&y.BaseEpochs, 12)
+	def(&y.Array, 64)
+	def(&y.Eval, 96)
+	return y
+}
+
+// Defaulted returns a copy with every zero numeric/string field
+// replaced by its documented default (Rate and Quick are literal — see
+// the type comment).
+func (p PipelineSpec) Defaulted() PipelineSpec {
+	if p.Dataset == "" {
+		p.Dataset = "mnist"
+	}
+	if p.Method == "" {
+		p.Method = "falvolt"
+	}
+	def := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&p.Array, 64)
+	def(&p.BaseEpochs, 12)
+	def(&p.Epochs, 8)
+	def(&p.Train, 320)
+	def(&p.Test, 128)
+	return p
+}
+
+// Defaulted returns a copy with every zero field replaced by its
+// documented default.
+func (f FaultSimSpec) Defaulted() FaultSimSpec {
+	if f.Dataset == "" {
+		f.Dataset = "mnist"
+	}
+	if f.Sweep == "" {
+		f.Sweep = "bits"
+	}
+	def := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&f.Array, 64)
+	def(&f.Faults, 16)
+	def(&f.Repeats, 3)
+	def(&f.BaseEpochs, 12)
+	def(&f.Train, 320)
+	def(&f.Test, 128)
+	return f
+}
+
+// DefaultSeed is what a zero Spec.Seed resolves to, uniformly across
+// kinds.
+const DefaultSeed = 7
+
+// EffectiveSeed resolves the run's seed (0 = DefaultSeed).
+func (s *Spec) EffectiveSeed() int64 {
+	if s.Seed == 0 {
+		return DefaultSeed
+	}
+	return s.Seed
+}
+
+// sectionFor names the configuration section a kind consumes. Kinds
+// without a dedicated section (the figure campaigns, and any future
+// registry kind) use the suite section.
+func sectionFor(kind string) string {
+	switch kind {
+	case "yield":
+		return "yield"
+	case "selftest":
+		return "selftest"
+	case "falvolt":
+		return "pipeline"
+	case "faultsim":
+		return "faultsim"
+	}
+	return "suite"
+}
+
+// Validate checks the spec's envelope: supported version, a kind, a
+// parseable shard, and that no section is configured which the kind
+// would silently ignore (a yield section on a selftest spec is almost
+// certainly a mis-edited kind, and must fail loudly like any other
+// typo). Section contents are validated by the kind's builder (Build),
+// which knows the semantics.
+func (s *Spec) Validate() error {
+	if s.Version != Version {
+		return fmt.Errorf("spec: version %d unsupported (this build speaks version %d)", s.Version, Version)
+	}
+	if s.Kind == "" {
+		return fmt.Errorf("spec: missing kind")
+	}
+	if _, err := campaign.ParseShard(s.Shard); err != nil {
+		return fmt.Errorf("spec: %w", err)
+	}
+	want := sectionFor(s.Kind)
+	for name, present := range map[string]bool{
+		"suite":    s.Suite != nil,
+		"yield":    s.Yield != nil,
+		"selftest": s.Selftest != nil,
+		"pipeline": s.Pipeline != nil,
+		"faultsim": s.FaultSim != nil,
+	} {
+		if present && name != want {
+			return fmt.Errorf("spec: kind %q does not use the %s section (it reads %s) — wrong kind or leftover section?",
+				s.Kind, name, want)
+		}
+	}
+	return nil
+}
+
+// Canonical returns the spec's identity bytes: execution placement
+// (Backend, Shard) cleared, compact JSON in fixed struct-field order.
+// Two specs describing the same experiment canonicalize identically
+// however their JSON source was ordered or indented.
+func (s *Spec) Canonical() ([]byte, error) {
+	c := *s
+	c.Backend, c.Shard = "", ""
+	b, err := json.Marshal(&c)
+	if err != nil {
+		return nil, fmt.Errorf("spec: canonicalize: %w", err)
+	}
+	return b, nil
+}
+
+// Fingerprint digests the canonical form into a short hex id — the
+// cluster registration fingerprint and the stable name of "this exact
+// experiment".
+func (s *Spec) Fingerprint() (string, error) {
+	b, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])[:16], nil
+}
+
+// Encode renders the full spec (execution fields included) as indented
+// JSON with a trailing newline — the -dump-spec output, editable and
+// loadable by -spec.
+func (s *Spec) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("spec: encode: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// Decode parses and validates spec JSON. Unknown fields are rejected —
+// a typoed knob in a hand-edited spec must fail loudly, not silently
+// fall back to a default — as are unsupported versions and trailing
+// garbage.
+func Decode(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("spec: decode: %w", err)
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return nil, fmt.Errorf("spec: decode: trailing data after spec object")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Load reads and decodes a spec file; path "-" reads stdin (so tools
+// compose as `tool -dump-spec | tool -spec -`).
+func Load(path string) (*Spec, error) {
+	var (
+		data []byte
+		err  error
+	)
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("spec: load: %w", err)
+	}
+	s, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// LoadOverride is Load plus the execution-backend override every cmd
+// tool applies: a non-empty -backend flag wins over the spec file's.
+func LoadOverride(path, backend string) (*Spec, error) {
+	s, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	if backend != "" {
+		s.Backend = backend
+	}
+	return s, nil
+}
+
+// Dump writes the encoded spec to w — the shared -dump-spec output
+// path.
+func (s *Spec) Dump(w io.Writer) error {
+	b, err := s.Encode()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}

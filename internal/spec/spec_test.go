@@ -1,0 +1,294 @@
+package spec_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"falvolt/internal/campaign"
+	"falvolt/internal/spec"
+
+	// Register every campaign kind, exactly as the cmd tools do.
+	_ "falvolt/internal/core"
+	_ "falvolt/internal/experiments"
+)
+
+// Golden-file tests for the spec JSON schema: spec files are the
+// durable, hand-editable description of a run (checked into CI scripts,
+// submitted to coordinators), so schema drift must break CI instead of
+// them. Regenerate with
+//
+//	go test ./internal/spec/ -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// representative returns one fully populated example spec per kind —
+// the shape the cmd tools compile from their default-ish flags.
+func representative() map[string]*spec.Spec {
+	suite := func(kind string) *spec.Spec {
+		return &spec.Spec{
+			Version: spec.Version, Kind: kind, Seed: 7,
+			Suite: &spec.SuiteSpec{Quick: true, Array: 64, Epochs: 6, Repeats: 3, Eval: 64},
+		}
+	}
+	out := map[string]*spec.Spec{
+		"fig2": suite("fig2"), "fig5a": suite("fig5a"), "fig5b": suite("fig5b"),
+		"fig5c": suite("fig5c"), "mitigation": suite("mitigation"),
+		"yield": {
+			Version: spec.Version, Kind: "yield", Seed: 7,
+			Yield: &spec.YieldSpec{
+				Chips: 12, MeanFaulty: 60, Alpha: 1.0, Clustered: true,
+				Threshold: 0.85, Method: "falvolt", MitEpochs: 4, BaseEpochs: 12,
+				Array: 64,
+			},
+		},
+		"selftest": {
+			Version: spec.Version, Kind: "selftest", Seed: 7,
+			Selftest: &spec.SelftestSpec{Trials: 24},
+		},
+		"falvolt": {
+			Version: spec.Version, Kind: "falvolt", Seed: 7,
+			Pipeline: &spec.PipelineSpec{
+				Dataset: "mnist", Rate: 0.3, Method: "falvolt", Array: 64,
+				BaseEpochs: 12, Epochs: 8, Train: 320, Test: 128, Quick: true,
+			},
+		},
+		"faultsim": {
+			Version: spec.Version, Kind: "faultsim", Seed: 7,
+			FaultSim: &spec.FaultSimSpec{
+				Dataset: "mnist", Sweep: "bits", Array: 64, Faults: 16,
+				Repeats: 3, BaseEpochs: 12, Train: 320, Test: 128,
+			},
+		},
+	}
+	return out
+}
+
+// TestGoldenSpecs pins the encoded JSON of every kind's representative
+// spec, and asserts the encode -> decode -> encode round trip is
+// byte-identical.
+func TestGoldenSpecs(t *testing.T) {
+	for kind, s := range representative() {
+		t.Run(kind, func(t *testing.T) {
+			enc, err := s.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", kind+".golden.json")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, enc, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if !bytes.Equal(enc, want) {
+				t.Errorf("spec JSON drifted from golden schema:\n--- got ---\n%s--- want ---\n%s", enc, want)
+			}
+			// encode -> decode -> encode byte identity.
+			dec, err := spec.Decode(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			re, err := dec.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(enc, re) {
+				t.Errorf("encode->decode->encode not byte-identical:\n--- first ---\n%s--- second ---\n%s", enc, re)
+			}
+		})
+	}
+}
+
+// TestFingerprintStability: the fingerprint is a function of the
+// experiment, not of JSON formatting, field order, or execution
+// placement (backend/shard).
+func TestFingerprintStability(t *testing.T) {
+	s := representative()["yield"]
+	want, err := s.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same fields, different textual order and formatting.
+	reordered := `{
+		"yield": {"array": 64, "baseEpochs": 12, "mitEpochs": 4,
+		          "method": "falvolt", "threshold": 0.85, "clustered": true,
+		          "alpha": 1.0, "meanFaulty": 60, "chips": 12},
+		"seed": 7, "kind": "yield", "version": 1}`
+	r, err := spec.Decode([]byte(reordered))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := r.Fingerprint(); got != want {
+		t.Fatalf("fingerprint changed under field reordering: %s vs %s", got, want)
+	}
+
+	// Execution placement must not perturb identity.
+	placed := *s
+	placed.Backend, placed.Shard = "parallel:4", "1/2"
+	if got, _ := placed.Fingerprint(); got != want {
+		t.Fatal("backend/shard leaked into the fingerprint")
+	}
+
+	// A genuinely different experiment must fingerprint differently.
+	changed := *s
+	y := *s.Yield
+	y.Chips = 13
+	changed.Yield = &y
+	if got, _ := changed.Fingerprint(); got == want {
+		t.Fatal("different experiments share a fingerprint")
+	}
+}
+
+// TestDecodeRejections: unsupported versions, unknown kinds, unknown
+// fields, missing kinds and trailing garbage all fail loudly.
+func TestDecodeRejections(t *testing.T) {
+	cases := []struct {
+		name, json, wantErr string
+	}{
+		{"future version", `{"version": 99, "kind": "selftest"}`, "version 99 unsupported"},
+		{"zero version", `{"kind": "selftest"}`, "version 0 unsupported"},
+		{"missing kind", `{"version": 1}`, "missing kind"},
+		{"unknown field", `{"version": 1, "kind": "selftest", "trails": 5}`, "unknown field"},
+		{"bad shard", `{"version": 1, "kind": "selftest", "shard": "2"}`, "shard"},
+		{"trailing garbage", `{"version": 1, "kind": "selftest"} {"again": true}`, "trailing data"},
+		{"section/kind mismatch", `{"version": 1, "kind": "selftest", "yield": {"chips": 3}}`, "does not use the yield section"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := spec.Decode([]byte(tc.json))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Decode(%s) err = %v, want substring %q", tc.json, err, tc.wantErr)
+			}
+		})
+	}
+
+	// Unknown kind passes Decode (the envelope is fine) but must be
+	// rejected by Build, which owns the registry.
+	s, err := spec.Decode([]byte(`{"version": 1, "kind": "martian"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.Build(s, spec.BuildOpts{}); err == nil || !strings.Contains(err.Error(), "unknown kind") {
+		t.Fatalf("Build of unknown kind: err = %v, want unknown kind", err)
+	}
+}
+
+// TestEveryKindConstructible: each registered campaign kind builds from
+// its representative spec via the registry, enumerates a dense
+// non-empty trial list without touching expensive resources, and
+// carries the canonical spec in its checkpoint metadata.
+func TestEveryKindConstructible(t *testing.T) {
+	reps := representative()
+	kinds := spec.Kinds()
+	if len(kinds) < 7 {
+		t.Fatalf("expected at least 7 registered kinds, got %v", kinds)
+	}
+	for _, kind := range kinds {
+		t.Run(kind, func(t *testing.T) {
+			s, ok := reps[kind]
+			if !ok {
+				t.Fatalf("no representative spec for registered kind %q — add one", kind)
+			}
+			built, err := spec.Build(s, spec.BuildOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if built.Render == nil || built.JSON == nil {
+				t.Fatal("Build left a renderer nil")
+			}
+			trials, err := built.Campaign.Trials()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(trials) == 0 {
+				t.Fatal("campaign enumerates no trials")
+			}
+			for i, tr := range trials {
+				if tr.ID != i {
+					t.Fatalf("trial %d has id %d (ids must be dense)", i, tr.ID)
+				}
+			}
+			mp, ok := built.Campaign.(campaign.MetaProvider)
+			if !ok {
+				t.Fatal("built campaign carries no metadata")
+			}
+			canonical, err := s.Canonical()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mp.Meta()["spec"] != string(canonical) {
+				t.Fatalf("campaign metadata spec = %q, want canonical %q", mp.Meta()["spec"], canonical)
+			}
+			// Round-trip through metadata, as `campaign merge` does.
+			back, err := spec.FromMeta(mp.Meta())
+			if err != nil {
+				t.Fatal(err)
+			}
+			fp1, _ := s.Fingerprint()
+			fp2, _ := back.Fingerprint()
+			if fp1 != fp2 {
+				t.Fatal("spec does not survive the checkpoint-metadata round trip")
+			}
+		})
+	}
+}
+
+// TestSelftestBuildMatchesSynthetic: the registry's selftest build is
+// the same campaign the engine's Synthetic constructor makes — merged
+// results byte-identical.
+func TestSelftestBuildMatchesSynthetic(t *testing.T) {
+	s := &spec.Spec{Version: spec.Version, Kind: "selftest", Seed: 3,
+		Selftest: &spec.SelftestSpec{Trials: 16}}
+	built, err := spec.Build(s, spec.BuildOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromSpec, err := campaign.Run(built.Campaign, campaign.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := campaign.Run(campaign.Synthetic(16, 3), campaign.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := campaign.MarshalResults(fromSpec.Results)
+	b, _ := campaign.MarshalResults(direct.Results)
+	if !bytes.Equal(a, b) {
+		t.Fatal("spec-built selftest differs from campaign.Synthetic")
+	}
+}
+
+// TestZeroSeedMeansDefault: an omitted seed resolves to spec.DefaultSeed
+// uniformly across kinds (here checked on selftest, the cheapest).
+func TestZeroSeedMeansDefault(t *testing.T) {
+	zero := &spec.Spec{Version: spec.Version, Kind: "selftest",
+		Selftest: &spec.SelftestSpec{Trials: 8}}
+	pinned := &spec.Spec{Version: spec.Version, Kind: "selftest", Seed: spec.DefaultSeed,
+		Selftest: &spec.SelftestSpec{Trials: 8}}
+	run := func(s *spec.Spec) []byte {
+		built, err := spec.Build(s, spec.BuildOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := campaign.Run(built.Campaign, campaign.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := campaign.MarshalResults(rr.Results)
+		return b
+	}
+	if !bytes.Equal(run(zero), run(pinned)) {
+		t.Fatal("seed 0 does not resolve to the default seed")
+	}
+}
