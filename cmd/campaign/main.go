@@ -34,6 +34,16 @@
 // to a single-process run however many workers ran (and died) along the
 // way.
 //
+// `serve -state <dir>` makes the coordinator itself durable: it
+// journals its shard table, leases and every accepted result to an
+// append-only WAL in the state dir, so a serve killed mid-campaign and
+// restarted with the same flags resumes the run — surviving workers
+// re-register on their own and continue from their local checkpoints.
+// `serve -balance <timing-source>` (and `plan -balance`) sizes shards
+// by predicted wall-clock from a prior run's recorded per-trial timing
+// instead of by trial count, so slow keys no longer serialize the
+// fleet behind one overloaded shard.
+//
 // A run appends each completed trial to its JSONL checkpoint (-o) and
 // resumes from it after an interruption, skipping completed trial IDs;
 // -max bounds one sitting. Shard partials merge bit-identically to a
@@ -93,13 +103,18 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: campaign <plan|run|serve|work|merge> [flags]
 
-  plan  -c <kind> [config flags]            print the deterministic trial list as JSON
+  plan  -c <kind> [-balance src] [-shards N] [config flags]
+                                            print the deterministic trial list as JSON
+                                            (or, with -balance/-shards, the shard table)
   run   -c <kind> -o <file> [-shard i/n] [-max N] [config flags]
                                             execute (one shard of) a campaign with
                                             JSONL checkpointing and resume
-  serve -c <kind> -addr <host:port> [-shards N] [-lease-ttl D] [-o file] [config flags]
+  serve -c <kind> -addr <host:port> [-shards N] [-lease-ttl D] [-o file]
+        [-state dir] [-balance src] [config flags]
                                             coordinate the campaign across HTTP workers,
-                                            then print the figures/report
+                                            then print the figures/report; -state makes
+                                            the coordinator survive its own restart,
+                                            -balance sizes shards by recorded timing
   work  -coordinator <url> [-checkpoint dir] [-cache dir]
                                             spec-free worker daemon: the campaign spec
                                             arrives from the coordinator at registration
@@ -161,7 +176,8 @@ type config struct {
 	baseEp     int
 
 	// Selftest campaign options.
-	trials int
+	trials  int
+	delayMS int
 }
 
 func addConfigFlags(fs *flag.FlagSet, c *config) {
@@ -190,6 +206,7 @@ func addConfigFlags(fs *flag.FlagSet, c *config) {
 	fs.IntVar(&c.mitEpochs, "mit-epochs", ydef.MitEpochs, "yield: retraining epochs per salvaged die")
 	fs.IntVar(&c.baseEp, "base-epochs", ydef.BaseEpochs, "yield: baseline training epochs")
 	fs.IntVar(&c.trials, "trials", 24, "selftest: synthetic trial count")
+	fs.IntVar(&c.delayMS, "delay", 0, "selftest: artificial per-trial delay in ms (scheduling smoke tests)")
 }
 
 // spec loads -spec or compiles the config flags into a Spec. The
@@ -210,7 +227,7 @@ func (c *config) spec() (*spec.Spec, error) {
 			Eval: c.evalN,
 		}
 	case "selftest":
-		s.Selftest = &spec.SelftestSpec{Trials: c.trials}
+		s.Selftest = &spec.SelftestSpec{Trials: c.trials, DelayMillis: c.delayMS}
 	default:
 		s.Suite = &spec.SuiteSpec{
 			Quick: c.quick, Array: c.arrayN, Epochs: c.epochs,
@@ -253,6 +270,10 @@ func (c *config) prepare() (*spec.Spec, *spec.Built, error) {
 func planCmd(args []string) error {
 	fs := flag.NewFlagSet("plan", flag.ExitOnError)
 	var c config
+	var (
+		balance = fs.String("balance", "", "plan load-aware shards from this timing source (a checkpoint, WAL, or state dir)")
+		shards  = fs.Int("shards", 0, "with -balance: print the shard table for this many shards (0 = coordinator default)")
+	)
 	addConfigFlags(fs, &c)
 	fs.Parse(args)
 	if err := noPositional(fs); err != nil {
@@ -266,6 +287,13 @@ func planCmd(args []string) error {
 	if err != nil {
 		return err
 	}
+	// The shard-table view is opt-in by flag only: a spec file that
+	// happens to carry a planner must not change what `plan` prints
+	// (nor demand the timing file on a machine that only wants the
+	// trial list).
+	if *balance != "" || *shards > 0 {
+		return printShardPlan(s, trials, plannerName(s, *balance), *shards)
+	}
 	b, err := json.MarshalIndent(trials, "", "  ")
 	if err != nil {
 		return err
@@ -273,6 +301,53 @@ func planCmd(args []string) error {
 	fmt.Println(string(b))
 	fmt.Fprintf(os.Stderr, "%d trials (spec %s)\n", len(trials), fingerprintOf(s))
 	return nil
+}
+
+// printShardPlan renders the shard table a coordinator would serve —
+// the dry-run view of -shards / -balance.
+func printShardPlan(s *spec.Spec, trials []campaign.Trial, name string, shards int) error {
+	planner, err := campaign.PlannerByName(name)
+	if err != nil {
+		return err
+	}
+	planned, err := planner.Plan(trials, campaign.ResolveShards(shards, cluster.DefaultShards, len(trials)))
+	if err != nil {
+		return err
+	}
+	type shardView struct {
+		Shard            string  `json:"shard"`
+		Trials           int     `json:"trials"`
+		PredictedSeconds float64 `json:"predictedSeconds,omitempty"`
+		IDs              []int   `json:"ids"`
+	}
+	view := make([]shardView, len(planned))
+	for i, ps := range planned {
+		view[i] = shardView{
+			Shard: ps.Label, Trials: len(ps.Trials),
+			PredictedSeconds: ps.PredictedSeconds, IDs: ps.TrialIDs(),
+		}
+	}
+	b, err := json.MarshalIndent(view, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	kind := name
+	if kind == "" {
+		kind = "uniform"
+	}
+	fmt.Fprintf(os.Stderr, "%d trials in %d shards (planner %s, spec %s)\n",
+		len(trials), len(planned), kind, fingerprintOf(s))
+	return nil
+}
+
+// plannerName resolves the effective planner: the -balance flag wins
+// over the spec's planner field.
+func plannerName(s *spec.Spec, balanceFlag string) string {
+	if balanceFlag != "" {
+		return "balance:" + balanceFlag
+	}
+	return s.Planner
 }
 
 func runCmd(args []string) error {
@@ -330,6 +405,8 @@ func serveCmd(args []string) error {
 		shards   = fs.Int("shards", 0, "shard count (0 = auto; more shards = finer reassignment)")
 		leaseTTL = fs.Duration("lease-ttl", 0, "shard lease deadline without a heartbeat (0 = default)")
 		out      = fs.String("o", "", "checkpoint/output JSONL (default <kind>-cluster.jsonl); resumes")
+		state    = fs.String("state", "", "state directory for the coordinator WAL: journal shard table, leases and results; a restarted serve with the same -state resumes the run")
+		balance  = fs.String("balance", "", "size shards by predicted wall-clock from this timing source (a checkpoint, WAL, or state dir of a prior run)")
 	)
 	addConfigFlags(fs, &c)
 	fs.Parse(args)
@@ -346,7 +423,8 @@ func serveCmd(args []string) error {
 	ctx, stop := sigCtx()
 	defer stop()
 	co := cluster.NewCoordinator(cluster.CoordinatorConfig{
-		Addr: *addr, Spec: s, Shards: *shards, LeaseTTL: *leaseTTL, Log: os.Stderr,
+		Addr: *addr, Spec: s, Shards: *shards, LeaseTTL: *leaseTTL,
+		PlannerName: plannerName(s, *balance), StateDir: *state, Log: os.Stderr,
 	})
 	opt := campaign.Options{Context: ctx, Runner: co, Checkpoint: *out, Log: os.Stderr}
 	rr, err := campaign.Run(built.Campaign, opt)

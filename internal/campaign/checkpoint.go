@@ -73,40 +73,32 @@ type record struct {
 	Wall float64 `json:"wall,omitempty"`
 }
 
-// Checkpoint appends results to a JSONL file as they complete.
-type Checkpoint struct {
+// appendFile is the flush-per-record JSONL appender shared by
+// Checkpoint and the coordinator WAL: create truncates, open truncates
+// a torn final line (a record half-written when the process was
+// killed) so later appends never fuse with it, and every appendJSON
+// flushes through to the OS.
+type appendFile struct {
 	f *os.File
 	w *bufio.Writer
 }
 
-// CreateCheckpoint creates (truncating) a checkpoint file and writes its
-// header line.
-func CreateCheckpoint(path string, h Header) (*Checkpoint, error) {
+func createAppendFile(path string) (*appendFile, error) {
 	f, err := os.Create(path)
 	if err != nil {
-		return nil, fmt.Errorf("campaign: create checkpoint: %w", err)
-	}
-	c := &Checkpoint{f: f, w: bufio.NewWriter(f)}
-	if err := c.append(record{Header: &h}); err != nil {
-		f.Close()
 		return nil, err
 	}
-	return c, nil
+	return &appendFile{f: f, w: bufio.NewWriter(f)}, nil
 }
 
-// OpenCheckpointAppend reopens an existing checkpoint for appending
-// (resume path; the header is already on disk). A torn final line left
-// by a killed run is truncated away first — ReadCheckpoint ignores such
-// a tail, but appending after it would fuse it with the next record and
-// corrupt the file for every later reader.
-func OpenCheckpointAppend(path string) (*Checkpoint, error) {
+func openAppendFile(path string) (*appendFile, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("campaign: open checkpoint: %w", err)
+		return nil, err
 	}
-	fail := func(err error) (*Checkpoint, error) {
+	fail := func(err error) (*appendFile, error) {
 		f.Close()
-		return nil, fmt.Errorf("campaign: open checkpoint: %w", err)
+		return nil, err
 	}
 	st, err := f.Stat()
 	if err != nil {
@@ -130,7 +122,60 @@ func OpenCheckpointAppend(path string) (*Checkpoint, error) {
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
 		return fail(err)
 	}
-	return &Checkpoint{f: f, w: bufio.NewWriter(f)}, nil
+	return &appendFile{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+func (a *appendFile) appendJSON(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("marshal record: %w", err)
+	}
+	if _, err := a.w.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	return a.w.Flush()
+}
+
+// Close flushes and closes the file.
+func (a *appendFile) Close() error {
+	if err := a.w.Flush(); err != nil {
+		a.f.Close()
+		return err
+	}
+	return a.f.Close()
+}
+
+// Checkpoint appends results to a JSONL file as they complete.
+type Checkpoint struct {
+	af *appendFile
+}
+
+// CreateCheckpoint creates (truncating) a checkpoint file and writes its
+// header line.
+func CreateCheckpoint(path string, h Header) (*Checkpoint, error) {
+	af, err := createAppendFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: create checkpoint: %w", err)
+	}
+	c := &Checkpoint{af: af}
+	if err := c.append(record{Header: &h}); err != nil {
+		af.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// OpenCheckpointAppend reopens an existing checkpoint for appending
+// (resume path; the header is already on disk). A torn final line left
+// by a killed run is truncated away first — ReadCheckpoint ignores such
+// a tail, but appending after it would fuse it with the next record and
+// corrupt the file for every later reader.
+func OpenCheckpointAppend(path string) (*Checkpoint, error) {
+	af, err := openAppendFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: open checkpoint: %w", err)
+	}
+	return &Checkpoint{af: af}, nil
 }
 
 // Append writes one result line and flushes it to the OS, so results
@@ -140,23 +185,36 @@ func (c *Checkpoint) Append(r Result) error {
 }
 
 func (c *Checkpoint) append(rec record) error {
-	b, err := json.Marshal(rec)
-	if err != nil {
-		return fmt.Errorf("campaign: marshal checkpoint record: %w", err)
-	}
-	if _, err := c.w.Write(append(b, '\n')); err != nil {
+	if err := c.af.appendJSON(rec); err != nil {
 		return fmt.Errorf("campaign: write checkpoint: %w", err)
 	}
-	return c.w.Flush()
+	return nil
 }
 
 // Close flushes and closes the file.
-func (c *Checkpoint) Close() error {
-	if err := c.w.Flush(); err != nil {
-		c.f.Close()
-		return err
+func (c *Checkpoint) Close() error { return c.af.Close() }
+
+// decodeJSONL parses a JSONL file's records, tolerating a truncated
+// final line — the record being half-written when the process was
+// killed. Corruption anywhere else is an error. Shared by checkpoint
+// and WAL readers so the torn-tail semantics cannot drift.
+func decodeJSONL[T any](data []byte, what, path string) ([]T, error) {
+	lines := splitLines(data)
+	out := make([]T, 0, len(lines))
+	for i, line := range lines {
+		if len(line) == 0 {
+			continue
+		}
+		var rec T
+		if err := json.Unmarshal(line, &rec); err != nil {
+			if i == len(lines)-1 {
+				break // torn final write from a killed process
+			}
+			return nil, fmt.Errorf("campaign: %s %s line %d: %w", what, path, i+1, err)
+		}
+		out = append(out, rec)
 	}
-	return c.f.Close()
+	return out, nil
 }
 
 // ReadCheckpoint loads a checkpoint file: header plus every completed
@@ -168,23 +226,16 @@ func ReadCheckpoint(path string) (Header, []Result, error) {
 	if err != nil {
 		return Header{}, nil, fmt.Errorf("campaign: read checkpoint: %w", err)
 	}
+	recs, err := decodeJSONL[record](data, "checkpoint", path)
+	if err != nil {
+		return Header{}, nil, err
+	}
 	var (
 		header    Header
 		gotHeader bool
 		results   []Result
 	)
-	lines := splitLines(data)
-	for i, line := range lines {
-		if len(line) == 0 {
-			continue
-		}
-		var rec record
-		if err := json.Unmarshal(line, &rec); err != nil {
-			if i == len(lines)-1 {
-				break // torn final write from a killed run
-			}
-			return Header{}, nil, fmt.Errorf("campaign: checkpoint %s line %d: %w", path, i+1, err)
-		}
+	for _, rec := range recs {
 		switch {
 		case rec.Header != nil:
 			if gotHeader {

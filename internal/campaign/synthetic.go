@@ -3,6 +3,7 @@ package campaign
 import (
 	"fmt"
 	"math/rand"
+	"time"
 )
 
 // Synthetic returns a model-free campaign of n seed-addressed trials
@@ -13,7 +14,15 @@ import (
 // run it end to end. Like the real sweeps, identical (n, seed) configs
 // enumerate identical trials and produce byte-identical merged results
 // on any worker topology.
-func Synthetic(n int, seed int64) Campaign {
+func Synthetic(n int, seed int64) Campaign { return SyntheticWithDelay(n, seed, 0) }
+
+// SyntheticWithDelay is Synthetic with an artificial per-trial delay of
+// delayMillis milliseconds. The delay never touches the result values —
+// only wall-clock — so it gives scheduling tests (lease reassignment,
+// coordinator kill-and-restart, load-aware planning) a campaign slow
+// enough to interrupt deterministically while merges stay byte-identical
+// to the instant variant of the same (n, seed).
+func SyntheticWithDelay(n int, seed int64, delayMillis int) Campaign {
 	trials := make([]Trial, n)
 	for i := range trials {
 		trials[i] = Trial{
@@ -24,8 +33,16 @@ func Synthetic(n int, seed int64) Campaign {
 		}
 	}
 	meta := map[string]string{"n": fmt.Sprint(n), "seed": fmt.Sprint(seed)}
+	if delayMillis > 0 {
+		meta["delayMillis"] = fmt.Sprint(delayMillis)
+	}
 	return NewWithMeta("selftest", meta, trials, func(lane int) (Worker, error) {
-		return WorkerFunc(RunSyntheticTrial), nil
+		return WorkerFunc(func(t Trial) (Result, error) {
+			if delayMillis > 0 {
+				time.Sleep(time.Duration(delayMillis) * time.Millisecond)
+			}
+			return RunSyntheticTrial(t)
+		}), nil
 	})
 }
 

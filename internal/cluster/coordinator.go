@@ -8,8 +8,11 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
+	"syscall"
 	"time"
 
 	"falvolt/internal/campaign"
@@ -36,11 +39,30 @@ type CoordinatorConfig struct {
 	// their campaign from these bytes — and its fingerprint names the
 	// run in logs and /v1/status. Required: Run fails without it.
 	Spec *spec.Spec
-	// Shards is the number of interleaved shards the trial list is
-	// split into (0 = DefaultShards, clamped to the trial count).
-	// More shards than workers lets fast workers take extra shards and
-	// bounds the work lost to a lease reassignment.
+	// Shards is the number of shards the trial list is split into
+	// (0 = DefaultShards, clamped to the trial count). More shards than
+	// workers lets fast workers take extra shards and bounds the work
+	// lost to a lease reassignment.
 	Shards int
+	// PlannerName selects how trials are split into shards:
+	// ""/"uniform" for interleaved equal-count shards, or
+	// "balance:<timing-source>" for shards equalizing predicted
+	// wall-clock from a prior run's per-key timing
+	// (campaign.PlannerByName). Resolved when Run starts.
+	PlannerName string
+	// Planner, when non-nil, overrides PlannerName with an explicit
+	// policy (tests inject cost models here).
+	Planner campaign.Planner
+	// StateDir, when non-empty, makes the coordinator durable: it
+	// journals its spec header, shard table, lease grants/expiries and
+	// every accepted result to an append-only WAL (<StateDir>/wal.jsonl,
+	// flushed per record). A coordinator restarted with the same
+	// StateDir replays the journal, restores the exact shard table,
+	// invalidates leases that were open at the crash, and refuses a
+	// state dir whose spec fingerprint mismatches the campaign it was
+	// asked to serve. Workers re-register and resume from their local
+	// checkpoints.
+	StateDir string
 	// LeaseTTL is how long a shard lease survives without a heartbeat
 	// (0 = DefaultLeaseTTL).
 	LeaseTTL time.Duration
@@ -77,6 +99,9 @@ type Coordinator struct {
 	recorded   map[int][]byte // trial ID -> canonical result JSON (conflict check)
 	remaining  int            // trials without results, across all shards
 	sink       func(campaign.Result) error
+	wal        *campaign.WAL     // non-nil iff StateDir is set (after plan/restore)
+	dirLock    *os.File          // flock on the state dir (released on Close/death)
+	recovered  int               // results replayed from the WAL into the sink
 	workers    map[string]string // worker ID -> display name
 	wseq       int
 	reassigned int
@@ -171,9 +196,26 @@ func (co *Coordinator) Run(ctx context.Context, c campaign.Campaign, trials []ca
 	co.recorded = make(map[int][]byte)
 	co.workers = make(map[string]string)
 	co.leases = newLeaseTable(co.cfg.LeaseTTL, co.cfg.now)
-	co.planShards(trials)
 	co.remaining = len(trials)
+	if co.cfg.StateDir != "" {
+		err = co.openStateLocked(c, trials)
+	} else {
+		err = co.planLocked(trials)
+	}
 	co.mu.Unlock()
+	// Registered before the error check: openStateLocked may have opened
+	// the WAL (and taken the state-dir lock) before failing.
+	defer func() {
+		if co.wal != nil {
+			co.wal.Close()
+		}
+		if co.dirLock != nil {
+			co.dirLock.Close()
+		}
+	}()
+	if err != nil {
+		return err
+	}
 
 	ln, err := net.Listen("tcp", co.cfg.Addr)
 	if err != nil {
@@ -219,31 +261,203 @@ func (co *Coordinator) Run(ctx context.Context, c campaign.Campaign, trials []ca
 	return runErr
 }
 
-// planShards splits the trial set into interleaved shards. Shards that
-// would be empty (sparse trial IDs, more shards than trials) are
-// dropped: an empty shard has nothing to lease.
-func (co *Coordinator) planShards(trials []campaign.Trial) {
-	n := co.cfg.Shards
-	if n == 0 {
-		n = DefaultShards
+// planLocked splits the trial set into shards via the configured
+// planner (the uniform default reproduces the historical interleaved
+// split; a balanced planner equalizes predicted wall-clock instead of
+// count). The planner — including a balance timing source on disk — is
+// resolved here, only on the fresh-plan path: a WAL restore takes its
+// shard table from the journal and must not depend on a timing file
+// that may be long gone.
+func (co *Coordinator) planLocked(trials []campaign.Trial) error {
+	planner := co.cfg.Planner
+	if planner == nil {
+		var err error
+		planner, err = campaign.PlannerByName(co.cfg.PlannerName)
+		if err != nil {
+			return err
+		}
 	}
-	if n > len(trials) {
-		n = len(trials)
+	planned, err := planner.Plan(trials, campaign.ResolveShards(co.cfg.Shards, DefaultShards, len(trials)))
+	if err != nil {
+		return err
 	}
 	co.trialShard = make(map[int]int, len(trials))
-	for i := 0; i < n; i++ {
-		sh := campaign.Shard{Index: i, Count: n}
-		mine := sh.Of(trials)
-		if len(mine) == 0 {
-			continue
-		}
-		st := &shardState{label: sh.String(), trials: mine, remaining: make(map[int]campaign.Trial, len(mine))}
-		for _, t := range mine {
+	for _, ps := range planned {
+		st := &shardState{label: ps.Label, trials: ps.Trials, remaining: make(map[int]campaign.Trial, len(ps.Trials))}
+		for _, t := range ps.Trials {
 			st.remaining[t.ID] = t
 			co.trialShard[t.ID] = len(co.shards)
 		}
 		co.shards = append(co.shards, st)
 	}
+	return nil
+}
+
+// openStateLocked makes the coordinator durable: restore from an
+// existing WAL in the state dir, or plan fresh and start journaling.
+func (co *Coordinator) openStateLocked(c campaign.Campaign, trials []campaign.Trial) error {
+	if err := os.MkdirAll(co.cfg.StateDir, 0o755); err != nil {
+		return fmt.Errorf("cluster: state dir: %w", err)
+	}
+	// Exclusive advisory lock for the life of this run: two coordinators
+	// appending to one journal would interleave records and double-serve
+	// the campaign. flock (not a pid file) so a SIGKILLed coordinator
+	// releases it automatically.
+	lock, err := os.OpenFile(filepath.Join(co.cfg.StateDir, "lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("cluster: state dir lock: %w", err)
+	}
+	if err := syscall.Flock(int(lock.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		lock.Close()
+		return fmt.Errorf("cluster: state dir %s is already served by another coordinator (%w); stop it first", co.cfg.StateDir, err)
+	}
+	co.dirLock = lock
+	walPath := campaign.WALPath(co.cfg.StateDir)
+	if _, err := os.Stat(walPath); err == nil {
+		data, err := os.ReadFile(walPath)
+		if err != nil {
+			return fmt.Errorf("cluster: read WAL: %w", err)
+		}
+		// A journal with no complete line (0 bytes, or only a torn
+		// header from a serve killed before its first flush landed)
+		// journaled nothing: plan fresh and overwrite, instead of
+		// failing every restart until the operator deletes the dir. A
+		// journal with complete-but-unreadable records is genuine
+		// corruption and must keep failing loudly below.
+		if bytes.ContainsRune(data, '\n') {
+			return co.restoreLocked(c, trials, walPath, data)
+		}
+		co.logf("coordinator: state dir %s holds an empty journal (killed before the first flush?); planning fresh\n", co.cfg.StateDir)
+	}
+	if err := co.planLocked(trials); err != nil {
+		return err
+	}
+	plannerName := co.cfg.PlannerName
+	if plannerName == "" {
+		plannerName = "uniform"
+	}
+	hdr := campaign.WALHeader{
+		Campaign:    co.info.Campaign,
+		Trials:      co.info.Trials,
+		Fingerprint: co.fp,
+		Spec:        string(co.specJSON),
+		Planner:     plannerName,
+		Shards:      make([]campaign.WALShard, len(co.shards)),
+	}
+	for i, st := range co.shards {
+		ids := make([]int, 0, len(st.trials))
+		for _, t := range st.trials {
+			ids = append(ids, t.ID)
+		}
+		hdr.Shards[i] = campaign.WALShard{Label: st.label, Trials: ids}
+	}
+	wal, err := campaign.CreateWAL(walPath, hdr)
+	if err != nil {
+		return err
+	}
+	co.wal = wal
+	co.logf("coordinator: journaling state to %s\n", walPath)
+	return nil
+}
+
+// restoreLocked replays an existing WAL: verify it describes the
+// requested experiment, restore the exact shard table (trial bodies
+// re-derived from the campaign), deliver journaled results the caller
+// has not already resumed, and invalidate leases that were open when
+// the previous coordinator died — their workers re-register and resume
+// from local checkpoints.
+func (co *Coordinator) restoreLocked(c campaign.Campaign, trials []campaign.Trial, walPath string, data []byte) error {
+	hdr, results, leases, err := campaign.ReadWALBytes(data, walPath)
+	if err != nil {
+		return err
+	}
+	if hdr.Fingerprint != co.fp {
+		return fmt.Errorf("cluster: state dir %s journals spec %s, but this campaign is %s — wrong -state dir or wrong configuration",
+			co.cfg.StateDir, hdr.Fingerprint, co.fp)
+	}
+	if hdr.Campaign != co.info.Campaign || hdr.Trials != co.info.Trials {
+		return fmt.Errorf("cluster: state dir %s journals campaign %s (%d trials), want %s (%d)",
+			co.cfg.StateDir, hdr.Campaign, hdr.Trials, co.info.Campaign, co.info.Trials)
+	}
+	full, err := c.Trials()
+	if err != nil {
+		return err
+	}
+	byID := make(map[int]campaign.Trial, len(full))
+	for _, t := range full {
+		byID[t.ID] = t
+	}
+	current := make(map[int]bool, len(trials))
+	for _, t := range trials {
+		current[t.ID] = true
+	}
+	co.trialShard = make(map[int]int, len(trials))
+	assigned := make(map[int]string)
+	for _, ws := range hdr.Shards {
+		st := &shardState{label: ws.Label, remaining: make(map[int]campaign.Trial)}
+		for _, id := range ws.Trials {
+			t, ok := byID[id]
+			if !ok {
+				return fmt.Errorf("cluster: WAL shard %s names unknown trial %d", ws.Label, id)
+			}
+			if prev, dup := assigned[id]; dup {
+				return fmt.Errorf("cluster: WAL assigns trial %d to both shard %s and %s", id, prev, ws.Label)
+			}
+			assigned[id] = ws.Label
+			st.trials = append(st.trials, t)
+			if current[id] {
+				st.remaining[id] = t
+				co.trialShard[id] = len(co.shards)
+			}
+		}
+		st.done = len(st.remaining) == 0
+		co.shards = append(co.shards, st)
+	}
+	for id := range current {
+		if _, ok := co.trialShard[id]; !ok {
+			// The trial was already complete — resumed from a pre-existing
+			// -o checkpoint — when this journal was created, so only that
+			// checkpoint holds its result; the journal cannot supply it.
+			return fmt.Errorf("cluster: WAL shard table does not cover pending trial %d: it was complete before journaling began, and the checkpoint that held its result is no longer supplying it — restore the original -o checkpoint or start a fresh -state dir", id)
+		}
+	}
+	// Replay accepted results. Those still pending here — the caller
+	// runs without a checkpoint, or lost it — are delivered to the sink
+	// now; the rest were already resumed upstream and take the
+	// out-of-scope drop path.
+	for _, r := range results {
+		accepted, err := co.recordLocked(r)
+		if err != nil {
+			return fmt.Errorf("cluster: replay WAL result for trial %d: %w", r.TrialID, err)
+		}
+		if accepted {
+			co.recovered++
+		}
+	}
+	wal, err := campaign.OpenWALAppend(walPath)
+	if err != nil {
+		return err
+	}
+	co.wal = wal
+	// Continue the lease sequence where the journal left off, so this
+	// epoch's lease IDs never collide with journaled ones (OpenLeases
+	// tolerates reuse, but unique IDs keep the audit trail unambiguous).
+	co.leases.seq = campaign.GrantCount(leases)
+	open := campaign.OpenLeases(leases)
+	for _, l := range open {
+		if err := co.wal.AppendLease(campaign.WALLease{Event: campaign.LeaseInvalidated, ID: l.ID}); err != nil {
+			return fmt.Errorf("cluster: journal lease invalidation: %w", err)
+		}
+		for _, st := range co.shards {
+			if st.label == l.Shard && !st.done && len(st.remaining) > 0 {
+				co.reassigned++
+				break
+			}
+		}
+	}
+	co.logf("coordinator: restored state from %s: %d journaled results (%d recovered into this run), %d stale leases invalidated\n",
+		walPath, len(results), co.recovered, len(open))
+	return nil
 }
 
 // mux wires the protocol endpoints.
@@ -289,6 +503,10 @@ func (co *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	}
 	co.mu.Lock()
 	defer co.mu.Unlock()
+	if co.closed {
+		writeJSONError(w, http.StatusServiceUnavailable, "coordinator shutting down")
+		return
+	}
 	if !co.knownWorker(w, req.WorkerID) {
 		return
 	}
@@ -296,12 +514,26 @@ func (co *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, resp)
 		return
 	}
-	co.sweepLocked()
+	if err := co.sweepLocked(); err != nil {
+		co.failLocked(err)
+	}
+	if resp, over := co.runOverLocked(); over {
+		writeJSON(w, resp)
+		return
+	}
 	for i, st := range co.shards {
 		if st.done || co.leases.holder(i) != nil {
 			continue
 		}
 		l := co.leases.grant(req.WorkerID, i)
+		if err := co.journalLeaseLocked(campaign.WALLease{
+			Event: campaign.LeaseGranted, ID: l.id, Worker: req.WorkerID, Shard: st.label,
+		}); err != nil {
+			co.failLocked(err)
+			resp, _ := co.runOverLocked()
+			writeJSON(w, resp)
+			return
+		}
 		pending := make([]campaign.Trial, 0, len(st.remaining))
 		for _, t := range st.remaining {
 			pending = append(pending, t)
@@ -361,7 +593,7 @@ func (co *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
 			// Re-attach the out-of-band wall-clock (identity-neutral).
 			res.Wall = req.Wall[i]
 		}
-		if err := co.recordLocked(res); err != nil {
+		if _, err := co.recordLocked(res); err != nil {
 			co.failLocked(err)
 			writeJSON(w, ResultsResponse{OK: true})
 			return
@@ -376,29 +608,41 @@ func (co *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, co.statusLocked())
 }
 
-// recordLocked folds one streamed result in: exactly-once sink
-// delivery, duplicate verification, shard bookkeeping, completion.
-func (co *Coordinator) recordLocked(res campaign.Result) error {
+// recordLocked folds one streamed (or WAL-replayed) result in:
+// exactly-once sink delivery, duplicate verification, journaling, shard
+// bookkeeping, completion. It reports whether the result was newly
+// accepted (false for out-of-scope records and identical duplicates).
+func (co *Coordinator) recordLocked(res campaign.Result) (bool, error) {
 	shard, planned := co.trialShard[res.TrialID]
 	if !planned {
 		// Outside this run's trial set — e.g. a restarted worker's local
 		// checkpoint covering trials the coordinator already resumed
 		// from its own. The sink must see each planned trial exactly
 		// once, so out-of-scope records are dropped, not re-sunk.
-		return nil
+		return false, nil
 	}
 	enc, err := json.Marshal(res)
 	if err != nil {
-		return fmt.Errorf("cluster: marshal result for trial %d: %w", res.TrialID, err)
+		return false, fmt.Errorf("cluster: marshal result for trial %d: %w", res.TrialID, err)
 	}
 	if prev, ok := co.recorded[res.TrialID]; ok {
 		if !bytes.Equal(prev, enc) {
-			return fmt.Errorf("cluster: conflicting results for trial %d — workers disagree about the campaign", res.TrialID)
+			return false, fmt.Errorf("cluster: conflicting results for trial %d — workers disagree about the campaign", res.TrialID)
 		}
-		return nil // duplicate from a reassigned or resumed shard
+		return false, nil // duplicate from a reassigned or resumed shard
 	}
 	if err := co.sink(res); err != nil {
-		return err
+		return false, err
+	}
+	// Journal after the sink accepted: "in the WAL" means "delivered",
+	// so replay can re-deliver journaled results the caller lost. A
+	// crash between the two leaves the result in the caller's
+	// checkpoint only, which resume handles (it never re-enters the
+	// pending set).
+	if co.wal != nil {
+		if err := co.wal.AppendResult(res); err != nil {
+			return false, fmt.Errorf("cluster: journal result for trial %d: %w", res.TrialID, err)
+		}
 	}
 	co.recorded[res.TrialID] = enc
 	st := co.shards[shard]
@@ -408,6 +652,9 @@ func (co *Coordinator) recordLocked(res campaign.Result) error {
 		st.done = true
 		if l := co.leases.holder(shard); l != nil {
 			co.leases.release(l.id)
+			if err := co.journalLeaseLocked(campaign.WALLease{Event: campaign.LeaseReleased, ID: l.id}); err != nil {
+				return true, err
+			}
 		}
 		co.logf("coordinator: shard %s complete (%d/%d trials done)\n",
 			st.label, len(co.recorded), co.info.Trials)
@@ -416,20 +663,37 @@ func (co *Coordinator) recordLocked(res campaign.Result) error {
 		co.logf("coordinator: campaign %s complete\n", co.info.Campaign)
 		co.doneOnce.Do(func() { close(co.done) })
 	}
-	return nil
+	return true, nil
 }
 
-// sweepLocked expires dead leases, counting shards that go back on the
-// queue with work still pending as reassignments.
-func (co *Coordinator) sweepLocked() {
-	for _, shard := range co.leases.sweep() {
-		st := co.shards[shard]
+// sweepLocked expires dead leases, journaling each expiry and counting
+// shards that go back on the queue with work still pending as
+// reassignments.
+func (co *Coordinator) sweepLocked() error {
+	for _, l := range co.leases.sweep() {
+		st := co.shards[l.shard]
 		if !st.done && len(st.remaining) > 0 {
 			co.reassigned++
 			co.logf("coordinator: lease on shard %s expired with %d trials pending; reassigning\n",
 				st.label, len(st.remaining))
 		}
+		if err := co.journalLeaseLocked(campaign.WALLease{Event: campaign.LeaseExpired, ID: l.id}); err != nil {
+			return err
+		}
 	}
+	return nil
+}
+
+// journalLeaseLocked appends a lease lifecycle event to the WAL (no-op
+// without a state dir).
+func (co *Coordinator) journalLeaseLocked(ev campaign.WALLease) error {
+	if co.wal == nil {
+		return nil
+	}
+	if err := co.wal.AppendLease(ev); err != nil {
+		return fmt.Errorf("cluster: journal lease %s %s: %w", ev.Event, ev.ID, err)
+	}
+	return nil
 }
 
 // failLocked aborts the run.
@@ -469,6 +733,7 @@ func (co *Coordinator) statusLocked() StatusResponse {
 		Fingerprint: co.fp,
 		Planned:     co.info.Trials,
 		Done:        len(co.recorded),
+		Recovered:   co.recovered,
 		Workers:     len(co.workers),
 		Reassigned:  co.reassigned,
 		Complete:    co.started && co.remaining == 0,

@@ -26,6 +26,23 @@
 // shard from disk, and streams the already-completed records instead of
 // re-running them.
 //
+// Durability: with CoordinatorConfig.StateDir set (`campaign serve
+// -state <dir>`), the coordinator survives its own death too. It
+// journals the canonical spec, the shard table, lease grants/expiries
+// and every accepted result to an append-only WAL (campaign.WAL,
+// flushed per record, torn-tail tolerant); a restarted coordinator
+// replays the journal, restores the exact shard table, re-delivers
+// results the caller lost, invalidates leases open at the crash, and
+// refuses a state dir whose spec fingerprint mismatches the campaign it
+// was asked to serve. Workers notice only a rejected worker ID: they
+// re-register automatically (pinned to the same spec fingerprint) and
+// resume from their local checkpoints.
+//
+// Shard planning is a campaign.Planner seam: the uniform interleaved
+// split by default, or — `serve -balance <timing-source>` — shards
+// sized to equalize predicted wall-clock from a prior run's recorded
+// per-key timing. Any plan merges byte-identically.
+//
 // Safety: workers carry no campaign configuration of their own. At
 // registration the coordinator ships the canonical experiment spec
 // (internal/spec) and the worker builds its campaign from exactly those

@@ -88,15 +88,16 @@ func (t *leaseTable) expired(l *lease) bool {
 	return t.now().After(l.deadline)
 }
 
-// sweep removes every expired lease and returns the shard indices they
-// held — the shards now eligible for reassignment.
-func (t *leaseTable) sweep() []int {
-	var freed []int
+// sweep removes every expired lease and returns them — their shards
+// are now eligible for reassignment, and the coordinator journals each
+// expiry by lease ID.
+func (t *leaseTable) sweep() []*lease {
+	var freed []*lease
 	for id, l := range t.byID {
 		if t.expired(l) {
 			delete(t.byID, id)
 			delete(t.byShard, l.shard)
-			freed = append(freed, l.shard)
+			freed = append(freed, l)
 		}
 	}
 	return freed

@@ -27,8 +27,8 @@ func TestLeaseTable(t *testing.T) {
 		t.Fatal("renew past the deadline must fail")
 	}
 	freed := tab.sweep()
-	if len(freed) != 1 || freed[0] != 0 {
-		t.Fatalf("sweep freed %v, want [0]", freed)
+	if len(freed) != 1 || freed[0].shard != 0 || freed[0].id != l.id {
+		t.Fatalf("sweep freed %v, want lease %s on shard 0", freed, l.id)
 	}
 	if tab.holder(0) != nil {
 		t.Fatal("swept shard should have no holder")

@@ -152,13 +152,16 @@ type ShardStatus struct {
 
 // StatusResponse is the GET /v1/status snapshot.
 type StatusResponse struct {
-	Campaign    CampaignInfo  `json:"campaign"`
-	Fingerprint string        `json:"fingerprint"`
-	Planned     int           `json:"planned"`
-	Done        int           `json:"done"`
-	Workers     int           `json:"workers"`
-	Reassigned  int           `json:"reassigned"`
-	Shards      []ShardStatus `json:"shards"`
-	Failed      string        `json:"failed,omitempty"`
-	Complete    bool          `json:"complete"`
+	Campaign    CampaignInfo `json:"campaign"`
+	Fingerprint string       `json:"fingerprint"`
+	Planned     int          `json:"planned"`
+	Done        int          `json:"done"`
+	// Recovered counts results a restarted coordinator replayed from
+	// its WAL directly into this run's sink (0 without -state).
+	Recovered  int           `json:"recovered,omitempty"`
+	Workers    int           `json:"workers"`
+	Reassigned int           `json:"reassigned"`
+	Shards     []ShardStatus `json:"shards"`
+	Failed     string        `json:"failed,omitempty"`
+	Complete   bool          `json:"complete"`
 }

@@ -1,0 +1,343 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"falvolt/internal/campaign"
+	"falvolt/internal/spec"
+	"falvolt/internal/tensor"
+)
+
+// Coordinator durability tests: the in-process counterpart of the CI
+// kill-and-restart gauntlet. "Kill" here is context cancellation of the
+// coordinator's Run — from the fleet's perspective the same event as a
+// SIGKILL (the socket dies, worker IDs are forgotten), while the WAL on
+// disk is what the next incarnation has to work with.
+
+// delayedSelftestSpec declares a selftest slow enough (per-trial delay)
+// to interrupt mid-campaign deterministically.
+func delayedSelftestSpec(n int, seed int64, delayMS int) *spec.Spec {
+	return &spec.Spec{
+		Version: spec.Version, Kind: "selftest", Seed: seed,
+		Selftest: &spec.SelftestSpec{Trials: n, DelayMillis: delayMS},
+	}
+}
+
+// hostPort strips the scheme from a coordinator URL so a restarted
+// coordinator can bind the same address its predecessor used — which
+// is what lets the surviving workers find it again.
+func hostPort(url string) string { return strings.TrimPrefix(url, "http://") }
+
+// waitForDone polls a coordinator's stats until at least want results
+// were accepted.
+func waitForDone(t *testing.T, co *Coordinator, want int) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for co.Stats().Done < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never reached %d accepted results", want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCoordinatorRestartResumesFromWAL is the durability acceptance
+// gate, checkpoint variant (what `campaign serve -state -o` does): kill
+// the coordinator mid-campaign, restart it on the same state dir,
+// checkpoint and address, and the fleet finishes with byte-identical
+// merged output and no trial executed twice — the surviving worker
+// re-registers on its own.
+func TestCoordinatorRestartResumesFromWAL(t *testing.T) {
+	const n, killAfter = 24, 5
+	sp := delayedSelftestSpec(n, 7, 20)
+	want := singleProcessWant(t, buildFromSpec(t, sp))
+
+	state := t.TempDir()
+	ckpt := filepath.Join(t.TempDir(), "coordinator.jsonl")
+
+	// Life 1: durable coordinator, killed once killAfter results landed.
+	ctx1, kill := context.WithCancel(context.Background())
+	defer kill()
+	co1, url, out1 := startCoordinator(t, buildFromSpec(t, sp), sp,
+		CoordinatorConfig{Shards: 4, LeaseTTL: 300 * time.Millisecond, StateDir: state},
+		campaign.Options{Checkpoint: ckpt, Context: ctx1})
+
+	var runs atomic.Int64
+	wctx, wcancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer wcancel()
+	w := startWorker(t, WorkerConfig{
+		Coordinator: url, Name: "survivor", CheckpointDir: t.TempDir(), Retries: 1000,
+		Runner: countingRunner{inner: campaign.PoolRunner{Engine: tensor.Serial()}, runs: &runs},
+	}, wctx)
+
+	waitForDone(t, co1, killAfter)
+	kill()
+	if res := <-out1; res.err == nil {
+		t.Fatal("killed coordinator run should report cancellation")
+	}
+	done1 := co1.Stats().Done
+	if done1 >= n {
+		t.Fatalf("campaign completed (%d/%d) before the kill; raise the delay", done1, n)
+	}
+
+	// Life 2: same state dir, same checkpoint, same address. The worker
+	// was never told anything happened.
+	co2, _, out2 := startCoordinator(t, buildFromSpec(t, sp), sp,
+		CoordinatorConfig{Addr: hostPort(url), Shards: 4, LeaseTTL: 300 * time.Millisecond, StateDir: state},
+		campaign.Options{Checkpoint: ckpt})
+
+	res := <-out2
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if err := <-w; err != nil {
+		t.Fatalf("surviving worker exited with error: %v", err)
+	}
+	if !res.rr.Complete {
+		t.Fatalf("restarted run incomplete: %d/%d", len(res.rr.Results), n)
+	}
+	got, err := campaign.MarshalResults(res.rr.Results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("merged output after coordinator restart differs from single-process run")
+	}
+	if runs.Load() != n {
+		t.Fatalf("workers executed %d trials across the restart, want exactly %d", runs.Load(), n)
+	}
+	// The checkpoint already carried the pre-kill results, so nothing
+	// needed recovering from the WAL itself.
+	if st := co2.Stats(); st.Recovered != 0 || !st.Complete {
+		t.Fatalf("restarted stats: %+v", st)
+	}
+	// And the WAL round-trips as a complete record of the run.
+	hdr, walResults, _, err := campaign.ReadWAL(campaign.WALPath(state))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Trials != n || !campaign.Complete(walResults, n) {
+		t.Fatalf("final WAL covers %d/%d trials", len(walResults), n)
+	}
+}
+
+// TestCoordinatorRestartRecoversWALResults is the checkpoint-less
+// variant: with no -o file to resume from, every result the previous
+// incarnation accepted must be recovered from the WAL alone.
+func TestCoordinatorRestartRecoversWALResults(t *testing.T) {
+	const n, killAfter = 16, 4
+	sp := delayedSelftestSpec(n, 3, 20)
+	want := singleProcessWant(t, buildFromSpec(t, sp))
+
+	state := t.TempDir()
+	ctx1, kill := context.WithCancel(context.Background())
+	defer kill()
+	co1, url, out1 := startCoordinator(t, buildFromSpec(t, sp), sp,
+		CoordinatorConfig{Shards: 2, LeaseTTL: 300 * time.Millisecond, StateDir: state},
+		campaign.Options{Context: ctx1})
+
+	var runs atomic.Int64
+	wctx, wcancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer wcancel()
+	w := startWorker(t, WorkerConfig{
+		Coordinator: url, Name: "survivor", CheckpointDir: t.TempDir(), Retries: 1000,
+		Runner: countingRunner{inner: campaign.PoolRunner{Engine: tensor.Serial()}, runs: &runs},
+	}, wctx)
+
+	waitForDone(t, co1, killAfter)
+	kill()
+	if res := <-out1; res.err == nil {
+		t.Fatal("killed coordinator run should report cancellation")
+	}
+	done1 := co1.Stats().Done
+	if done1 >= n {
+		t.Fatalf("campaign completed (%d/%d) before the kill; raise the delay", done1, n)
+	}
+
+	co2, _, out2 := startCoordinator(t, buildFromSpec(t, sp), sp,
+		CoordinatorConfig{Addr: hostPort(url), Shards: 2, LeaseTTL: 300 * time.Millisecond, StateDir: state},
+		campaign.Options{})
+
+	res := <-out2
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if err := <-w; err != nil {
+		t.Fatalf("surviving worker exited with error: %v", err)
+	}
+	got, err := campaign.MarshalResults(res.rr.Results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("WAL-recovered merged output differs from single-process run")
+	}
+	if st := co2.Stats(); st.Recovered != done1 {
+		t.Fatalf("recovered %d results from the WAL, want every accepted pre-kill result (%d)", st.Recovered, done1)
+	}
+	if runs.Load() != n {
+		t.Fatalf("workers executed %d trials across the restart, want exactly %d", runs.Load(), n)
+	}
+}
+
+// TestRestartSurvivesMissingBalanceSource: the WAL's shard table is
+// authoritative on replay, so a coordinator started with
+// -balance <timing-file> must restart fine after that file is gone.
+func TestRestartSurvivesMissingBalanceSource(t *testing.T) {
+	const n = 12
+	// 1ms delay guarantees the timing checkpoint records nonzero walls
+	// even on coarse clocks, so the balance planner accepts it.
+	sp := delayedSelftestSpec(n, 7, 1)
+	want := singleProcessWant(t, buildFromSpec(t, sp))
+
+	// A timing source: one completed run of the same campaign.
+	timingDir := t.TempDir()
+	timing := filepath.Join(timingDir, "timing.jsonl")
+	if _, err := campaign.Run(buildFromSpec(t, sp), campaign.Options{Checkpoint: timing}); err != nil {
+		t.Fatal(err)
+	}
+
+	state := t.TempDir()
+	ctx1, kill := context.WithCancel(context.Background())
+	_, url, out1 := startCoordinator(t, buildFromSpec(t, sp), sp,
+		CoordinatorConfig{StateDir: state, PlannerName: "balance:" + timing, LeaseTTL: time.Second},
+		campaign.Options{Context: ctx1})
+	kill() // WAL header (with the balanced shard table) is already on disk
+	if res := <-out1; res.err == nil {
+		t.Fatal("killed coordinator run should report cancellation")
+	}
+
+	// The timing source vanishes (rotated away, different machine...).
+	if err := os.RemoveAll(timingDir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart with the same flags must restore from the WAL, not
+	// re-resolve the planner.
+	co2, url2, out2 := startCoordinator(t, buildFromSpec(t, sp), sp,
+		CoordinatorConfig{Addr: hostPort(url), StateDir: state, PlannerName: "balance:" + timing, LeaseTTL: time.Second},
+		campaign.Options{})
+	wctx, wcancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer wcancel()
+	w := startWorker(t, WorkerConfig{Coordinator: url2, Name: "w", CheckpointDir: t.TempDir()}, wctx)
+	res := <-out2
+	if res.err != nil {
+		t.Fatalf("restart with missing balance source failed: %v", res.err)
+	}
+	if err := <-w; err != nil {
+		t.Fatalf("worker exited with error: %v", err)
+	}
+	if got, _ := campaign.MarshalResults(res.rr.Results); !bytes.Equal(got, want) {
+		t.Fatal("balanced restart merged output differs from single-process run")
+	}
+	if st := co2.Stats(); !st.Complete {
+		t.Fatalf("restarted stats: %+v", st)
+	}
+}
+
+// TestTornHeaderWALPlansFresh: a serve SIGKILLed before its journal
+// header durably landed leaves a 0-byte or newline-less wal.jsonl;
+// restarting with the same flags must plan fresh and overwrite instead
+// of failing until the operator deletes the state dir.
+func TestTornHeaderWALPlansFresh(t *testing.T) {
+	const n = 8
+	sp := delayedSelftestSpec(n, 7, 0)
+	want := singleProcessWant(t, buildFromSpec(t, sp))
+	for name, torn := range map[string]string{"empty": "", "torn header": `{"header":{"version":1,"campaig`} {
+		state := t.TempDir()
+		if err := os.WriteFile(campaign.WALPath(state), []byte(torn), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		co, url, out := startCoordinator(t, buildFromSpec(t, sp), sp,
+			CoordinatorConfig{StateDir: state, LeaseTTL: time.Second},
+			campaign.Options{})
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		w := startWorker(t, WorkerConfig{Coordinator: url, Name: "w"}, ctx)
+		res := <-out
+		if res.err != nil {
+			t.Fatalf("%s WAL: restart did not plan fresh: %v", name, res.err)
+		}
+		if err := <-w; err != nil {
+			t.Fatalf("%s WAL: worker exited with error: %v", name, err)
+		}
+		if got, _ := campaign.MarshalResults(res.rr.Results); !bytes.Equal(got, want) {
+			t.Fatalf("%s WAL: merged output differs from single-process run", name)
+		}
+		if st := co.Stats(); !st.Complete {
+			t.Fatalf("%s WAL: stats %+v", name, st)
+		}
+		// The overwritten journal is a complete, readable record now.
+		if _, rs, _, err := campaign.ReadWAL(campaign.WALPath(state)); err != nil || !campaign.Complete(rs, n) {
+			t.Fatalf("%s WAL: rewritten journal unreadable or incomplete: %v", name, err)
+		}
+		cancel()
+	}
+}
+
+// TestStateDirDoubleServeRefused: a second coordinator on a live state
+// dir must be refused up front — two journal writers would interleave
+// records and double-serve the campaign.
+func TestStateDirDoubleServeRefused(t *testing.T) {
+	state := t.TempDir()
+	sp := delayedSelftestSpec(12, 7, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, _, out := startCoordinator(t, buildFromSpec(t, sp), sp,
+		CoordinatorConfig{StateDir: state, LeaseTTL: time.Second},
+		campaign.Options{Context: ctx})
+
+	co2 := NewCoordinator(CoordinatorConfig{
+		Addr: "127.0.0.1:0", Spec: sp, StateDir: state, Linger: 50 * time.Millisecond,
+	})
+	_, err := campaign.Run(buildFromSpec(t, sp), campaign.Options{Runner: co2})
+	if err == nil || !strings.Contains(err.Error(), "already served by another coordinator") {
+		t.Fatalf("second coordinator on a live state dir accepted: %v", err)
+	}
+	cancel()
+	if res := <-out; res.err == nil {
+		t.Fatal("first coordinator should report cancellation")
+	}
+
+	// With the first coordinator gone, the lock is free again.
+	co3 := NewCoordinator(CoordinatorConfig{
+		Addr: "127.0.0.1:0", Spec: sp, StateDir: state, Linger: 50 * time.Millisecond,
+	})
+	ctx3, cancel3 := context.WithCancel(context.Background())
+	cancel3()
+	if _, err := campaign.Run(buildFromSpec(t, sp), campaign.Options{Runner: co3, Context: ctx3}); err == nil ||
+		strings.Contains(err.Error(), "already served") {
+		t.Fatalf("lock not released after the first coordinator exited: %v", err)
+	}
+}
+
+// TestStateDirSpecMismatchRefused: a restarted coordinator must refuse
+// a state dir journaled by a different experiment instead of quietly
+// mixing runs.
+func TestStateDirSpecMismatchRefused(t *testing.T) {
+	state := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	sp := delayedSelftestSpec(12, 7, 0)
+	_, _, out := startCoordinator(t, buildFromSpec(t, sp), sp,
+		CoordinatorConfig{StateDir: state, LeaseTTL: time.Second},
+		campaign.Options{Context: ctx})
+	cancel() // no workers; the WAL header is written at Run start
+	if res := <-out; res.err == nil {
+		t.Fatal("cancelled coordinator run should report cancellation")
+	}
+
+	other := delayedSelftestSpec(30, 7, 0)
+	co := NewCoordinator(CoordinatorConfig{
+		Addr: "127.0.0.1:0", Spec: other, StateDir: state, Linger: 50 * time.Millisecond,
+	})
+	_, err := campaign.Run(buildFromSpec(t, other), campaign.Options{Runner: co})
+	if err == nil || !strings.Contains(err.Error(), "journals spec") {
+		t.Fatalf("mismatched state dir accepted: %v", err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -116,7 +117,11 @@ func NewWorker(cfg WorkerConfig) *Worker {
 
 // Run registers with the coordinator, builds the campaign from the
 // spec received at registration, and processes shard leases until the
-// campaign completes (nil), fails, or ctx is cancelled.
+// campaign completes (nil), fails, or ctx is cancelled. A coordinator
+// restart (the worker's ID is rejected as unknown) triggers
+// re-registration: the worker keeps its built campaign — the restarted
+// coordinator must ship a spec with the same fingerprint — and resumes
+// from its local checkpoints under the fresh worker ID.
 func (w *Worker) Run(ctx context.Context) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -124,6 +129,10 @@ func (w *Worker) Run(ctx context.Context) error {
 	workerID, ttl, sp, err := w.register(ctx)
 	if err != nil {
 		return err
+	}
+	fp, err := sp.Fingerprint()
+	if err != nil {
+		return fmt.Errorf("cluster: fingerprint received spec: %w", err)
 	}
 	build := w.cfg.Build
 	if build == nil {
@@ -148,6 +157,7 @@ func (w *Worker) Run(ctx context.Context) error {
 		workerID, info.Campaign, info.Trials, hbEvery)
 
 	fails := 0
+	reregs := 0
 	for {
 		if err := sleepCtx(ctx, 0); err != nil {
 			return err
@@ -155,9 +165,47 @@ func (w *Worker) Run(ctx context.Context) error {
 		lr, err := w.cl.lease(LeaseRequest{WorkerID: workerID})
 		if err != nil {
 			var se *statusError
-			if errors.As(err, &se) {
+			if errors.As(err, &se) && se.code == http.StatusForbidden {
+				// "unknown worker": the coordinator restarted and its
+				// worker table is gone. Re-register — refusing to switch
+				// experiments mid-run — and rejoin the queue; leased
+				// shards resume from the local checkpoints. Consecutive
+				// re-registrations (reset by any successful lease call)
+				// share the transport retry budget, so a crash-looping
+				// coordinator fails its workers instead of spinning them
+				// forever.
+				reregs++
+				if reregs > w.cfg.Retries {
+					return fmt.Errorf("cluster: coordinator rejected this worker %d times in a row; giving up", reregs)
+				}
+				if err := sleepCtx(ctx, w.cfg.Poll); err != nil {
+					return err
+				}
+				newID, newTTL, sp2, rerr := w.register(ctx)
+				if rerr != nil {
+					return fmt.Errorf("cluster: re-register after coordinator restart: %w", rerr)
+				}
+				fp2, rerr := sp2.Fingerprint()
+				if rerr != nil {
+					return fmt.Errorf("cluster: fingerprint re-received spec: %w", rerr)
+				}
+				if fp2 != fp {
+					return fmt.Errorf("cluster: restarted coordinator serves spec %s, but this worker joined for %s", fp2, fp)
+				}
+				workerID = newID
+				if newTTL/3 > 0 {
+					hbEvery = newTTL / 3
+				}
+				w.logf("worker %s: re-registered after coordinator restart\n", workerID)
+				continue
+			}
+			if errors.As(err, &se) && se.code != http.StatusServiceUnavailable {
 				return err // deliberate rejection, not a transient fault
 			}
+			// Transport failures AND 503 "shutting down" are transient: a
+			// restarting coordinator answers 503 during its shutdown
+			// grace, and treating that as fatal would turn every
+			// restart into a timing lottery for its workers.
 			fails++
 			if fails > w.cfg.Retries {
 				return fmt.Errorf("cluster: coordinator unreachable after %d attempts: %w", fails, err)
@@ -167,7 +215,7 @@ func (w *Worker) Run(ctx context.Context) error {
 			}
 			continue
 		}
-		fails = 0
+		fails, reregs = 0, 0
 		switch lr.Status {
 		case StatusDone:
 			w.logf("worker %s: campaign complete\n", workerID)

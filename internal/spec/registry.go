@@ -154,10 +154,16 @@ func FromMeta(meta map[string]string) (*Spec, error) {
 
 func init() {
 	Register("selftest", func(s *Spec, opt BuildOpts) (*Built, error) {
-		n := 24
-		if s.Selftest != nil && s.Selftest.Trials > 0 {
-			n = s.Selftest.Trials
+		n, delay := 24, 0
+		if s.Selftest != nil {
+			if s.Selftest.Trials > 0 {
+				n = s.Selftest.Trials
+			}
+			if s.Selftest.DelayMillis < 0 {
+				return nil, fmt.Errorf("spec: selftest delayMillis must be >= 0, got %d", s.Selftest.DelayMillis)
+			}
+			delay = s.Selftest.DelayMillis
 		}
-		return &Built{Campaign: campaign.Synthetic(n, s.EffectiveSeed())}, nil
+		return &Built{Campaign: campaign.SyntheticWithDelay(n, s.EffectiveSeed(), delay)}, nil
 	})
 }

@@ -61,6 +61,13 @@ type Spec struct {
 	// Shard restricts execution to the i-th of n interleaved trial
 	// subsets ("i/n"). Execution-only: excluded from the canonical form.
 	Shard string `json:"shard,omitempty"`
+	// Planner selects the shard-planning policy of a distributed serve:
+	// "uniform" (default) or "balance:<timing-source>" for shards that
+	// equalize predicted wall-clock from a prior run's per-key timing
+	// (campaign.PlannerByName). Execution-only, like Backend and Shard:
+	// any plan of the same experiment merges byte-identically, so the
+	// planner is excluded from the canonical form.
+	Planner string `json:"planner,omitempty"`
 
 	// Suite configures the figure campaigns (fig2, fig5a-c, mitigation).
 	Suite *SuiteSpec `json:"suite,omitempty"`
@@ -124,6 +131,12 @@ type YieldSpec struct {
 type SelftestSpec struct {
 	// Trials is the synthetic trial count (0 = 24).
 	Trials int `json:"trials,omitempty"`
+	// DelayMillis adds an artificial per-trial delay in milliseconds,
+	// so scheduling smoke tests (lease reassignment, coordinator
+	// kill-and-restart) can interrupt a campaign deterministically.
+	// Results are unaffected: merges stay byte-identical to the
+	// instant variant of the same (trials, seed).
+	DelayMillis int `json:"delayMillis,omitempty"`
 }
 
 // PipelineSpec describes the single end-to-end FalVolt pipeline of
@@ -293,6 +306,9 @@ func (s *Spec) Validate() error {
 	if _, err := campaign.ParseShard(s.Shard); err != nil {
 		return fmt.Errorf("spec: %w", err)
 	}
+	if err := campaign.ValidatePlannerName(s.Planner); err != nil {
+		return fmt.Errorf("spec: %w", err)
+	}
 	want := sectionFor(s.Kind)
 	for name, present := range map[string]bool{
 		"suite":    s.Suite != nil,
@@ -310,12 +326,12 @@ func (s *Spec) Validate() error {
 }
 
 // Canonical returns the spec's identity bytes: execution placement
-// (Backend, Shard) cleared, compact JSON in fixed struct-field order.
-// Two specs describing the same experiment canonicalize identically
-// however their JSON source was ordered or indented.
+// (Backend, Shard, Planner) cleared, compact JSON in fixed struct-field
+// order. Two specs describing the same experiment canonicalize
+// identically however their JSON source was ordered or indented.
 func (s *Spec) Canonical() ([]byte, error) {
 	c := *s
-	c.Backend, c.Shard = "", ""
+	c.Backend, c.Shard, c.Planner = "", "", ""
 	b, err := json.Marshal(&c)
 	if err != nil {
 		return nil, fmt.Errorf("spec: canonicalize: %w", err)

@@ -136,8 +136,9 @@ func TestFingerprintStability(t *testing.T) {
 	// Execution placement must not perturb identity.
 	placed := *s
 	placed.Backend, placed.Shard = "parallel:4", "1/2"
+	placed.Planner = "balance:timing.jsonl"
 	if got, _ := placed.Fingerprint(); got != want {
-		t.Fatal("backend/shard leaked into the fingerprint")
+		t.Fatal("backend/shard/planner leaked into the fingerprint")
 	}
 
 	// A genuinely different experiment must fingerprint differently.
@@ -161,6 +162,8 @@ func TestDecodeRejections(t *testing.T) {
 		{"missing kind", `{"version": 1}`, "missing kind"},
 		{"unknown field", `{"version": 1, "kind": "selftest", "trails": 5}`, "unknown field"},
 		{"bad shard", `{"version": 1, "kind": "selftest", "shard": "2"}`, "shard"},
+		{"bad planner", `{"version": 1, "kind": "selftest", "planner": "fastest"}`, "unknown planner"},
+		{"balance without source", `{"version": 1, "kind": "selftest", "planner": "balance:"}`, "unknown planner"},
 		{"trailing garbage", `{"version": 1, "kind": "selftest"} {"again": true}`, "trailing data"},
 		{"section/kind mismatch", `{"version": 1, "kind": "selftest", "yield": {"chips": 3}}`, "does not use the yield section"},
 	}
@@ -266,6 +269,34 @@ func TestSelftestBuildMatchesSynthetic(t *testing.T) {
 	b, _ := campaign.MarshalResults(direct.Results)
 	if !bytes.Equal(a, b) {
 		t.Fatal("spec-built selftest differs from campaign.Synthetic")
+	}
+}
+
+// TestSelftestDelayIsResultNeutral: the scheduling-smoke delay knob
+// slows trials without perturbing results (merges stay byte-identical),
+// and a negative delay is refused at build time.
+func TestSelftestDelayIsResultNeutral(t *testing.T) {
+	run := func(delay int) []byte {
+		s := &spec.Spec{Version: spec.Version, Kind: "selftest", Seed: 3,
+			Selftest: &spec.SelftestSpec{Trials: 8, DelayMillis: delay}}
+		built, err := spec.Build(s, spec.BuildOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := campaign.Run(built.Campaign, campaign.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := campaign.MarshalResults(rr.Results)
+		return b
+	}
+	if !bytes.Equal(run(0), run(5)) {
+		t.Fatal("delayMillis changed merged results")
+	}
+	bad := &spec.Spec{Version: spec.Version, Kind: "selftest",
+		Selftest: &spec.SelftestSpec{Trials: 8, DelayMillis: -1}}
+	if _, err := spec.Build(bad, spec.BuildOpts{}); err == nil || !strings.Contains(err.Error(), "delayMillis") {
+		t.Fatalf("negative delayMillis accepted: %v", err)
 	}
 }
 
