@@ -236,7 +236,7 @@ func BenchmarkBaselineTrainEpochParallel(b *testing.B) {
 
 // --- micro-benchmarks of the hot paths ---
 
-func benchSystolicForward(b *testing.B, faulty, bypass bool, eng tensor.Backend) {
+func benchSystolicForwardAt(b *testing.B, density float64, faulty, bypass, dense bool, eng tensor.Backend) {
 	arr := newArray(b, 64)
 	arr.SetEngine(eng)
 	if faulty {
@@ -246,10 +246,11 @@ func benchSystolicForward(b *testing.B, faulty, bypass bool, eng tensor.Backend)
 		}
 		arr.SetBypass(bypass)
 	}
+	arr.SetDenseReference(dense)
 	rng := rand.New(rand.NewSource(21))
 	x := tensor.New(32, 256)
 	for i := range x.Data {
-		if rng.Float64() < 0.3 {
+		if rng.Float64() < density {
 			x.Data[i] = 1
 		}
 	}
@@ -263,6 +264,10 @@ func benchSystolicForward(b *testing.B, faulty, bypass bool, eng tensor.Backend)
 	}
 }
 
+func benchSystolicForward(b *testing.B, faulty, bypass bool, eng tensor.Backend) {
+	benchSystolicForwardAt(b, 0.3, faulty, bypass, false, eng)
+}
+
 func BenchmarkSystolicForwardClean(b *testing.B)  { benchSystolicForward(b, false, false, nil) }
 func BenchmarkSystolicForwardFaulty(b *testing.B) { benchSystolicForward(b, true, false, nil) }
 func BenchmarkSystolicForwardFaultySerial(b *testing.B) {
@@ -272,6 +277,35 @@ func BenchmarkSystolicForwardFaultyParallel(b *testing.B) {
 	benchSystolicForward(b, true, false, tensor.NewParallel(0))
 }
 func BenchmarkSystolicForwardBypassed(b *testing.B) { benchSystolicForward(b, true, true, nil) }
+
+// Sparse vs Dense pairs: the event-list plane against the preserved
+// pre-change reference path, across spike densities. Sparse/Dense outputs
+// are bit-identical (see internal/systolic sparse_test.go); only the
+// wall-clock differs.
+func BenchmarkSystolicForwardCleanSparse10(b *testing.B) {
+	benchSystolicForwardAt(b, 0.1, false, false, false, nil)
+}
+func BenchmarkSystolicForwardCleanDense10(b *testing.B) {
+	benchSystolicForwardAt(b, 0.1, false, false, true, nil)
+}
+func BenchmarkSystolicForwardCleanSparse100(b *testing.B) {
+	benchSystolicForwardAt(b, 1.0, false, false, false, nil)
+}
+func BenchmarkSystolicForwardCleanDense100(b *testing.B) {
+	benchSystolicForwardAt(b, 1.0, false, false, true, nil)
+}
+func BenchmarkSystolicForwardFaultySparse10(b *testing.B) {
+	benchSystolicForwardAt(b, 0.1, true, false, false, nil)
+}
+func BenchmarkSystolicForwardFaultyDense10(b *testing.B) {
+	benchSystolicForwardAt(b, 0.1, true, false, true, nil)
+}
+func BenchmarkSystolicForwardFaultySparse30(b *testing.B) {
+	benchSystolicForwardAt(b, 0.3, true, false, false, nil)
+}
+func BenchmarkSystolicForwardFaultyDense30(b *testing.B) {
+	benchSystolicForwardAt(b, 0.3, true, false, true, nil)
+}
 
 func BenchmarkScanTest256(b *testing.B) {
 	arr := newArray(b, 256)

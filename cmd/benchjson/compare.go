@@ -1,0 +1,143 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+)
+
+// Baseline-compare mode: `benchjson -baseline old.json` reads fresh bench
+// output from stdin, joins it with a previously recorded BENCH_results.json
+// by benchmark name, and prints a per-benchmark ns/op ratio table. A
+// benchmark whose (optionally normalized) ratio exceeds the threshold is a
+// regression and makes the command exit nonzero, so CI can gate merges on
+// the committed baseline.
+//
+// Because the committed baseline and the CI runner are different machines,
+// -normalize divides every ratio by the median ratio first: a uniformly
+// slower machine moves every benchmark by the same factor, which the
+// median cancels, while a genuine regression stands out against its
+// siblings.
+
+// compareRow is one joined benchmark in the comparison table.
+type compareRow struct {
+	Name     string
+	OldNs    float64
+	NewNs    float64
+	Ratio    float64 // normalized new/old ns/op; >1 is slower than baseline
+	RawRatio float64 // ratio before median normalization
+}
+
+// comparison is the result of joining fresh results against a baseline.
+type comparison struct {
+	Rows        []compareRow // joined benchmarks, sorted by name
+	OnlyOld     []string     // in baseline but missing from the new run
+	OnlyNew     []string     // in the new run but missing from the baseline
+	Median      float64      // median raw ratio (1.0 when not normalizing)
+	Threshold   float64
+	Regressions []compareRow // rows with Ratio > Threshold
+}
+
+// gomaxprocsSuffix is the "-8" go test appends to benchmark names when
+// GOMAXPROCS > 1. It encodes the machine, not the benchmark, so compare
+// joins on suffix-stripped names — a baseline recorded on an N-core box
+// still matches a run on an M-core one.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// canonNames rekeys entries by suffix-stripped name.
+func canonNames(entries map[string]Entry) map[string]Entry {
+	out := make(map[string]Entry, len(entries))
+	for name, e := range entries {
+		out[gomaxprocsSuffix.ReplaceAllString(name, "")] = e
+	}
+	return out
+}
+
+// compare joins new results against the baseline. When normalize is set,
+// each ratio is divided by the median raw ratio across all joined
+// benchmarks before the threshold test.
+func compare(baseline, fresh map[string]Entry, threshold float64, normalize bool) comparison {
+	baseline, fresh = canonNames(baseline), canonNames(fresh)
+	c := comparison{Threshold: threshold, Median: 1}
+	for name, oldE := range baseline {
+		if _, ok := fresh[name]; !ok {
+			c.OnlyOld = append(c.OnlyOld, name)
+			continue
+		}
+		newE := fresh[name]
+		row := compareRow{Name: name, OldNs: oldE.NsPerOp, NewNs: newE.NsPerOp}
+		if oldE.NsPerOp > 0 {
+			row.RawRatio = newE.NsPerOp / oldE.NsPerOp
+		}
+		c.Rows = append(c.Rows, row)
+	}
+	for name := range fresh {
+		if _, ok := baseline[name]; !ok {
+			c.OnlyNew = append(c.OnlyNew, name)
+		}
+	}
+	sort.Slice(c.Rows, func(i, j int) bool { return c.Rows[i].Name < c.Rows[j].Name })
+	sort.Strings(c.OnlyOld)
+	sort.Strings(c.OnlyNew)
+
+	if normalize && len(c.Rows) > 0 {
+		ratios := make([]float64, 0, len(c.Rows))
+		for _, r := range c.Rows {
+			if r.RawRatio > 0 {
+				ratios = append(ratios, r.RawRatio)
+			}
+		}
+		if len(ratios) > 0 {
+			sort.Float64s(ratios)
+			if n := len(ratios); n%2 == 1 {
+				c.Median = ratios[n/2]
+			} else {
+				c.Median = (ratios[n/2-1] + ratios[n/2]) / 2
+			}
+		}
+	}
+	for i := range c.Rows {
+		c.Rows[i].Ratio = c.Rows[i].RawRatio / c.Median
+		if c.Rows[i].Ratio > threshold {
+			c.Regressions = append(c.Regressions, c.Rows[i])
+		}
+	}
+	return c
+}
+
+// report prints the comparison table in fixed columns. The flag column
+// marks regressions with "!" so they stand out in CI logs.
+func report(w io.Writer, c comparison) {
+	wide := 0
+	for _, r := range c.Rows {
+		if len(r.Name) > wide {
+			wide = len(r.Name)
+		}
+	}
+	fmt.Fprintf(w, "%-*s  %14s  %14s  %7s\n", wide, "benchmark", "old ns/op", "new ns/op", "ratio")
+	for _, r := range c.Rows {
+		flag := " "
+		if r.Ratio > c.Threshold {
+			flag = "!"
+		}
+		fmt.Fprintf(w, "%-*s  %14.0f  %14.0f  %6.2fx %s\n", wide, r.Name, r.OldNs, r.NewNs, r.Ratio, flag)
+	}
+	if c.Median != 1 {
+		fmt.Fprintf(w, "median raw ratio %.3fx (ratios normalized by it)\n", c.Median)
+	}
+	for _, n := range c.OnlyOld {
+		fmt.Fprintf(w, "missing from new run: %s\n", n)
+	}
+	for _, n := range c.OnlyNew {
+		fmt.Fprintf(w, "not in baseline: %s\n", n)
+	}
+	if len(c.Regressions) > 0 {
+		fmt.Fprintf(w, "FAIL: %d benchmark(s) regressed beyond %.2fx:\n", len(c.Regressions), c.Threshold)
+		for _, r := range c.Regressions {
+			fmt.Fprintf(w, "  %s: %.2fx\n", r.Name, r.Ratio)
+		}
+	} else {
+		fmt.Fprintf(w, "ok: %d benchmark(s) within %.2fx of baseline\n", len(c.Rows), c.Threshold)
+	}
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func entriesNs(pairs map[string]float64) map[string]Entry {
+	out := make(map[string]Entry, len(pairs))
+	for name, ns := range pairs {
+		out[name] = Entry{Iterations: 1, NsPerOp: ns}
+	}
+	return out
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := entriesNs(map[string]float64{
+		"BenchmarkA-8": 100,
+		"BenchmarkB-8": 100,
+		"BenchmarkC-8": 100,
+	})
+	fresh := entriesNs(map[string]float64{
+		"BenchmarkA-8": 105, // within threshold
+		"BenchmarkB-8": 150, // regressed
+		"BenchmarkC-8": 80,  // improved
+	})
+	c := compare(base, fresh, 1.20, false)
+	if len(c.Rows) != 3 {
+		t.Fatalf("joined %d rows, want 3", len(c.Rows))
+	}
+	if len(c.Regressions) != 1 || c.Regressions[0].Name != "BenchmarkB" {
+		t.Fatalf("regressions = %+v, want only BenchmarkB", c.Regressions)
+	}
+	if got := c.Regressions[0].Ratio; got != 1.5 {
+		t.Errorf("B ratio = %v, want 1.5", got)
+	}
+}
+
+func TestCompareNameMismatches(t *testing.T) {
+	base := entriesNs(map[string]float64{"BenchmarkOld-8": 10, "BenchmarkBoth-8": 10})
+	fresh := entriesNs(map[string]float64{"BenchmarkNew-8": 10, "BenchmarkBoth-8": 10})
+	c := compare(base, fresh, 1.20, false)
+	if len(c.Rows) != 1 || c.Rows[0].Name != "BenchmarkBoth" {
+		t.Fatalf("rows = %+v, want only BenchmarkBoth", c.Rows)
+	}
+	if len(c.OnlyOld) != 1 || c.OnlyOld[0] != "BenchmarkOld" {
+		t.Errorf("OnlyOld = %v", c.OnlyOld)
+	}
+	if len(c.OnlyNew) != 1 || c.OnlyNew[0] != "BenchmarkNew" {
+		t.Errorf("OnlyNew = %v", c.OnlyNew)
+	}
+	if len(c.Regressions) != 0 {
+		t.Errorf("unexpected regressions: %+v", c.Regressions)
+	}
+}
+
+// A uniformly slower machine must not trip the normalized compare, while a
+// single benchmark that slowed down far beyond its siblings must.
+func TestCompareNormalizeCancelsMachineSpeed(t *testing.T) {
+	base := entriesNs(map[string]float64{
+		"BenchmarkA-8": 100, "BenchmarkB-8": 100, "BenchmarkC-8": 100,
+		"BenchmarkD-8": 100, "BenchmarkE-8": 100,
+	})
+	// Everything 2x slower (slow CI machine)...
+	fresh := entriesNs(map[string]float64{
+		"BenchmarkA-8": 200, "BenchmarkB-8": 200, "BenchmarkC-8": 200,
+		"BenchmarkD-8": 200,
+		// ...except E, which regressed 4x on top of that.
+		"BenchmarkE-8": 800,
+	})
+	raw := compare(base, fresh, 1.20, false)
+	if len(raw.Regressions) != 5 {
+		t.Fatalf("un-normalized: %d regressions, want all 5", len(raw.Regressions))
+	}
+	norm := compare(base, fresh, 1.20, true)
+	if norm.Median != 2 {
+		t.Fatalf("median = %v, want 2", norm.Median)
+	}
+	if len(norm.Regressions) != 1 || norm.Regressions[0].Name != "BenchmarkE" {
+		t.Fatalf("normalized regressions = %+v, want only BenchmarkE", norm.Regressions)
+	}
+	if got := norm.Regressions[0].Ratio; got != 4 {
+		t.Errorf("E normalized ratio = %v, want 4", got)
+	}
+}
+
+func TestReportOutput(t *testing.T) {
+	base := entriesNs(map[string]float64{"BenchmarkA-8": 100, "BenchmarkB-8": 100})
+	fresh := entriesNs(map[string]float64{"BenchmarkA-8": 90, "BenchmarkB-8": 250})
+	var sb strings.Builder
+	report(&sb, compare(base, fresh, 1.20, false))
+	out := sb.String()
+	for _, want := range []string{"BenchmarkA", "BenchmarkB", "2.50x !", "FAIL: 1 benchmark(s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	var ok strings.Builder
+	report(&ok, compare(base, entriesNs(map[string]float64{"BenchmarkA-8": 100, "BenchmarkB-8": 101}), 1.20, false))
+	if !strings.Contains(ok.String(), "ok: 2 benchmark(s)") {
+		t.Errorf("clean report missing ok line:\n%s", ok.String())
+	}
+}
+
+// A baseline recorded on an 8-core machine must join a run from a 4-core
+// one (and one with GOMAXPROCS=1, where go test omits the suffix).
+func TestCompareJoinsAcrossGOMAXPROCSSuffixes(t *testing.T) {
+	base := entriesNs(map[string]float64{"BenchmarkA-8": 100, "BenchmarkB": 100})
+	fresh := entriesNs(map[string]float64{"BenchmarkA-4": 130, "BenchmarkB-2": 100})
+	c := compare(base, fresh, 1.20, false)
+	if len(c.Rows) != 2 || len(c.OnlyOld) != 0 || len(c.OnlyNew) != 0 {
+		t.Fatalf("rows=%+v onlyOld=%v onlyNew=%v, want full join", c.Rows, c.OnlyOld, c.OnlyNew)
+	}
+	if len(c.Regressions) != 1 || c.Regressions[0].Name != "BenchmarkA" {
+		t.Fatalf("regressions = %+v, want only BenchmarkA", c.Regressions)
+	}
+}

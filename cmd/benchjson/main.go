@@ -9,6 +9,12 @@
 //
 //	go test -bench=. -benchtime=1x -benchmem ./... | benchjson -o BENCH_results.json
 //
+// With -baseline, benchjson instead compares the stdin results against a
+// previously recorded JSON document and exits nonzero on regressions
+// (see compare.go):
+//
+//	go test -bench=. ./... | benchjson -baseline BENCH_results.json -normalize -threshold 1.5
+//
 // Non-benchmark lines (PASS, ok, pkg headers) are ignored, so the full
 // `go test` stream can be piped in unfiltered. Names keep their
 // GOMAXPROCS suffix ("-8") exactly as go test prints them.
@@ -41,6 +47,19 @@ type Entry struct {
 //	BenchmarkConvForward-8   5   227025639 ns/op   8208 B/op   11 allocs/op
 var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+)\s+(\d+)\s+([0-9.eE+-]+) ns/op(?:\s+([0-9.eE+-]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// readBaseline loads a previously emitted BENCH_results.json.
+func readBaseline(path string) (map[string]Entry, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out map[string]Entry
+	if err := json.Unmarshal(b, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
 
 // parse reads go-test benchmark output into name -> Entry. A benchmark
 // name appearing twice (same bench re-run) keeps the last measurement.
@@ -83,6 +102,9 @@ func parse(r io.Reader) (map[string]Entry, error) {
 
 func main() {
 	out := flag.String("o", "", "output path (default stdout); written atomically")
+	baseline := flag.String("baseline", "", "compare stdin against this BENCH_results.json instead of emitting JSON; exit nonzero on regressions")
+	threshold := flag.Float64("threshold", 1.20, "with -baseline: max allowed new/old ns-per-op ratio")
+	normalize := flag.Bool("normalize", false, "with -baseline: divide ratios by their median to cancel cross-machine speed differences")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: unexpected argument %q (bench output is read from stdin)\n", flag.Arg(0))
@@ -98,6 +120,19 @@ func main() {
 	if len(entries) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
 		os.Exit(1)
+	}
+	if *baseline != "" {
+		base, err := readBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		c := compare(base, entries, *threshold, *normalize)
+		report(os.Stdout, c)
+		if len(c.Regressions) > 0 {
+			os.Exit(1)
+		}
+		return
 	}
 	// encoding/json sorts map keys, so output order is deterministic.
 	b, err := json.MarshalIndent(entries, "", "  ")

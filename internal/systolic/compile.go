@@ -1,0 +1,85 @@
+package systolic
+
+import "falvolt/internal/fixed"
+
+// Compiled weight tiles: a per-array view of a Matrix with every
+// per-element branch of the old inner loop hoisted out of the hot path.
+//
+//   - Weight-register stuck bits (wOrMask/wClearMask) are force-applied
+//     once per compile instead of per accumulation, so the slow path
+//     never consults wFaulty.
+//   - For the analog path, the effective weights are pre-dequantized to
+//     float64, eliminating the Dequantize (Ldexp) call per element; the
+//     per-element Quantize stays, keeping results bit-identical.
+//
+// Views cache on the Matrix keyed by *Array and are validated against the
+// array's fault-state generation, so InjectFaults / InjectWeightFaults /
+// ClearFaults / SetBypass (all of which bump the generation via
+// refreshColumns) transparently recompile on the next Forward.
+
+// weightTiles is one compiled view of a Matrix on one Array.
+type weightTiles struct {
+	gen uint64       // array fault-state generation at compile time
+	eff []fixed.Word // weight-fault-forced words; aliases Matrix.Words when the array has no weight faults
+	deq []float64    // eff dequantized in the array's format; built on first analog pass
+}
+
+// tilesFor returns the compiled view of w for array a, (re)building it if
+// the cache is cold or the array's fault state changed. Safe for
+// concurrent Forward calls: the Matrix mutex serializes compiles, and a
+// returned view is immutable.
+func (w *Matrix) tilesFor(a *Array, needDeq bool) *weightTiles {
+	gen := a.gen.Load()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	t := w.tiles[a]
+	if t == nil || t.gen != gen {
+		t = &weightTiles{gen: gen, eff: w.Words}
+		if a.wmap != nil {
+			t.eff = w.compileEffective(a)
+		}
+		if w.tiles == nil {
+			w.tiles = make(map[*Array]*weightTiles)
+		} else {
+			// Drop views whose array has since changed fault state, so a
+			// matrix swept across many short-lived arrays cannot grow the
+			// cache without bound.
+			for arr, tt := range w.tiles {
+				if tt.gen != arr.gen.Load() {
+					delete(w.tiles, arr)
+				}
+			}
+		}
+		w.tiles[a] = t
+	}
+	if needDeq && t.deq == nil {
+		format := a.cfg.Format
+		deq := make([]float64, len(t.eff))
+		for i, wd := range t.eff {
+			deq[i] = format.Dequantize(wd)
+		}
+		t.deq = deq
+	}
+	return t
+}
+
+// compileEffective applies the array's weight-register stuck bits to every
+// word under the weight-stationary mapping: w[m][k] lives in
+// PE(k mod Rows, m mod Cols).
+func (w *Matrix) compileEffective(a *Array) []fixed.Word {
+	rows, cols := a.cfg.Rows, a.cfg.Cols
+	eff := make([]fixed.Word, len(w.Words))
+	for m := 0; m < w.M; m++ {
+		col := m % cols
+		src := w.Words[m*w.K : (m+1)*w.K]
+		dst := eff[m*w.K : (m+1)*w.K]
+		for k, wd := range src {
+			idx := (k%rows)*cols + col
+			if a.wFaulty[idx] {
+				wd = fixed.ForceBits(wd, a.wOrMask[idx], a.wClearMask[idx])
+			}
+			dst[k] = wd
+		}
+	}
+	return eff
+}

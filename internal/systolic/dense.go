@@ -1,0 +1,129 @@
+package systolic
+
+import (
+	"sync/atomic"
+
+	"falvolt/internal/fixed"
+	"falvolt/internal/tensor"
+)
+
+// This file preserves the pre-event-list dense forward path verbatim. It
+// walks every PE of every column and is the semantic reference the sparse
+// data plane (forward.go) must reproduce bit for bit — outputs, Stats and
+// per-PE spike counters alike. SetDenseReference(true) routes Forward
+// through it; the sparsity property tests and the Dense benchmark
+// variants are its callers.
+
+// forwardDense computes y on the dense scalar path. The caller (Forward)
+// has already validated shapes, allocated y and charged TilePasses /
+// MACCycles.
+func (a *Array) forwardDense(x *tensor.Tensor, w *Matrix, y *tensor.Tensor, binary bool) {
+	b := x.Shape[0]
+	rows, cols := a.cfg.Rows, a.cfg.Cols
+	numKTiles := (w.K + rows - 1) / rows
+
+	format := w.Format
+	scale := float32(format.Scale())
+	a.engine().For(w.M, func(m0, m1 int) {
+		var ps passStats
+		for m := m0; m < m1; m++ {
+			j := m % cols
+			wrow := w.Words[m*w.K : (m+1)*w.K]
+			for bi := 0; bi < b; bi++ {
+				xrow := x.Data[bi*w.K : (bi+1)*w.K]
+				var total int64
+				for kt := 0; kt < numKTiles; kt++ {
+					k0 := kt * rows
+					k1 := k0 + rows
+					if k1 > w.K {
+						k1 = w.K
+					}
+					total += int64(a.columnPass(xrow[k0:k1], wrow[k0:k1], k0, j, binary, &ps))
+				}
+				y.Data[bi*w.M+m] = float32(total) * scale
+			}
+		}
+		ps.mergeInto(&a.stats)
+	})
+}
+
+// columnPass streams one K-tile of one output column through the array and
+// returns the resulting partial sum word. k0 is the global k offset of the
+// tile (PE row for global index k is k mod Rows, which equals the local
+// index within a full tile). Datapath activity lands in ps, the calling
+// chunk's private accumulator.
+func (a *Array) columnPass(xs []float32, ws []fixed.Word, k0, col int, binary bool, ps *passStats) fixed.Word {
+	cols := a.cfg.Cols
+	format := a.cfg.Format
+
+	// Fast path: a fault-free, bypass-free column is a plain integer sum.
+	if a.colClean[col] && !a.colBypassed[col] {
+		var acc fixed.Word
+		if binary {
+			for i, xv := range xs {
+				if xv != 0 {
+					acc = a.add(acc, ws[i])
+				}
+			}
+			ps.accumulations += uint64(len(xs))
+			a.countSpikesDense(xs, k0, col)
+			return acc
+		}
+		for i, xv := range xs {
+			if xv != 0 {
+				acc = a.add(acc, format.Quantize(float64(xv)*format.Dequantize(ws[i])))
+			}
+		}
+		ps.accumulations += uint64(len(xs))
+		return acc
+	}
+
+	// Slow path: walk every PE in the column, applying bypass or stuck-bit
+	// forcing on the accumulator output register at each step.
+	var acc fixed.Word
+	for i, xv := range xs {
+		row := (k0 + i) % a.cfg.Rows
+		idx := row*cols + col
+		if a.bypassed[idx] {
+			ps.bypassedSteps++
+			continue // pre-sum routed around the PE unchanged
+		}
+		var add fixed.Word
+		if xv != 0 {
+			w := ws[i]
+			if a.wFaulty[idx] {
+				w = fixed.ForceBits(w, a.wOrMask[idx], a.wClearMask[idx])
+			}
+			if binary {
+				add = w
+			} else {
+				add = format.Quantize(float64(xv) * format.Dequantize(w))
+			}
+		}
+		acc = a.add(acc, add)
+		ps.accumulations++
+		if a.faulty[idx] {
+			acc = fixed.ForceBits(acc, a.orMask[idx], a.clearMask[idx])
+		}
+	}
+	if binary {
+		a.countSpikesDense(xs, k0, col)
+	}
+	return acc
+}
+
+// countSpikesDense bumps the per-PE spike counters with one atomic add per
+// spiking element. The sparse plane buffers per chunk instead; totals are
+// identical because integer addition commutes.
+func (a *Array) countSpikesDense(xs []float32, k0, col int) {
+	if a.spikeCount == nil {
+		return
+	}
+	cols := a.cfg.Cols
+	for i, xv := range xs {
+		if xv != 0 {
+			row := (k0 + i) % a.cfg.Rows
+			atomic.AddUint64(&a.spikeCount[row*cols+col], 1)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package systolic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"falvolt/internal/faults"
+	"falvolt/internal/fixed"
+	"falvolt/internal/tensor"
+)
+
+// assertForwardIdentical runs one Forward on the sparse array and the
+// dense-reference array and asserts bit-identical outputs, statistics and
+// per-PE spike counters.
+func assertForwardIdentical(t *testing.T, label string, sparse, dense *Array, x *tensor.Tensor, wm *Matrix, binary bool) {
+	t.Helper()
+	got := sparse.Forward(x, wm, binary)
+	want := dense.Forward(x, wm, binary)
+	for i := range want.Data {
+		if math.Float32bits(want.Data[i]) != math.Float32bits(got.Data[i]) {
+			t.Fatalf("%s: y[%d] = %v, want %v", label, i, got.Data[i], want.Data[i])
+		}
+	}
+	if sparse.Stats() != dense.Stats() {
+		t.Fatalf("%s: stats %+v, want %+v", label, sparse.Stats(), dense.Stats())
+	}
+	rows, cols := sparse.cfg.Rows, sparse.cfg.Cols
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if sparse.SpikeCount(r, c) != dense.SpikeCount(r, c) {
+				t.Fatalf("%s: spikeCount(%d,%d) = %d, want %d",
+					label, r, c, sparse.SpikeCount(r, c), dense.SpikeCount(r, c))
+			}
+		}
+	}
+}
+
+// TestSparseForwardMatchesDenseReference sweeps spike density × fault
+// scenario × engine × saturation × shape, asserting the event-list sparse
+// forward is bit-identical to the pre-change dense reference path —
+// outputs, Stats and spike counters alike.
+func TestSparseForwardMatchesDenseReference(t *testing.T) {
+	type scenario struct {
+		name           string
+		faults, wfault bool
+		bypass         bool
+	}
+	scenarios := []scenario{
+		{name: "clean"},
+		{name: "pe-faulty", faults: true},
+		{name: "weight-faulty", wfault: true},
+		{name: "bypassed", faults: true, bypass: true},
+		{name: "mixed-bypassed", faults: true, wfault: true, bypass: true},
+	}
+	shapes := []struct{ rows, cols, b, k, m int }{
+		{8, 8, 3, 19, 13},    // ragged K and M tiles
+		{16, 8, 3, 9, 10},    // K < Rows: bottom PE rows unreachable
+		{16, 16, 16, 64, 40}, // multi-tile batch
+	}
+	densities := []float64{0, 0.1, 0.5, 1.0}
+	for _, sc := range scenarios {
+		for _, sh := range shapes {
+			rng := rand.New(rand.NewSource(42))
+			var fm, wfm *faults.Map
+			var err error
+			if sc.faults {
+				fm, err = faults.Generate(sh.rows, sh.cols, faults.GenSpec{
+					NumFaulty: sh.rows * sh.cols / 4, BitMode: faults.MSBBits, Pol: faults.StuckAt1,
+				}, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if sc.wfault {
+				wfm, err = faults.Generate(sh.rows, sh.cols, faults.GenSpec{
+					NumFaulty: sh.rows * sh.cols / 8, BitMode: faults.MSBBits, Pol: faults.StuckAt0,
+				}, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			w := tensor.New(sh.m, sh.k)
+			w.RandNormal(rng, 0.5)
+			for _, sat := range []bool{true, false} {
+				for _, eng := range []tensor.Backend{tensor.Serial(), tensor.NewParallel(4)} {
+					mk := func(dense bool) *Array {
+						a, err := New(Config{
+							Rows: sh.rows, Cols: sh.cols, Format: fixed.Q16x16,
+							Saturate: sat, CountSpikes: true, Engine: eng,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if fm != nil {
+							if err := a.InjectFaults(fm); err != nil {
+								t.Fatal(err)
+							}
+						}
+						if wfm != nil {
+							if err := a.InjectWeightFaults(wfm); err != nil {
+								t.Fatal(err)
+							}
+						}
+						a.SetBypass(sc.bypass)
+						a.SetDenseReference(dense)
+						return a
+					}
+					sparse, dense := mk(false), mk(true)
+					// One Matrix shared across both arrays and all
+					// densities: the compiled-tile cache must keep the
+					// two views (and the dense path's raw Words) apart.
+					wm := QuantizeMatrix(w, fixed.Q16x16)
+					for _, density := range densities {
+						label := fmt.Sprintf("%s %dx%d sat=%v eng=%s d=%.0f%%",
+							sc.name, sh.rows, sh.cols, sat, eng.Name(), 100*density)
+						spikes := randSpikeInput(rng, sh.b, sh.k, density)
+						assertForwardIdentical(t, label+" binary", sparse, dense, spikes, wm, true)
+						analog := randAnalogInput(rng, sh.b, sh.k)
+						for i := range analog.Data {
+							if rng.Float64() >= density {
+								analog.Data[i] = 0
+							}
+						}
+						assertForwardIdentical(t, label+" analog", sparse, dense, analog, wm, false)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledTilesRecompileOnFaultChange asserts the compiled weight-tile
+// cache is invalidated by every fault-state mutation: a Matrix first used
+// on a clean array must observe weight faults injected afterwards, their
+// clearing, and bypass toggles — matching the dense reference at each
+// step.
+func TestCompiledTilesRecompileOnFaultChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const rows, cols, b, k, m = 8, 8, 4, 24, 12
+	w := tensor.New(m, k)
+	w.RandNormal(rng, 0.5)
+	wm := QuantizeMatrix(w, fixed.Q16x16)
+	x := randSpikeInput(rng, b, k, 0.4)
+	analog := randAnalogInput(rng, b, k)
+
+	fm, err := faults.Generate(rows, cols, faults.GenSpec{
+		NumFaulty: 12, BitMode: faults.MSBBits, Pol: faults.StuckAt1,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wfm, err := faults.Generate(rows, cols, faults.GenSpec{
+		NumFaulty: 10, BitMode: faults.MSBBits, Pol: faults.StuckAt0,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sparse := newTestArray(t, rows, cols, tensor.Serial(), nil, nil, false, true)
+	dense := newTestArray(t, rows, cols, tensor.Serial(), nil, nil, false, true)
+	dense.SetDenseReference(true)
+
+	step := func(label string, mutate func(a *Array)) {
+		t.Helper()
+		mutate(sparse)
+		mutate(dense)
+		assertForwardIdentical(t, label+" binary", sparse, dense, x, wm, true)
+		assertForwardIdentical(t, label+" analog", sparse, dense, analog, wm, false)
+	}
+	step("clean", func(a *Array) {})
+	step("inject-acc", func(a *Array) {
+		if err := a.InjectFaults(fm); err != nil {
+			t.Fatal(err)
+		}
+	})
+	step("inject-weight", func(a *Array) {
+		if err := a.InjectWeightFaults(wfm); err != nil {
+			t.Fatal(err)
+		}
+	})
+	step("bypass-on", func(a *Array) { a.SetBypass(true) })
+	step("bypass-off", func(a *Array) { a.SetBypass(false) })
+	step("clear", func(a *Array) { a.ClearFaults() })
+}

@@ -16,6 +16,7 @@ package systolic
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"falvolt/internal/faults"
@@ -71,6 +72,23 @@ type Array struct {
 	colClean    []bool // no faulty, non-bypassed PE in column
 	colBypassed []bool // column contains at least one bypassed PE
 
+	// Column-major ([col*Rows+row]) mirrors of the accumulator fault
+	// state. The faulty-column slow path walks one column at a time, so
+	// these keep its per-PE loads on contiguous cache lines instead of
+	// striding by Cols through the row-major arrays above.
+	bypT    []bool
+	faultyT []bool
+	orT     []uint32
+	clearT  []uint32
+
+	// gen counts fault-state changes (InjectFaults, InjectWeightFaults,
+	// ClearFaults, SetBypass). Compiled weight tiles cache against it.
+	gen atomic.Uint64
+
+	// denseRef forces the pre-event-list scalar forward path; see
+	// SetDenseReference.
+	denseRef bool
+
 	// Internal spike counters (one per PE), active when cfg.CountSpikes.
 	spikeCount []uint64
 
@@ -111,6 +129,10 @@ func New(cfg Config) (*Array, error) {
 		wFaulty:     make([]bool, n),
 		colClean:    make([]bool, cfg.Cols),
 		colBypassed: make([]bool, cfg.Cols),
+		bypT:        make([]bool, n),
+		faultyT:     make([]bool, n),
+		orT:         make([]uint32, n),
+		clearT:      make([]uint32, n),
 	}
 	if cfg.CountSpikes {
 		a.spikeCount = make([]uint64, n)
@@ -244,20 +266,35 @@ func (a *Array) applyBypassFlags() {
 }
 
 func (a *Array) refreshColumns() {
+	rows := a.cfg.Rows
 	for j := 0; j < a.cfg.Cols; j++ {
 		clean, byp := true, false
-		for i := 0; i < a.cfg.Rows; i++ {
+		base := j * rows
+		for i := 0; i < rows; i++ {
 			idx := i*a.cfg.Cols + j
 			if a.bypassed[idx] {
 				byp = true
 			} else if a.faulty[idx] {
 				clean = false
 			}
+			a.bypT[base+i] = a.bypassed[idx]
+			a.faultyT[base+i] = a.faulty[idx]
+			a.orT[base+i] = a.orMask[idx]
+			a.clearT[base+i] = a.clearMask[idx]
 		}
 		a.colClean[j] = clean
 		a.colBypassed[j] = byp
 	}
+	// Invalidate every compiled weight-tile view of this array.
+	a.gen.Add(1)
 }
+
+// SetDenseReference forces the pre-event-list dense scalar forward path,
+// which walks every PE of every column. It is kept as the bit-identity
+// reference for the sparse data plane: equivalence tests and the
+// Dense/Sparse benchmark pairs run the same Forward contract on both
+// paths. Production code never needs it.
+func (a *Array) SetDenseReference(on bool) { a.denseRef = on }
 
 // SpikeCount returns the internal spike counter of PE (row, col); zero if
 // counting is disabled.
@@ -271,11 +308,18 @@ func (a *Array) SpikeCount(row, col int) uint64 {
 // Matrix is a weight matrix pre-quantized to the array's fixed-point
 // format, shaped [M, K] row-major: M output neurons, K reduction inputs.
 // Weight w[m][k] is pre-stored in PE(k mod Rows, m mod Cols) for the tile
-// covering (k, m).
+// covering (k, m). Words must not be mutated after construction: Forward
+// caches compiled per-array views of them (see compile.go).
 type Matrix struct {
 	M, K   int
 	Words  []fixed.Word
 	Format fixed.Format
+
+	// Compiled per-array views (weight-fault forcing pre-applied,
+	// weights pre-dequantized for the analog path), keyed by array and
+	// validated against the array's fault-state generation.
+	mu    sync.Mutex
+	tiles map[*Array]*weightTiles
 }
 
 // QuantizeMatrix converts a float [M, K] weight tensor into a Matrix.
@@ -314,148 +358,11 @@ func (ps *passStats) mergeInto(s *Stats) {
 	}
 }
 
-// Forward computes Y = X · Wᵀ on the (possibly faulty) array: X is
-// [B, K] inputs, W is a quantized [M, K] matrix, and the result is a
-// float [B, M] tensor dequantized from the fixed-point column sums.
-//
-// If binary is true, X is treated as spikes: any non-zero entry gates the
-// weight into the accumulator (the paper's multiplier-less PE). If false,
-// each contribution is the quantized product w*x (used for the analog
-// encoder layer; same accumulator datapath, same fault exposure).
-//
-// The pass is parallelized across output columns on the array's engine:
-// each output word y[b][m] is still produced by one sequential chain of
-// columnPass accumulations in the serial order, so results (and all
-// statistics) are bit-identical on every engine. Concurrent Forward
-// calls on one Array are safe; statistics merge atomically.
-func (a *Array) Forward(x *tensor.Tensor, w *Matrix, binary bool) *tensor.Tensor {
-	if x.Rank() != 2 {
-		panic("systolic: Forward requires rank-2 input")
-	}
-	if x.Shape[1] != w.K {
-		panic(fmt.Sprintf("systolic: input K %d != weight K %d", x.Shape[1], w.K))
-	}
-	b := x.Shape[0]
-	y := tensor.New(b, w.M)
-	rows, cols := a.cfg.Rows, a.cfg.Cols
-	numKTiles := (w.K + rows - 1) / rows
-	numMTiles := (w.M + cols - 1) / cols
-	atomic.AddUint64(&a.stats.TilePasses, uint64(numKTiles*numMTiles))
-	atomic.AddUint64(&a.stats.MACCycles, uint64(numKTiles*numMTiles)*uint64(rows+cols+b-2))
-
-	format := w.Format
-	scale := float32(format.Scale())
-	a.engine().For(w.M, func(m0, m1 int) {
-		var ps passStats
-		for m := m0; m < m1; m++ {
-			j := m % cols
-			wrow := w.Words[m*w.K : (m+1)*w.K]
-			for bi := 0; bi < b; bi++ {
-				xrow := x.Data[bi*w.K : (bi+1)*w.K]
-				var total int64
-				for kt := 0; kt < numKTiles; kt++ {
-					k0 := kt * rows
-					k1 := k0 + rows
-					if k1 > w.K {
-						k1 = w.K
-					}
-					total += int64(a.columnPass(xrow[k0:k1], wrow[k0:k1], k0, j, binary, &ps))
-				}
-				y.Data[bi*w.M+m] = float32(total) * scale
-			}
-		}
-		ps.mergeInto(&a.stats)
-	})
-	return y
-}
-
-// columnPass streams one K-tile of one output column through the array and
-// returns the resulting partial sum word. k0 is the global k offset of the
-// tile (PE row for global index k is k mod Rows, which equals the local
-// index within a full tile). Datapath activity lands in ps, the calling
-// chunk's private accumulator.
-func (a *Array) columnPass(xs []float32, ws []fixed.Word, k0, col int, binary bool, ps *passStats) fixed.Word {
-	cols := a.cfg.Cols
-	format := a.cfg.Format
-
-	// Fast path: a fault-free, bypass-free column is a plain integer sum.
-	if a.colClean[col] && !a.colBypassed[col] {
-		var acc fixed.Word
-		if binary {
-			for i, xv := range xs {
-				if xv != 0 {
-					acc = a.add(acc, ws[i])
-				}
-			}
-			ps.accumulations += uint64(len(xs))
-			a.countSpikes(xs, k0, col)
-			return acc
-		}
-		for i, xv := range xs {
-			if xv != 0 {
-				acc = a.add(acc, format.Quantize(float64(xv)*format.Dequantize(ws[i])))
-			}
-		}
-		ps.accumulations += uint64(len(xs))
-		return acc
-	}
-
-	// Slow path: walk every PE in the column, applying bypass or stuck-bit
-	// forcing on the accumulator output register at each step.
-	var acc fixed.Word
-	for i, xv := range xs {
-		row := (k0 + i) % a.cfg.Rows
-		idx := row*cols + col
-		if a.bypassed[idx] {
-			ps.bypassedSteps++
-			continue // pre-sum routed around the PE unchanged
-		}
-		var add fixed.Word
-		if xv != 0 {
-			w := ws[i]
-			if a.wFaulty[idx] {
-				w = fixed.ForceBits(w, a.wOrMask[idx], a.wClearMask[idx])
-			}
-			if binary {
-				add = w
-			} else {
-				add = format.Quantize(float64(xv) * format.Dequantize(w))
-			}
-		}
-		acc = a.add(acc, add)
-		ps.accumulations++
-		if a.faulty[idx] {
-			acc = fixed.ForceBits(acc, a.orMask[idx], a.clearMask[idx])
-		}
-	}
-	if binary {
-		a.countSpikes(xs, k0, col)
-	}
-	return acc
-}
-
 func (a *Array) add(x, y fixed.Word) fixed.Word {
 	if a.cfg.Saturate {
 		return fixed.AddSat(x, y)
 	}
 	return fixed.AddWrap(x, y)
-}
-
-// countSpikes bumps the per-PE spike counters. Counters use atomic adds:
-// distinct output columns mapping onto the same PE column (m ≡ col mod
-// Cols) may be processed by different chunks concurrently, and integer
-// addition commutes, so totals stay exact and deterministic.
-func (a *Array) countSpikes(xs []float32, k0, col int) {
-	if a.spikeCount == nil {
-		return
-	}
-	cols := a.cfg.Cols
-	for i, xv := range xs {
-		if xv != 0 {
-			row := (k0 + i) % a.cfg.Rows
-			atomic.AddUint64(&a.spikeCount[row*cols+col], 1)
-		}
-	}
 }
 
 // PERowCol returns the PE coordinates that hold weight w[m][k] under the

@@ -174,57 +174,150 @@ func AvgPool2Backward(grad *Tensor, h, w int) *Tensor {
 // col2Im). Each output element is produced by exactly one kernel call and
 // accumulated in the same inner-loop order regardless of how rows are
 // partitioned, so any partition yields bit-identical results.
+//
+// Blocking scheme. The GEMM kernels are register-blocked over the j
+// (output column) dimension with a kk-panel loop:
+//
+//   - matMulRows / matMulTransARows (axpy-style, kk-outer): per output
+//     row, the nonzero kk positions (and their values) are collected once
+//     — spike inputs are mostly zeros, and the old per-element zero test
+//     cost a hard-to-predict branch per (kk, j) — then swept in panels of
+//     gemmPanelK events. Each panel updates the row in register blocks of
+//     gemmBlockJ columns, so b's panel rows stay cache-hot across the j
+//     sweep and each b element is multiplied against a register, not a
+//     memory-resident accumulator.
+//   - matMulTransBRows (dot-product style): both operands stream
+//     contiguously, so there is no panel to keep hot; it register-blocks
+//     four output columns per pass to amortize the arow loads fourfold.
+//
+// Bit-identity contract: for every output element the sequence of
+// floating-point additions is exactly the old scalar kernel's — kk
+// ascending, zero entries skipped where the old kernel skipped them (and
+// nowhere else). Register accumulators spill to dst between panels, which
+// is exact in float32. Any future SIMD backend must preserve the same
+// per-element accumulation order or switch the equivalence tests to
+// tolerance-based comparison (see README "Performance").
+
+const (
+	// gemmPanelK is the kk-panel length: the number of (nonzero) reduction
+	// steps applied to the whole output row before moving to the next
+	// panel. 128 panel rows of b at typical n keep the panel inside L2.
+	gemmPanelK = 128
+	// gemmBlockJ is the register-block width over output columns.
+	gemmBlockJ = 8
+)
+
+// gemmAxpyPanel computes crow[j] += Σ_t avs[t]·b[nz[t]][j] for one panel,
+// register-blocked over j. Spilling crow between panels is exact, and
+// within a panel each element accumulates in t (= kk) ascending order.
+func gemmAxpyPanel(crow []float32, nz []int32, avs []float32, bdata []float32, n int) {
+	j := 0
+	for ; j+gemmBlockJ <= n; j += gemmBlockJ {
+		c := crow[j : j+gemmBlockJ : j+gemmBlockJ]
+		c0, c1, c2, c3 := c[0], c[1], c[2], c[3]
+		c4, c5, c6, c7 := c[4], c[5], c[6], c[7]
+		for t, kk := range nz {
+			av := avs[t]
+			off := int(kk) * n
+			bp := bdata[off+j : off+j+gemmBlockJ : off+j+gemmBlockJ]
+			c0 += av * bp[0]
+			c1 += av * bp[1]
+			c2 += av * bp[2]
+			c3 += av * bp[3]
+			c4 += av * bp[4]
+			c5 += av * bp[5]
+			c6 += av * bp[6]
+			c7 += av * bp[7]
+		}
+		c[0], c[1], c[2], c[3] = c0, c1, c2, c3
+		c[4], c[5], c[6], c[7] = c4, c5, c6, c7
+	}
+	for ; j < n; j++ {
+		s := crow[j]
+		for t, kk := range nz {
+			s += avs[t] * bdata[int(kk)*n+j]
+		}
+		crow[j] = s
+	}
+}
 
 // matMulRows computes dst rows [r0, r1) of dst = a·b.
-// ikj loop order: stream b rows for cache locality.
 func matMulRows(dst, a, b *Tensor, k, n, r0, r1 int) {
+	nz := make([]int32, 0, k)
+	avs := make([]float32, 0, k)
 	for i := r0; i < r1; i++ {
 		arow := a.Data[i*k : (i+1)*k]
 		crow := dst.Data[i*n : (i+1)*n]
 		for j := range crow {
 			crow[j] = 0
 		}
-		for kk := 0; kk < k; kk++ {
-			av := arow[kk]
+		nz, avs = nz[:0], avs[:0]
+		for kk, av := range arow {
 			if av == 0 {
 				continue // spike inputs are mostly zero; skip dead rows
 			}
-			brow := b.Data[kk*n : (kk+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
+			nz = append(nz, int32(kk))
+			avs = append(avs, av)
+		}
+		for p := 0; p < len(nz); p += gemmPanelK {
+			q := min(p+gemmPanelK, len(nz))
+			gemmAxpyPanel(crow, nz[p:q], avs[p:q], b.Data, n)
 		}
 	}
 }
 
 // matMulTransARows computes dst rows [r0, r1) of dst = aᵀ·b for a [k,m].
 // For each output row i the reduction walks kk ascending, matching the
-// serial kk-outer accumulation order element for element.
+// serial kk-outer accumulation order element for element. Collecting the
+// nonzero (kk, value) pairs up front also turns a's strided column reads
+// into one pass instead of one per j-block.
 func matMulTransARows(dst, a, b *Tensor, m, k, n, r0, r1 int) {
+	nz := make([]int32, 0, k)
+	avs := make([]float32, 0, k)
 	for i := r0; i < r1; i++ {
 		crow := dst.Data[i*n : (i+1)*n]
 		for j := range crow {
 			crow[j] = 0
 		}
+		nz, avs = nz[:0], avs[:0]
 		for kk := 0; kk < k; kk++ {
 			av := a.Data[kk*m+i]
 			if av == 0 {
 				continue
 			}
-			brow := b.Data[kk*n : (kk+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
+			nz = append(nz, int32(kk))
+			avs = append(avs, av)
+		}
+		for p := 0; p < len(nz); p += gemmPanelK {
+			q := min(p+gemmPanelK, len(nz))
+			gemmAxpyPanel(crow, nz[p:q], avs[p:q], b.Data, n)
 		}
 	}
 }
 
-// matMulTransBRows computes dst rows [r0, r1) of dst = a·bᵀ.
+// matMulTransBRows computes dst rows [r0, r1) of dst = a·bᵀ. Zero entries
+// are NOT skipped (the old kernel didn't), so every element's addition
+// sequence is the full kk range, four dot products per arow sweep.
 func matMulTransBRows(dst, a, b *Tensor, k, n, r0, r1 int) {
 	for i := r0; i < r1; i++ {
 		arow := a.Data[i*k : (i+1)*k]
 		crow := dst.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := b.Data[j*k : (j+1)*k]
+			b1 := b.Data[(j+1)*k : (j+2)*k]
+			b2 := b.Data[(j+2)*k : (j+3)*k]
+			b3 := b.Data[(j+3)*k : (j+4)*k]
+			var s0, s1, s2, s3 float32
+			for kk, av := range arow {
+				s0 += av * b0[kk]
+				s1 += av * b1[kk]
+				s2 += av * b2[kk]
+				s3 += av * b3[kk]
+			}
+			crow[j], crow[j+1], crow[j+2], crow[j+3] = s0, s1, s2, s3
+		}
+		for ; j < n; j++ {
 			brow := b.Data[j*k : (j+1)*k]
 			var s float32
 			for kk, av := range arow {
