@@ -278,6 +278,43 @@ func BenchmarkSystolicForwardFaultyParallel(b *testing.B) {
 }
 func BenchmarkSystolicForwardBypassed(b *testing.B) { benchSystolicForward(b, true, true, nil) }
 
+// Memory bit-flip pair: weight-SRAM flips recompile the weight tiles
+// once per fault instance, after which Forward runs from the flipped
+// tiles — steady-state cost should track the stuck-at faulty path.
+func benchSystolicForwardBitFlip(b *testing.B, eng tensor.Backend) {
+	arr := newArray(b, 64)
+	arr.SetEngine(eng)
+	rates, err := faults.BitRates(faults.ProfileDecay, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := arr.InjectMemoryFaults(&faults.MemoryFaults{Seed: 21, BitRate: rates}); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	x := tensor.New(32, 256)
+	for i := range x.Data {
+		if rng.Float64() < 0.3 {
+			x.Data[i] = 1
+		}
+	}
+	w := tensor.New(64, 256)
+	w.RandNormal(rng, 0.5)
+	wm := systolic.QuantizeMatrix(w, fixed.Q16x16)
+	b.SetBytes(int64(32 * 256 * 64 * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arr.Forward(x, wm, true)
+	}
+}
+
+func BenchmarkSystolicForwardBitFlipSerial(b *testing.B) {
+	benchSystolicForwardBitFlip(b, tensor.Serial())
+}
+func BenchmarkSystolicForwardBitFlipParallel(b *testing.B) {
+	benchSystolicForwardBitFlip(b, tensor.NewParallel(0))
+}
+
 // Sparse vs Dense pairs: the event-list plane against the preserved
 // pre-change reference path, across spike densities. Sparse/Dense outputs
 // are bit-identical (see internal/systolic sparse_test.go); only the

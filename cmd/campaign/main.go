@@ -58,6 +58,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 
@@ -178,6 +179,12 @@ type config struct {
 	// Selftest campaign options.
 	trials  int
 	delayMS int
+
+	// Fault-model campaign options.
+	model     string
+	rates     string
+	timesteps int
+	density   float64
 }
 
 func addConfigFlags(fs *flag.FlagSet, c *config) {
@@ -207,6 +214,26 @@ func addConfigFlags(fs *flag.FlagSet, c *config) {
 	fs.IntVar(&c.baseEp, "base-epochs", ydef.BaseEpochs, "yield: baseline training epochs")
 	fs.IntVar(&c.trials, "trials", 24, "selftest: synthetic trial count")
 	fs.IntVar(&c.delayMS, "delay", 0, "selftest: artificial per-trial delay in ms (scheduling smoke tests)")
+	fs.StringVar(&c.model, "model", "", "faultmodel: fault model stuckat | bitflip | transient (\"\" = stuckat)")
+	fs.StringVar(&c.rates, "rates", "", "faultmodel: comma-separated rate ladder (\"\" = default)")
+	fs.IntVar(&c.timesteps, "timesteps", 0, "faultmodel: inference horizon per trial (0 = default)")
+	fs.Float64Var(&c.density, "density", 0, "faultmodel: input spike density (0 = default)")
+}
+
+// parseRates parses the -rates ladder ("0.01,0.05,0.1").
+func parseRates(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var rates []float64
+	for _, f := range strings.Split(s, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -rates entry %q", f)
+		}
+		rates = append(rates, r)
+	}
+	return rates, nil
 }
 
 // spec loads -spec or compiles the config flags into a Spec. The
@@ -228,6 +255,21 @@ func (c *config) spec() (*spec.Spec, error) {
 		}
 	case "selftest":
 		s.Selftest = &spec.SelftestSpec{Trials: c.trials, DelayMillis: c.delayMS}
+	case "faultmodel":
+		rates, err := parseRates(c.rates)
+		if err != nil {
+			return nil, err
+		}
+		s.FaultModel = &spec.FaultModelCampaignSpec{
+			Model:   spec.FaultModelSpec{Kind: c.model},
+			Array:   c.arrayN,
+			Rates:   rates,
+			Repeats: c.repeats,
+			// Batch stays at its documented default; the flag surface
+			// exposes the knobs sweeps actually vary.
+			Timesteps: c.timesteps,
+			Density:   c.density,
+		}
 	default:
 		s.Suite = &spec.SuiteSpec{
 			Quick: c.quick, Array: c.arrayN, Epochs: c.epochs,

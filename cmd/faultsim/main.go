@@ -1,7 +1,8 @@
-// Command faultsim explores stuck-at fault vulnerability of a systolic
-// SNN without any mitigation: sweep the stuck bit position, the number
-// of faulty PEs, or the array size, and report classification accuracy
-// (the paper's Fig. 5 family) for one dataset.
+// Command faultsim explores fault vulnerability of a systolic SNN
+// without any mitigation: sweep the stuck bit position, the number of
+// faulty PEs, the array size, or a pluggable fault model's rate ladder,
+// and report classification accuracy (the paper's Fig. 5 family) for
+// one dataset.
 //
 // The flags compile into a declarative experiment spec (internal/spec,
 // kind "faultsim"): -dump-spec prints it and -spec runs from a spec
@@ -14,6 +15,7 @@
 //	faultsim -sweep bits  -dataset mnist
 //	faultsim -sweep count -dataset nmnist -array 64
 //	faultsim -sweep size  -dataset mnist -faults 4
+//	faultsim -sweep model -model bitflip -dataset mnist
 package main
 
 import (
@@ -40,7 +42,8 @@ func main() {
 	var (
 		backend  = flag.String("backend", "", tensor.BackendFlagDoc)
 		dataset  = flag.String("dataset", def.Dataset, "mnist | nmnist | dvsgesture")
-		sweep    = flag.String("sweep", def.Sweep, "bits | count | size")
+		sweep    = flag.String("sweep", def.Sweep, "bits | count | size | model")
+		modelN   = flag.String("model", "", "fault model for -sweep model: "+strings.Join(faults.ModelNames(), " | "))
 		arrayN   = flag.Int("array", def.Array, "systolic array side for bits/count sweeps")
 		nFaults  = flag.Int("faults", def.Faults, "faulty PEs for bits/size sweeps")
 		repeats  = flag.Int("repeats", def.Repeats, "fault maps averaged per point")
@@ -81,6 +84,9 @@ func main() {
 				Repeats: *repeats, BaseEpochs: *baseEp, Train: *trainN, Test: *testN,
 			},
 		}
+		if *modelN != "" {
+			s.FaultSim.Model = &spec.FaultModelSpec{Kind: *modelN}
+		}
 	}
 	if *dumpSpec {
 		if err := s.Dump(os.Stdout); err != nil {
@@ -107,9 +113,23 @@ func run(s *spec.Spec) error {
 	// training, so misconfiguration fails in milliseconds.
 	sweep := strings.ToLower(f.Sweep)
 	switch sweep {
-	case "bits", "count", "size":
+	case "bits", "count", "size", "model":
 	default:
-		return fmt.Errorf("unknown sweep %q (want bits | count | size)", f.Sweep)
+		return fmt.Errorf("unknown sweep %q (want bits | count | size | model)", f.Sweep)
+	}
+	var fmodel faults.FaultModel
+	if sweep == "model" {
+		mspec := f.Model
+		if mspec == nil {
+			mspec = &spec.FaultModelSpec{}
+		}
+		if err := mspec.Validate(); err != nil {
+			return err
+		}
+		var err error
+		if fmodel, err = mspec.FaultModel(); err != nil {
+			return err
+		}
 	}
 	var mspec snn.ModelSpec
 	var gen func(datasets.Config) (*datasets.Dataset, error)
@@ -223,6 +243,24 @@ func run(s *spec.Spec) error {
 				return err
 			}
 			fmt.Printf("%-10d  %-8.3f\n", side*side, acc)
+		}
+	case "model":
+		arr, err := newArr(arrayN)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("model %s\n", fmodel.Name())
+		fmt.Printf("%-10s  %-8s\n", "rate", "accuracy")
+		for _, rate := range spec.DefaultFaultModelRates() {
+			var sum float64
+			for r := 0; r < repeats; r++ {
+				acc, err := core.EvaluateModelFaulty(model, arr, fmodel, rate, seed+int64(1e6*rate)+int64(r), ds.Test, core.EvalOptions{BatchSize: 32})
+				if err != nil {
+					return err
+				}
+				sum += acc
+			}
+			fmt.Printf("%-10g  %-8.3f\n", rate, sum/float64(repeats))
 		}
 	}
 	return nil

@@ -330,6 +330,27 @@ func EvaluateWeightFaultyOpts(model *snn.Model, arr *systolic.Array, fm *faults.
 	return acc, nil
 }
 
+// EvaluateModelFaulty measures deployed test accuracy under an
+// arbitrary pluggable fault model at one (rate, seed) cell — the
+// model-agnostic generalization of EvaluateFaulty. Any previous fault
+// state is cleared first, and all fault state is cleared on return, so
+// one array can sweep many (model × rate × seed) cells.
+func EvaluateModelFaulty(model *snn.Model, arr *systolic.Array, fm faults.FaultModel,
+	rate float64, seed int64, test []snn.Sample, opt EvalOptions) (float64, error) {
+	arr.ClearFaults()
+	if err := fm.Inject(arr, rate, seed); err != nil {
+		return 0, fmt.Errorf("core: inject %s faults: %w", fm.Name(), err)
+	}
+	arr.SetBypass(opt.Bypass)
+	restore := installEngine(arr, opt.Engine)
+	defer restore()
+	model.Net.Deploy(arr)
+	acc := snn.EvaluateWith(opt.Engine, model.Net, test, opt.BatchSize)
+	model.Net.Undeploy()
+	arr.ClearFaults()
+	return acc, nil
+}
+
 // TrainBaseline trains a freshly built model to its fault-free baseline
 // (the paper's initial-training stage) and returns test accuracy. It
 // runs on the process-default engine; use snn.Train directly for an

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"falvolt/internal/campaign"
+	"falvolt/internal/spec"
+	"falvolt/internal/tensor"
+)
+
+func faultModelTestSpec(kind string) spec.FaultModelCampaignSpec {
+	return spec.FaultModelCampaignSpec{
+		Model:     spec.FaultModelSpec{Kind: kind},
+		Array:     8,
+		Rates:     []float64{0.05, 0.2},
+		Repeats:   2,
+		Batch:     2,
+		Timesteps: 2,
+		Density:   0.3,
+	}
+}
+
+func TestFaultModelTrialsDeterministic(t *testing.T) {
+	cfg := faultModelTestSpec("bitflip").Defaulted()
+	a := FaultModelTrials(cfg, 42)
+	b := FaultModelTrials(cfg, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("trial enumeration is not deterministic")
+	}
+	if len(a) != len(cfg.Rates)*cfg.Repeats {
+		t.Fatalf("got %d trials, want %d", len(a), len(cfg.Rates)*cfg.Repeats)
+	}
+	seen := make(map[int64]bool)
+	for i, tr := range a {
+		if tr.ID != i {
+			t.Fatalf("trial %d has ID %d — IDs must be dense", i, tr.ID)
+		}
+		if seen[tr.Seed] {
+			t.Fatalf("trial %d reuses seed %d", i, tr.Seed)
+		}
+		seen[tr.Seed] = true
+	}
+}
+
+// TestFaultModelCampaignShardMergeBitIdentical: for every registered
+// fault model, a campaign split into 2 shards (separately checkpointed)
+// and merged produces byte-identical results — and an identical JSON
+// report — to the single-process run. This is the property the cluster
+// relies on to farm (model × rate × seed) grids across workers.
+func TestFaultModelCampaignShardMergeBitIdentical(t *testing.T) {
+	for _, kind := range []string{"stuckat", "bitflip", "transient"} {
+		t.Run(kind, func(t *testing.T) {
+			cfg := faultModelTestSpec(kind)
+			dir := t.TempDir()
+
+			whole, err := FaultModelCampaign(cfg, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rrWhole, err := campaign.Run(whole, campaign.Options{
+				Runner: campaign.PoolRunner{Engine: tensor.Serial()},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := campaign.MarshalResults(rrWhole.Results)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantRep, err := faultModelJSON(cfg.Defaulted(), rrWhole.Results)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var paths []string
+			for i := 0; i < 2; i++ {
+				c, err := FaultModelCampaign(cfg, 42)
+				if err != nil {
+					t.Fatal(err)
+				}
+				path := filepath.Join(dir, fmt.Sprintf("fm-shard%d.jsonl", i))
+				rr, err := campaign.Run(c, campaign.Options{
+					Shard:      campaign.Shard{Index: i, Count: 2},
+					Checkpoint: path,
+					Runner:     campaign.PoolRunner{Engine: tensor.NewParallel(2)},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !rr.Complete {
+					t.Fatalf("shard %d incomplete", i)
+				}
+				paths = append(paths, path)
+			}
+			_, merged, err := campaign.MergeFiles(paths...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := campaign.MarshalResults(merged)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("sharded+merged results differ from single-process run:\n--- merged ---\n%s\n--- single ---\n%s", got, want)
+			}
+			gotRep, err := faultModelJSON(cfg.Defaulted(), merged)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotRep, wantRep) {
+				t.Fatalf("merged report %+v != single-process report %+v", gotRep, wantRep)
+			}
+		})
+	}
+}
+
+// TestFaultModelCampaignCorruptsAtHighRate: sanity on the metric — a
+// clean model run reports zero corruption, and a saturating bit-flip
+// rate corrupts a nonzero output fraction. Guards against a campaign
+// that silently compares a faulty array to itself.
+func TestFaultModelCampaignCorruptsAtHighRate(t *testing.T) {
+	cfg := faultModelTestSpec("bitflip")
+	cfg.Rates = []float64{0, 0.5}
+	cam, err := FaultModelCampaign(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := campaign.Run(cam, campaign.Options{
+		Runner: campaign.PoolRunner{Engine: tensor.Serial()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := faultModelJSON(cfg.Defaulted(), rr.Results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Points[0].Corrupt != 0 {
+		t.Errorf("rate 0 corrupted %.4f of outputs, want 0", rep.Points[0].Corrupt)
+	}
+	if rep.Points[1].Corrupt == 0 {
+		t.Error("rate 0.5 bit-flips corrupted nothing — faulty path not exercised")
+	}
+}
+
+func TestFaultModelCampaignRejectsBadSpec(t *testing.T) {
+	bad := []spec.FaultModelCampaignSpec{
+		{Model: spec.FaultModelSpec{Kind: "cosmic"}, Rates: []float64{0.1}},
+		{Model: spec.FaultModelSpec{Kind: "bitflip"}, Rates: []float64{1.5}},
+		{Model: spec.FaultModelSpec{Kind: "bitflip"}, Rates: []float64{0.1}, Array: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := FaultModelCampaign(cfg, 1); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}

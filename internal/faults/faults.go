@@ -1,13 +1,3 @@
-// Package faults models permanent stuck-at faults in the processing
-// elements (PEs) of a systolic-array SNN accelerator and generates the
-// fault maps used throughout the paper's experiments.
-//
-// A fault map records, per faulty PE, which output bit of the PE's
-// accumulator register is stuck and at which polarity. In a real flow the
-// map comes from post-fabrication testing of each manufactured chip; here
-// it is generated pseudo-randomly (seeded, reproducible) or constructed
-// explicitly, and a software model of the post-fab scan test is provided
-// to show the map is recoverable from the faulty hardware alone.
 package faults
 
 import (

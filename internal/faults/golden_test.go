@@ -1,0 +1,128 @@
+package faults
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden fault maps")
+
+// goldenGenCases pins the realized fault map for representative
+// (seed, rate, GenSpec) cells. Generate's draws come from math/rand,
+// whose stream is part of Go's compatibility promise, so these maps
+// are stable across platforms — any drift here means previously
+// published campaign cells no longer reproduce.
+func goldenGenCases() []struct {
+	name string
+	seed int64
+	rate float64
+	spec GenSpec
+} {
+	return []struct {
+		name string
+		seed int64
+		rate float64
+		spec GenSpec
+	}{
+		{"msb-sa1-r10", 1, 0.10, GenSpec{BitMode: MSBBits, Pol: StuckAt1}},
+		{"msb-sa1-r25", 2, 0.25, GenSpec{BitMode: MSBBits, Pol: StuckAt1}},
+		{"randbit-randpol-r20", 3, 0.20, GenSpec{BitMode: RandomBit, PolMode: RandomPol}},
+		{"fixedbit30-sa0-r50", 4, 0.50, GenSpec{BitMode: FixedBit, Bit: 30, Pol: StuckAt0}},
+	}
+}
+
+func TestGenerateRateGoldenMaps(t *testing.T) {
+	for _, tc := range goldenGenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := GenerateRate(8, 8, tc.rate, tc.spec, rand.New(rand.NewSource(tc.seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.MarshalIndent(m, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", tc.name+".golden.json")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("fault map for (seed=%d rate=%g %+v) drifted from golden %s:\n%s",
+					tc.seed, tc.rate, tc.spec, path, got)
+			}
+		})
+	}
+}
+
+// TestGenerateShardInterleaveInvariant: realizing the golden cells in
+// any interleaved order yields the same per-cell maps — each cell's rng
+// is private to its seed, so shard scheduling cannot perturb results.
+func TestGenerateShardInterleaveInvariant(t *testing.T) {
+	cases := goldenGenCases()
+	realize := func(order []int) map[string]string {
+		out := make(map[string]string, len(cases))
+		for _, i := range order {
+			tc := cases[i]
+			m, err := GenerateRate(8, 8, tc.rate, tc.spec, rand.New(rand.NewSource(tc.seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := json.Marshal(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[tc.name] = string(b)
+		}
+		return out
+	}
+	want := realize([]int{0, 1, 2, 3})
+	for _, order := range [][]int{{3, 2, 1, 0}, {1, 3, 0, 2}} {
+		got := realize(order)
+		for name := range want {
+			if got[name] != want[name] {
+				t.Errorf("order %v: cell %s realized differently", order, name)
+			}
+		}
+	}
+}
+
+// TestGenerateRateRounding: the rate→count mapping is the documented
+// round-half-up, so a published rate names an exact fault count.
+func TestGenerateRateRounding(t *testing.T) {
+	for _, tc := range []struct {
+		rate float64
+		want int
+	}{
+		{0, 0}, {0.10, 6}, {0.25, 16}, {0.5, 32}, {1, 64},
+	} {
+		m, err := GenerateRate(8, 8, tc.rate, GenSpec{BitMode: MSBBits, Pol: StuckAt1}, rand.New(rand.NewSource(1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.NumFaultyPEs(); got != tc.want {
+			t.Errorf("rate %g on 8x8 placed %d PEs, want %d", tc.rate, got, tc.want)
+		}
+	}
+	if _, err := GenerateRate(8, 8, 1.5, GenSpec{}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("rate 1.5 should error")
+	}
+	if _, err := GenerateRate(8, 8, -0.1, GenSpec{}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("negative rate should error")
+	}
+}

@@ -1,0 +1,173 @@
+package faults
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"falvolt/internal/campaign"
+)
+
+// SpikeFI-style harness: every (model × rate × seed) campaign cell is
+// fully described by a deterministic, JSON-marshalable fault instance
+// (FaultModel.Describe). This file proves the property sharded
+// campaigns rest on — however the cell grid is split into interleaved
+// shards, in whatever order the shards run, the merged set of instance
+// descriptions is byte-identical to a single-process enumeration.
+
+// harnessCell is one cell of the (model × rate × seed) grid.
+type harnessCell struct {
+	id    int
+	model string
+	rate  float64
+	seed  int64
+}
+
+func harnessGrid() []harnessCell {
+	var cells []harnessCell
+	id := 0
+	for _, model := range ModelNames() {
+		for _, rate := range []float64{0.05, 0.2, 0.5} {
+			for rep := 0; rep < 3; rep++ {
+				cells = append(cells, harnessCell{
+					id: id, model: model, rate: rate, seed: 1000 + 7919*int64(id),
+				})
+				id++
+			}
+		}
+	}
+	return cells
+}
+
+// describeCell realizes one cell's fault instance as canonical JSON.
+func describeCell(t *testing.T, c harnessCell) []byte {
+	t.Helper()
+	m, err := ModelByName(c.model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := m.Describe(8, 8, c.rate, c.seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// mergeShards runs the grid split into n interleaved shards (executed
+// in the given shard order) and merges the per-cell descriptions back
+// into one id-ordered blob.
+func mergeShards(t *testing.T, cells []harnessCell, n int, order []int) []byte {
+	t.Helper()
+	byID := make(map[int][]byte, len(cells))
+	for _, shard := range order {
+		sh := campaign.Shard{Index: shard, Count: n}
+		if err := sh.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range cells {
+			if c.id%n != shard {
+				continue
+			}
+			byID[c.id] = describeCell(t, c)
+		}
+	}
+	var merged bytes.Buffer
+	for id := 0; id < len(cells); id++ {
+		b, ok := byID[id]
+		if !ok {
+			t.Fatalf("shard split %d dropped cell %d", n, id)
+		}
+		fmt.Fprintf(&merged, "%d\t%s\n", id, b)
+	}
+	return merged.Bytes()
+}
+
+// TestHarnessShardSplitsMergeByteIdentical: the same cells produce
+// byte-identical merged instance sets under every shard split and
+// execution order.
+func TestHarnessShardSplitsMergeByteIdentical(t *testing.T) {
+	cells := harnessGrid()
+	want := mergeShards(t, cells, 1, []int{0})
+	splits := []struct {
+		n     int
+		order []int
+	}{
+		{2, []int{0, 1}},
+		{2, []int{1, 0}},
+		{3, []int{2, 0, 1}},
+		{5, []int{4, 3, 2, 1, 0}},
+	}
+	for _, sp := range splits {
+		got := mergeShards(t, cells, sp.n, sp.order)
+		if !bytes.Equal(want, got) {
+			t.Errorf("shard split %d (order %v) merged differently from single-process run", sp.n, sp.order)
+		}
+	}
+}
+
+// TestHarnessCellsAddressable: each cell's description depends only on
+// its own (model, rate, seed) — distinct cells of one model realize
+// distinct instances, so a campaign's repeats genuinely resample.
+func TestHarnessCellsAddressable(t *testing.T) {
+	cells := harnessGrid()
+	seen := make(map[string]harnessCell)
+	for _, c := range cells {
+		key := c.model + "\x00" + string(describeCell(t, c))
+		if prev, dup := seen[key]; dup {
+			t.Errorf("cells %d and %d (model %s) realized identical instances", prev.id, c.id, c.model)
+		}
+		seen[key] = c
+	}
+}
+
+// TestHarnessSiteSweepReproducible: the exhaustive single-site sweep —
+// SpikeFI's unit experiment — enumerates, shards and reassembles
+// without loss, and every site's single-fault map round-trips through
+// JSON unchanged.
+func TestHarnessSiteSweepReproducible(t *testing.T) {
+	sites, err := EnumerateSites(4, 4, []uint{24, 31}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trials := make([]campaign.Trial, len(sites))
+	for i := range sites {
+		trials[i] = campaign.Trial{ID: i, Key: sites[i].Fault().String()}
+	}
+	var whole []string
+	for _, tr := range trials {
+		whole = append(whole, tr.Key)
+	}
+	for _, n := range []int{2, 4} {
+		got := make([]string, len(trials))
+		for idx := 0; idx < n; idx++ {
+			for _, tr := range (campaign.Shard{Index: idx, Count: n}).Of(trials) {
+				m, err := SiteMap(4, 4, sites[tr.ID])
+				if err != nil {
+					t.Fatal(err)
+				}
+				blob, err := json.Marshal(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var back Map
+				if err := json.Unmarshal(blob, &back); err != nil {
+					t.Fatal(err)
+				}
+				if len(back.Faults) != 1 || back.Faults[0] != sites[tr.ID].Fault() {
+					t.Fatalf("site %d did not round-trip: %+v", tr.ID, back)
+				}
+				got[tr.ID] = back.Faults[0].String()
+			}
+		}
+		for i := range whole {
+			if got[i] != whole[i] {
+				t.Fatalf("%d-shard sweep site %d = %q, want %q", n, i, got[i], whole[i])
+			}
+		}
+	}
+}

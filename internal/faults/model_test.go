@@ -1,0 +1,164 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fakeTarget records what a FaultModel injects — the lightweight Target
+// the seam was designed to admit.
+type fakeTarget struct {
+	rows, cols int
+	fm         *Map
+	mem        *MemoryFaults
+	ts         *TransientSchedule
+}
+
+func (f *fakeTarget) Dims() (int, int)                           { return f.rows, f.cols }
+func (f *fakeTarget) InjectFaults(m *Map) error                  { f.fm = m; return nil }
+func (f *fakeTarget) InjectMemoryFaults(m *MemoryFaults) error   { f.mem = m; return nil }
+func (f *fakeTarget) InjectTransient(s *TransientSchedule) error { f.ts = s; return nil }
+
+func TestModelByName(t *testing.T) {
+	for _, name := range append(ModelNames(), "") {
+		m, err := ModelByName(name)
+		if err != nil {
+			t.Fatalf("ModelByName(%q): %v", name, err)
+		}
+		want := name
+		if want == "" {
+			want = "stuckat"
+		}
+		if m.Name() != want {
+			t.Errorf("ModelByName(%q).Name() = %q", name, m.Name())
+		}
+	}
+	if _, err := ModelByName("cosmic"); err == nil {
+		t.Error("unknown model name should error")
+	}
+	names := ModelNames()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("ModelNames not sorted: %v", names)
+		}
+	}
+}
+
+// TestModelInjectMatchesDescribe: for every model, the instance Describe
+// reports is exactly what Inject installs — the property that lets the
+// harness reason about campaign cells without running them.
+func TestModelInjectMatchesDescribe(t *testing.T) {
+	models := []FaultModel{
+		StuckAtModel{Gen: GenSpec{BitMode: MSBBits, Pol: StuckAt1, PolMode: RandomPol}},
+		BitFlipModel{Profile: ProfileDecay},
+		BitFlipModel{Profile: ProfileMSB},
+		TransientModel{Gen: GenSpec{BitMode: RandomBit, PolMode: RandomPol}, Start: 2, MaxDuration: 3},
+	}
+	for _, m := range models {
+		for _, rate := range []float64{0, 0.1, 0.5, 1} {
+			tgt := &fakeTarget{rows: 8, cols: 8}
+			if err := m.Inject(tgt, rate, 77); err != nil {
+				t.Fatalf("%s rate %g: %v", m.Name(), rate, err)
+			}
+			desc, err := m.Describe(8, 8, rate, 77)
+			if err != nil {
+				t.Fatalf("%s rate %g describe: %v", m.Name(), rate, err)
+			}
+			var installed any
+			switch m.Name() {
+			case "stuckat":
+				if tgt.fm == nil || tgt.mem != nil || tgt.ts != nil {
+					t.Fatalf("stuckat injected wrong class: %+v", tgt)
+				}
+				installed = tgt.fm
+			case "bitflip":
+				if tgt.mem == nil || tgt.fm != nil || tgt.ts != nil {
+					t.Fatalf("bitflip injected wrong class: %+v", tgt)
+				}
+				installed = tgt.mem
+			case "transient":
+				if tgt.ts == nil || tgt.fm != nil || tgt.mem != nil {
+					t.Fatalf("transient injected wrong class: %+v", tgt)
+				}
+				installed = tgt.ts
+			}
+			if !reflect.DeepEqual(installed, desc) {
+				t.Errorf("%s rate %g: Inject installed %+v, Describe returned %+v",
+					m.Name(), rate, installed, desc)
+			}
+		}
+	}
+}
+
+// TestModelDescribeDeterministic: Describe is a pure function of
+// (rows, cols, rate, seed) — two calls agree, and different seeds
+// realize different instances (for rates that actually place faults).
+func TestModelDescribeDeterministic(t *testing.T) {
+	for _, name := range ModelNames() {
+		m, err := ModelByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := m.Describe(8, 8, 0.25, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := m.Describe(8, 8, 0.25, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: repeated Describe differs", name)
+		}
+		c, err := m.Describe(8, 8, 0.25, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reflect.DeepEqual(a, c) {
+			t.Errorf("%s: seeds 5 and 6 realized identical instances", name)
+		}
+	}
+}
+
+func TestModelRateValidation(t *testing.T) {
+	for _, name := range ModelNames() {
+		m, err := ModelByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tgt := &fakeTarget{rows: 4, cols: 4}
+		if err := m.Inject(tgt, 1.5, 1); err == nil {
+			t.Errorf("%s: rate 1.5 should error", name)
+		}
+		if err := m.Inject(tgt, -0.1, 1); err == nil {
+			t.Errorf("%s: negative rate should error", name)
+		}
+	}
+}
+
+// TestModelRateScaling: the PE-count models honor the rate axis as a
+// fraction of the grid.
+func TestModelRateScaling(t *testing.T) {
+	stuck := StuckAtModel{Gen: GenSpec{BitMode: MSBBits, Pol: StuckAt1}}
+	d, err := stuck.Describe(8, 8, 0.25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.(*Map).NumFaultyPEs(); got != 16 {
+		t.Errorf("stuckat rate 0.25 on 8x8 placed %d PEs, want 16", got)
+	}
+	trans := TransientModel{Gen: GenSpec{BitMode: MSBBits, Pol: StuckAt1}, Start: 1}
+	dt, err := trans.Describe(8, 8, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := dt.(*TransientSchedule)
+	if len(ts.Strikes) != 32 {
+		t.Errorf("transient rate 0.5 on 8x8 struck %d PEs, want 32", len(ts.Strikes))
+	}
+	for _, st := range ts.Strikes {
+		if st.Duration < 1 || st.Duration > DefaultMaxDuration {
+			t.Errorf("zero MaxDuration should default to %d, got duration %d", DefaultMaxDuration, st.Duration)
+		}
+	}
+}

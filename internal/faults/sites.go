@@ -1,0 +1,86 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+
+	"falvolt/internal/fixed"
+)
+
+// SpikeFI-style fault-site enumeration: a campaign that wants exhaustive
+// (or sampled-without-replacement) coverage of the stuck-at fault space
+// needs the universe of injectable sites in a deterministic order, so
+// that shard i of n over the sites is the same set of experiments on
+// every worker and every run.
+
+// Site is one injectable stuck-at fault site: (PE, bit, polarity).
+type Site struct {
+	Row, Col int
+	Bit      uint
+	Pol      Polarity
+}
+
+// Fault converts the site to its StuckAtFault.
+func (s Site) Fault() StuckAtFault {
+	return StuckAtFault{Row: s.Row, Col: s.Col, Bit: s.Bit, Pol: s.Pol}
+}
+
+// EnumerateSites returns every (PE × bit × polarity) site of a
+// rows x cols array in deterministic order: PEs row-major, then bits in
+// the order given, then polarities in the order given. Passing nil bits
+// selects all word bits ascending; nil pols selects {sa0, sa1}.
+func EnumerateSites(rows, cols int, bits []uint, pols []Polarity) ([]Site, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("faults: invalid grid %dx%d", rows, cols)
+	}
+	if bits == nil {
+		bits = make([]uint, fixed.WordBits)
+		for b := range bits {
+			bits[b] = uint(b)
+		}
+	}
+	for _, b := range bits {
+		if b >= fixed.WordBits {
+			return nil, fmt.Errorf("faults: bit %d outside %d-bit word", b, fixed.WordBits)
+		}
+	}
+	if pols == nil {
+		pols = []Polarity{StuckAt0, StuckAt1}
+	}
+	sites := make([]Site, 0, rows*cols*len(bits)*len(pols))
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			for _, b := range bits {
+				for _, p := range pols {
+					sites = append(sites, Site{Row: r, Col: c, Bit: b, Pol: p})
+				}
+			}
+		}
+	}
+	return sites, nil
+}
+
+// SampleSites draws n distinct sites from the list, seed-addressed:
+// the same (sites, n, seed) always selects the same subset in the same
+// order, on any machine or shard. It errors if n exceeds the universe.
+func SampleSites(sites []Site, n int, seed int64) ([]Site, error) {
+	if n < 0 || n > len(sites) {
+		return nil, fmt.Errorf("faults: cannot sample %d of %d sites", n, len(sites))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Site, 0, n)
+	for _, idx := range rng.Perm(len(sites))[:n] {
+		out = append(out, sites[idx])
+	}
+	return out, nil
+}
+
+// SiteMap builds the single-fault Map that injects exactly one site —
+// the unit of an exhaustive SpikeFI-style sweep.
+func SiteMap(rows, cols int, s Site) (*Map, error) {
+	m := NewMap(rows, cols)
+	if err := m.Add(s.Fault()); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

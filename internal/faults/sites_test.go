@@ -1,0 +1,147 @@
+package faults
+
+import (
+	"testing"
+
+	"falvolt/internal/fixed"
+)
+
+func TestEnumerateSitesUniverse(t *testing.T) {
+	sites, err := EnumerateSites(4, 3, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4 * 3 * int(fixed.WordBits) * 2
+	if len(sites) != want {
+		t.Fatalf("universe size %d, want %d", len(sites), want)
+	}
+	// Deterministic order: PEs row-major, bits ascending, sa0 before sa1.
+	if sites[0] != (Site{Row: 0, Col: 0, Bit: 0, Pol: StuckAt0}) {
+		t.Errorf("first site %+v", sites[0])
+	}
+	if sites[1] != (Site{Row: 0, Col: 0, Bit: 0, Pol: StuckAt1}) {
+		t.Errorf("second site %+v", sites[1])
+	}
+	last := sites[len(sites)-1]
+	if last != (Site{Row: 3, Col: 2, Bit: fixed.WordBits - 1, Pol: StuckAt1}) {
+		t.Errorf("last site %+v", last)
+	}
+	// Every site distinct.
+	seen := make(map[Site]bool, len(sites))
+	for _, s := range sites {
+		if seen[s] {
+			t.Fatalf("site %+v enumerated twice", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestEnumerateSitesRestricted(t *testing.T) {
+	sites, err := EnumerateSites(2, 2, []uint{31, 24}, []Polarity{StuckAt1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 2*2*2 {
+		t.Fatalf("restricted universe size %d, want 8", len(sites))
+	}
+	// Bit order is as given (31 before 24), polarity fixed.
+	if sites[0].Bit != 31 || sites[1].Bit != 24 || sites[0].Pol != StuckAt1 {
+		t.Errorf("restricted order wrong: %+v %+v", sites[0], sites[1])
+	}
+}
+
+func TestEnumerateSitesErrors(t *testing.T) {
+	if _, err := EnumerateSites(0, 4, nil, nil); err == nil {
+		t.Error("empty grid should error")
+	}
+	if _, err := EnumerateSites(2, 2, []uint{32}, nil); err == nil {
+		t.Error("bit 32 should error")
+	}
+}
+
+func TestSampleSitesSeedAddressed(t *testing.T) {
+	sites, err := EnumerateSites(8, 8, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := SampleSites(sites, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SampleSites(sites, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[Site]bool)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs under same seed: %+v vs %+v", i, a[i], b[i])
+		}
+		if seen[a[i]] {
+			t.Fatalf("site %+v sampled twice", a[i])
+		}
+		seen[a[i]] = true
+	}
+	c, err := SampleSites(sites, 50, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds drew identical samples")
+	}
+	if _, err := SampleSites(sites, len(sites)+1, 0); err == nil {
+		t.Error("oversampling should error")
+	}
+	if _, err := SampleSites(sites, -1, 0); err == nil {
+		t.Error("negative sample count should error")
+	}
+}
+
+func TestSiteMapSingleFault(t *testing.T) {
+	s := Site{Row: 2, Col: 3, Bit: 30, Pol: StuckAt1}
+	m, err := SiteMap(4, 4, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Faults) != 1 || m.Faults[0] != s.Fault() {
+		t.Errorf("SiteMap faults %+v, want exactly %+v", m.Faults, s.Fault())
+	}
+	if _, err := SiteMap(2, 2, s); err == nil {
+		t.Error("site outside grid should error")
+	}
+}
+
+// TestSiteShardsPartitionUniverse: interleaved index shards of the site
+// list form an exact partition — the property that lets an exhaustive
+// SpikeFI sweep split across workers with no site run twice or dropped.
+func TestSiteShardsPartitionUniverse(t *testing.T) {
+	sites, err := EnumerateSites(6, 5, []uint{24, 28, 31}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 3, 7} {
+		seen := make(map[Site]int)
+		for shard := 0; shard < n; shard++ {
+			for i, s := range sites {
+				if i%n == shard {
+					seen[s]++
+				}
+			}
+		}
+		if len(seen) != len(sites) {
+			t.Fatalf("%d shards covered %d of %d sites", n, len(seen), len(sites))
+		}
+		for s, c := range seen {
+			if c != 1 {
+				t.Fatalf("%d shards ran site %+v %d times", n, s, c)
+			}
+		}
+	}
+}

@@ -120,11 +120,15 @@ func (n *Network) ResetState() {
 }
 
 // Forward runs the network over its horizon and returns the mean firing
-// rate of the output layer, shaped [N, classes].
+// rate of the output layer, shaped [N, classes]. Each timestep is
+// announced to every deployed systolic array first, so transient
+// soft-error schedules strike and decay mid-inference at the right
+// steps (a no-op for arrays without time-dependent faults).
 func (n *Network) Forward(seq Sequence, train bool) *tensor.Tensor {
 	eng := n.Engine()
 	var rate *tensor.Tensor
 	for t := 0; t < n.T; t++ {
+		n.stepDeployments(t)
 		x := seq.At(t)
 		for _, l := range n.Layers {
 			x = l.Forward(x, train)
@@ -151,6 +155,34 @@ func (n *Network) Backward(gradRate *tensor.Tensor) {
 			g = n.Layers[i].Backward(g)
 		}
 	}
+}
+
+// stepDeployments advances every deployed systolic array to inference
+// timestep t. SetTimestep early-returns on arrays without a transient
+// schedule, so the per-timestep cost is a few pointer loads unless
+// time-dependent faults are actually injected.
+func (n *Network) stepDeployments(t int) {
+	for _, l := range n.Layers {
+		if g, ok := l.(GEMMWeighted); ok {
+			if d := g.Deployment(); d != nil {
+				d.Array.SetTimestep(t)
+			}
+		}
+	}
+}
+
+// timeFaulted reports whether any deployed array carries time-dependent
+// fault state. Evaluation must not share such an array across
+// concurrent replicas: each batch needs its own timestep sequence.
+func (n *Network) timeFaulted() bool {
+	for _, l := range n.Layers {
+		if g, ok := l.(GEMMWeighted); ok {
+			if d := g.Deployment(); d != nil && d.Array.TimeFaulted() {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // SpikingLayers returns the PLIF neuron layers in network order.

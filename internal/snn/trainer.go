@@ -217,7 +217,11 @@ func EvaluateWith(eng tensor.Backend, net *Network, samples []Sample, batchSize 
 		return correct
 	}
 
-	if eng.Workers() <= 1 || numBatches <= 1 {
+	// Inference replicas share deployed systolic arrays, which is fine
+	// for stateless fault classes but not for time-dependent ones: each
+	// batch must drive the array through its own timestep sequence, and
+	// concurrent SetTimestep calls would interleave. Serialize instead.
+	if eng.Workers() <= 1 || numBatches <= 1 || net.timeFaulted() {
 		correct := 0
 		for b := 0; b < numBatches; b++ {
 			correct += evalBatch(net, b)

@@ -1,0 +1,121 @@
+package spec_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"falvolt/internal/spec"
+
+	_ "falvolt/internal/core"
+	_ "falvolt/internal/experiments"
+)
+
+// Native fuzz targets for the decode surface: spec files arrive from
+// hand edits, cmd flags, cluster coordinators and checkpoint metadata,
+// so malformed input of any shape must produce an error, never a panic
+// — and whatever Decode does accept must round-trip stably. Seed
+// corpora live in testdata/fuzz; CI runs each target briefly on every
+// PR (the fuzz-smoke job) and `go test` replays the corpora always.
+
+// FuzzDecode: arbitrary bytes through the strict spec decoder. Accepted
+// specs must re-encode, re-decode, and fingerprint identically.
+func FuzzDecode(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(`{"version": 1, "kind": "selftest", "selftest": {"trials": 4}}`),
+		[]byte(`{"version": 1, "kind": "faultmodel", "faultModel": {"model": {"kind": "bitflip"}}}`),
+		[]byte(`{"version": 1, "kind": "faultmodel", "faultModel": {"model": {"kind": "transient", "strike": 2, "decay": 3}, "rates": [0.1]}}`),
+		[]byte(`{"version": 1, "kind": "faultsim", "faultsim": {"dataset": "mnist", "sweep": "model", "model": {"kind": "stuckat", "bit": 30}}}`),
+		[]byte(`{"version": 1, "kind": "faultmodel", "faultModel": {"model": {"bit": 99}}}`),
+		[]byte(`{"version": 99}`),
+		[]byte(`{"version": 1, "kind": "selftest"} trailing`),
+		[]byte(`not json at all`),
+		[]byte(``),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := spec.Decode(data)
+		if err != nil {
+			return // rejected is fine; panicking is the bug
+		}
+		enc, err := s.Encode()
+		if err != nil {
+			t.Fatalf("accepted spec failed to encode: %v", err)
+		}
+		back, err := spec.Decode(enc)
+		if err != nil {
+			t.Fatalf("accepted spec failed to re-decode its own encoding: %v\n%s", err, enc)
+		}
+		re, err := back.Encode()
+		if err != nil {
+			t.Fatalf("re-decoded spec failed to encode: %v", err)
+		}
+		if !bytes.Equal(enc, re) {
+			t.Fatalf("encode->decode->encode not stable:\n--- first ---\n%s--- second ---\n%s", enc, re)
+		}
+		fp1, err := s.Fingerprint()
+		if err != nil {
+			t.Fatalf("accepted spec failed to fingerprint: %v", err)
+		}
+		fp2, err := back.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp1 != fp2 {
+			t.Fatalf("fingerprint changed across round trip: %s vs %s", fp1, fp2)
+		}
+	})
+}
+
+// FuzzFaultModelSpec: arbitrary field combinations through the model
+// section's validator. Validate must never panic; whatever it accepts
+// must construct a working, deterministic FaultModel.
+func FuzzFaultModelSpec(f *testing.F) {
+	f.Add("stuckat", 30, "fixed", "sa1", "", "", 0, 0)
+	f.Add("bitflip", 0, "", "", "", "decay", 0, 0)
+	f.Add("bitflip", 0, "", "", "", "msb", 0, 0)
+	f.Add("transient", 0, "msb", "", "random", "", 2, 3)
+	f.Add("", 0, "", "", "", "", 0, 0)
+	f.Add("cosmic", -1, "lsb", "sa2", "alternating", "gaussian", -5, -5)
+	f.Add("stuckat", 32, "", "", "", "", 0, 0)
+	f.Fuzz(func(t *testing.T, kind string, bit int, bitMode, pol, polMode, profile string, strike, decay int) {
+		m := spec.FaultModelSpec{
+			Kind: kind, Bit: bit, BitMode: bitMode, Pol: pol, PolMode: polMode,
+			Profile: profile, Strike: strike, Decay: decay,
+		}
+		if err := m.Validate(); err != nil {
+			// Rejected specs must also be rejected by the constructor.
+			if _, err2 := m.FaultModel(); err2 == nil {
+				t.Fatalf("Validate rejected %+v but FaultModel accepted it", m)
+			}
+			return
+		}
+		model, err := m.FaultModel()
+		if err != nil {
+			t.Fatalf("validated spec %+v failed to construct: %v", m, err)
+		}
+		a, err := model.Describe(8, 8, 0.25, 42)
+		if err != nil {
+			t.Fatalf("constructed model %+v failed to describe: %v", m, err)
+		}
+		b, err := model.Describe(8, 8, 0.25, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ja, jb := mustJSON(t, a), mustJSON(t, b)
+		if !bytes.Equal(ja, jb) {
+			t.Fatalf("model %+v described nondeterministically:\n%s\n%s", m, ja, jb)
+		}
+	})
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -32,6 +32,8 @@ import (
 	"os"
 
 	"falvolt/internal/campaign"
+	"falvolt/internal/faults"
+	"falvolt/internal/fixed"
 )
 
 // Version is the current spec schema version. Decode rejects any other
@@ -79,6 +81,9 @@ type Spec struct {
 	Pipeline *PipelineSpec `json:"pipeline,omitempty"`
 	// FaultSim configures the unmitigated sweeps of cmd/faultsim.
 	FaultSim *FaultSimSpec `json:"faultsim,omitempty"`
+	// FaultModel configures the systolic-level fault-model
+	// characterization campaign (kind "faultmodel").
+	FaultModel *FaultModelCampaignSpec `json:"faultModel,omitempty"`
 }
 
 // SuiteSpec scales the experiment suite behind the figure campaigns.
@@ -170,8 +175,11 @@ type PipelineSpec struct {
 type FaultSimSpec struct {
 	// Dataset is "mnist", "nmnist" or "dvsgesture" ("" = "mnist").
 	Dataset string `json:"dataset,omitempty"`
-	// Sweep is "bits", "count" or "size" ("" = "bits").
+	// Sweep is "bits", "count", "size" or "model" ("" = "bits").
 	Sweep string `json:"sweep,omitempty"`
+	// Model selects the fault model for the "model" sweep (nil =
+	// default stuck-at). Other sweeps do not read it.
+	Model *FaultModelSpec `json:"model,omitempty"`
 	// Array is the array side for bits/count sweeps (0 = 64).
 	Array int `json:"array,omitempty"`
 	// Faults is the faulty-PE count for bits/size sweeps (0 = 16).
@@ -261,6 +269,241 @@ func (f FaultSimSpec) Defaulted() FaultSimSpec {
 	return f
 }
 
+// FaultModelSpec selects and configures one pluggable fault model
+// (faults.FaultModel) by name — the spec-level address of a fault
+// class, the way Backend addresses a compute engine. Fields are
+// literal, like every other section: the canonical form (and thus the
+// fingerprint) preserves exactly what was written, so two specs that
+// spell the same model differently (one relying on a default, one
+// spelling it out) are conservatively distinct experiments.
+//
+// Which knobs a kind reads is validated strictly — a profile on a
+// stuck-at model, or a strike timestep on a bit-flip model, is almost
+// certainly a mis-edited kind and fails loudly.
+type FaultModelSpec struct {
+	// Kind is the model: "stuckat", "bitflip" or "transient"
+	// ("" = "stuckat").
+	Kind string `json:"kind,omitempty"`
+	// Bit pins the affected bit position (stuckat/transient). Setting
+	// it implies BitMode "fixed"; combining it with another explicit
+	// BitMode is an error. To pin bit 0, spell out bitMode: "fixed".
+	Bit int `json:"bit,omitempty"`
+	// BitMode picks bit positions (stuckat/transient): "msb" (default,
+	// the paper's worst-case high-order bits), "fixed" or "random".
+	BitMode string `json:"bitMode,omitempty"`
+	// Pol is the forced polarity (stuckat/transient): "sa1" (default)
+	// or "sa0"; ignored — and rejected — when PolMode is "random".
+	Pol string `json:"pol,omitempty"`
+	// PolMode is "fixed" (default) or "random" (stuckat/transient).
+	PolMode string `json:"polMode,omitempty"`
+	// Profile shapes the per-bit SRAM flip rates (bitflip only):
+	// "decay" (default), "uniform" or "msb".
+	Profile string `json:"profile,omitempty"`
+	// Strike is the timestep the soft-error burst lands on (transient
+	// only; default 0).
+	Strike int `json:"strike,omitempty"`
+	// Decay bounds each strike's duration in timesteps (transient
+	// only; 0 = faults.DefaultMaxDuration).
+	Decay int `json:"decay,omitempty"`
+}
+
+// EffectiveKind resolves the model kind ("" = "stuckat").
+func (f FaultModelSpec) EffectiveKind() string {
+	if f.Kind == "" {
+		return "stuckat"
+	}
+	return f.Kind
+}
+
+// Validate checks the model selection: known kind, in-range bit, known
+// modes, and no knob that the kind would silently ignore.
+func (f FaultModelSpec) Validate() error {
+	kind := f.EffectiveKind()
+	switch kind {
+	case "stuckat", "bitflip", "transient":
+	default:
+		return fmt.Errorf("spec: unknown fault model kind %q (want stuckat, bitflip or transient)", f.Kind)
+	}
+	if f.Bit < 0 || f.Bit >= fixed.WordBits {
+		return fmt.Errorf("spec: fault model bit %d outside [0,%d)", f.Bit, fixed.WordBits)
+	}
+	switch f.BitMode {
+	case "", "fixed", "random", "msb":
+	default:
+		return fmt.Errorf("spec: unknown bitMode %q (want fixed, random or msb)", f.BitMode)
+	}
+	if f.Bit != 0 && f.BitMode != "" && f.BitMode != "fixed" {
+		return fmt.Errorf("spec: bit %d is ignored under bitMode %q — drop one", f.Bit, f.BitMode)
+	}
+	switch f.Pol {
+	case "", "sa0", "sa1":
+	default:
+		return fmt.Errorf("spec: unknown polarity %q (want sa0 or sa1)", f.Pol)
+	}
+	switch f.PolMode {
+	case "", "fixed", "random":
+	default:
+		return fmt.Errorf("spec: unknown polMode %q (want fixed or random)", f.PolMode)
+	}
+	if f.PolMode == "random" && f.Pol != "" {
+		return fmt.Errorf("spec: pol %q is ignored under polMode random — drop one", f.Pol)
+	}
+	if _, err := faults.ParseBitProfile(f.Profile); err != nil {
+		return fmt.Errorf("spec: %w", err)
+	}
+	if f.Strike < 0 {
+		return fmt.Errorf("spec: strike timestep %d negative", f.Strike)
+	}
+	if f.Decay < 0 {
+		return fmt.Errorf("spec: decay bound %d negative", f.Decay)
+	}
+	// Reject knobs the kind would silently ignore.
+	switch kind {
+	case "stuckat", "transient":
+		if f.Profile != "" {
+			return fmt.Errorf("spec: fault model %q does not use profile (bitflip only)", kind)
+		}
+		if kind == "stuckat" && (f.Strike != 0 || f.Decay != 0) {
+			return fmt.Errorf("spec: fault model stuckat does not use strike/decay (transient only)")
+		}
+	case "bitflip":
+		if f.Bit != 0 || f.BitMode != "" || f.Pol != "" || f.PolMode != "" {
+			return fmt.Errorf("spec: fault model bitflip does not use bit/bitMode/pol/polMode (its per-bit behaviour comes from profile)")
+		}
+		if f.Strike != 0 || f.Decay != 0 {
+			return fmt.Errorf("spec: fault model bitflip does not use strike/decay (transient only)")
+		}
+	}
+	return nil
+}
+
+// genSpec resolves the bit/polarity knobs into a faults.GenSpec.
+func (f FaultModelSpec) genSpec() faults.GenSpec {
+	gs := faults.GenSpec{Bit: uint(f.Bit)}
+	switch f.BitMode {
+	case "fixed":
+		gs.BitMode = faults.FixedBit
+	case "random":
+		gs.BitMode = faults.RandomBit
+	case "msb":
+		gs.BitMode = faults.MSBBits
+	default: // "" — fixed if a bit was pinned, the msb regime otherwise
+		if f.Bit != 0 {
+			gs.BitMode = faults.FixedBit
+		} else {
+			gs.BitMode = faults.MSBBits
+		}
+	}
+	switch {
+	case f.PolMode == "random":
+		gs.PolMode = faults.RandomPol
+	case f.Pol == "sa0":
+		gs.Pol = faults.StuckAt0
+	default: // "" or "sa1"
+		gs.Pol = faults.StuckAt1
+	}
+	return gs
+}
+
+// FaultModel validates the spec and constructs the configured
+// faults.FaultModel it addresses.
+func (f FaultModelSpec) FaultModel() (faults.FaultModel, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	switch f.EffectiveKind() {
+	case "bitflip":
+		profile, err := faults.ParseBitProfile(f.Profile)
+		if err != nil {
+			return nil, fmt.Errorf("spec: %w", err)
+		}
+		return faults.BitFlipModel{Profile: profile}, nil
+	case "transient":
+		return faults.TransientModel{Gen: f.genSpec(), Start: f.Strike, MaxDuration: f.Decay}, nil
+	}
+	return faults.StuckAtModel{Gen: f.genSpec()}, nil
+}
+
+// FaultModelCampaignSpec sizes the model-free fault-model
+// characterization campaign (kind "faultmodel"): every (rate × repeat)
+// cell injects the model into a systolic array at a seed-addressed
+// instance and measures output corruption against a clean twin over a
+// short spiking inference — no trained network needed, so the cluster
+// can grind large (model × rate × seed) grids cheaply.
+type FaultModelCampaignSpec struct {
+	// Model selects and configures the fault model under test.
+	Model FaultModelSpec `json:"model"`
+	// Array is the systolic array side (0 = 32).
+	Array int `json:"array,omitempty"`
+	// Rates is the severity axis (nil = the default ladder).
+	Rates []float64 `json:"rates,omitempty"`
+	// Repeats is the seed-addressed instances per rate (0 = 4).
+	Repeats int `json:"repeats,omitempty"`
+	// Batch is the input vectors per forward pass (0 = 8).
+	Batch int `json:"batch,omitempty"`
+	// Timesteps is the inference horizon each trial steps through —
+	// the axis transient strikes decay along (0 = 4).
+	Timesteps int `json:"timesteps,omitempty"`
+	// Density is the input spike density (0 = 0.3).
+	Density float64 `json:"density,omitempty"`
+}
+
+// DefaultFaultModelRates is the rate ladder a nil Rates resolves to.
+func DefaultFaultModelRates() []float64 {
+	return []float64{0.01, 0.02, 0.05, 0.1, 0.2}
+}
+
+// Defaulted returns a copy with every zero field replaced by its
+// documented default.
+func (f FaultModelCampaignSpec) Defaulted() FaultModelCampaignSpec {
+	def := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&f.Array, 32)
+	if f.Rates == nil {
+		f.Rates = DefaultFaultModelRates()
+	}
+	def(&f.Repeats, 4)
+	def(&f.Batch, 8)
+	def(&f.Timesteps, 4)
+	if f.Density == 0 {
+		f.Density = 0.3
+	}
+	return f
+}
+
+// Validate checks the campaign section: a valid model and in-range
+// sweep axes.
+func (f FaultModelCampaignSpec) Validate() error {
+	if err := f.Model.Validate(); err != nil {
+		return err
+	}
+	d := f.Defaulted()
+	if d.Array < 2 || d.Array > 1024 {
+		return fmt.Errorf("spec: faultModel array side %d outside [2,1024]", d.Array)
+	}
+	if len(d.Rates) == 0 {
+		return fmt.Errorf("spec: faultModel rates empty")
+	}
+	for _, r := range d.Rates {
+		if r < 0 || r > 1 {
+			return fmt.Errorf("spec: faultModel rate %v outside [0,1]", r)
+		}
+	}
+	if d.Repeats < 1 {
+		return fmt.Errorf("spec: faultModel repeats %d < 1", d.Repeats)
+	}
+	if d.Batch < 1 || d.Timesteps < 1 {
+		return fmt.Errorf("spec: faultModel batch %d / timesteps %d < 1", d.Batch, d.Timesteps)
+	}
+	if d.Density < 0 || d.Density > 1 {
+		return fmt.Errorf("spec: faultModel density %v outside [0,1]", d.Density)
+	}
+	return nil
+}
+
 // DefaultSeed is what a zero Spec.Seed resolves to, uniformly across
 // kinds.
 const DefaultSeed = 7
@@ -286,6 +529,8 @@ func sectionFor(kind string) string {
 		return "pipeline"
 	case "faultsim":
 		return "faultsim"
+	case "faultmodel":
+		return "faultModel"
 	}
 	return "suite"
 }
@@ -311,15 +556,29 @@ func (s *Spec) Validate() error {
 	}
 	want := sectionFor(s.Kind)
 	for name, present := range map[string]bool{
-		"suite":    s.Suite != nil,
-		"yield":    s.Yield != nil,
-		"selftest": s.Selftest != nil,
-		"pipeline": s.Pipeline != nil,
-		"faultsim": s.FaultSim != nil,
+		"suite":      s.Suite != nil,
+		"yield":      s.Yield != nil,
+		"selftest":   s.Selftest != nil,
+		"pipeline":   s.Pipeline != nil,
+		"faultsim":   s.FaultSim != nil,
+		"faultModel": s.FaultModel != nil,
 	} {
 		if present && name != want {
 			return fmt.Errorf("spec: kind %q does not use the %s section (it reads %s) — wrong kind or leftover section?",
 				s.Kind, name, want)
+		}
+	}
+	// Fault-model selections validate at the envelope so a bad model
+	// (unknown kind, out-of-range bit) is rejected at Decode time, not
+	// first at build/run time.
+	if s.FaultSim != nil && s.FaultSim.Model != nil {
+		if err := s.FaultSim.Model.Validate(); err != nil {
+			return err
+		}
+	}
+	if s.FaultModel != nil {
+		if err := s.FaultModel.Validate(); err != nil {
+			return err
 		}
 	}
 	return nil

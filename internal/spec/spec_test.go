@@ -3,6 +3,7 @@ package spec_test
 import (
 	"bytes"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -60,6 +61,14 @@ func representative() map[string]*spec.Spec {
 			FaultSim: &spec.FaultSimSpec{
 				Dataset: "mnist", Sweep: "bits", Array: 64, Faults: 16,
 				Repeats: 3, BaseEpochs: 12, Train: 320, Test: 128,
+			},
+		},
+		"faultmodel": {
+			Version: spec.Version, Kind: "faultmodel", Seed: 7,
+			FaultModel: &spec.FaultModelCampaignSpec{
+				Model: spec.FaultModelSpec{Kind: "bitflip", Profile: "decay"},
+				Array: 16, Rates: []float64{0.01, 0.05, 0.2}, Repeats: 2,
+				Batch: 4, Timesteps: 3, Density: 0.3,
 			},
 		},
 	}
@@ -297,6 +306,116 @@ func TestSelftestDelayIsResultNeutral(t *testing.T) {
 		Selftest: &spec.SelftestSpec{Trials: 8, DelayMillis: -1}}
 	if _, err := spec.Build(bad, spec.BuildOpts{}); err == nil || !strings.Contains(err.Error(), "delayMillis") {
 		t.Fatalf("negative delayMillis accepted: %v", err)
+	}
+}
+
+// TestFaultModelSpecValidation: the model-selection section rejects
+// unknown kinds, out-of-range bits, unknown modes, and any knob its
+// kind would silently ignore — at Decode time, since Spec.Validate
+// checks nested fault-model sections in the envelope.
+func TestFaultModelSpecValidation(t *testing.T) {
+	good := []spec.FaultModelSpec{
+		{},
+		{Kind: "stuckat", Bit: 30, Pol: "sa0"},
+		{Kind: "stuckat", BitMode: "random", PolMode: "random"},
+		{Kind: "bitflip"},
+		{Kind: "bitflip", Profile: "msb"},
+		{Kind: "transient", Strike: 2, Decay: 3},
+		{Kind: "transient", Bit: 24, Pol: "sa1"},
+	}
+	for _, f := range good {
+		if err := f.Validate(); err != nil {
+			t.Errorf("valid model %+v rejected: %v", f, err)
+		}
+		if _, err := f.FaultModel(); err != nil {
+			t.Errorf("valid model %+v failed to construct: %v", f, err)
+		}
+	}
+	bad := []struct {
+		f       spec.FaultModelSpec
+		wantErr string
+	}{
+		{spec.FaultModelSpec{Kind: "cosmic"}, "unknown fault model kind"},
+		{spec.FaultModelSpec{Bit: 32}, "outside [0,32)"},
+		{spec.FaultModelSpec{Bit: -1}, "outside [0,32)"},
+		{spec.FaultModelSpec{BitMode: "lsb"}, "unknown bitMode"},
+		{spec.FaultModelSpec{Bit: 5, BitMode: "msb"}, "drop one"},
+		{spec.FaultModelSpec{Pol: "sa2"}, "unknown polarity"},
+		{spec.FaultModelSpec{PolMode: "alternating"}, "unknown polMode"},
+		{spec.FaultModelSpec{PolMode: "random", Pol: "sa1"}, "drop one"},
+		{spec.FaultModelSpec{Kind: "bitflip", Profile: "gaussian"}, "unknown bit profile"},
+		{spec.FaultModelSpec{Strike: -1, Kind: "transient"}, "negative"},
+		{spec.FaultModelSpec{Decay: -1, Kind: "transient"}, "negative"},
+		{spec.FaultModelSpec{Kind: "stuckat", Profile: "decay"}, "does not use profile"},
+		{spec.FaultModelSpec{Kind: "stuckat", Strike: 1}, "does not use strike/decay"},
+		{spec.FaultModelSpec{Kind: "bitflip", Bit: 3}, "does not use bit"},
+		{spec.FaultModelSpec{Kind: "bitflip", Decay: 2}, "does not use strike/decay"},
+		{spec.FaultModelSpec{Kind: "transient", Profile: "uniform"}, "does not use profile"},
+	}
+	for _, tc := range bad {
+		err := tc.f.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("Validate(%+v) err = %v, want substring %q", tc.f, err, tc.wantErr)
+		}
+	}
+
+	// The envelope rejects a bad nested model at Decode time, for both
+	// the faultModel campaign section and faultsim's model field.
+	decodeBad := []string{
+		`{"version": 1, "kind": "faultmodel", "faultModel": {"model": {"kind": "cosmic"}}}`,
+		`{"version": 1, "kind": "faultmodel", "faultModel": {"model": {"bit": 99}}}`,
+		`{"version": 1, "kind": "faultsim", "faultsim": {"model": {"kind": "bitflip", "bit": 3}}}`,
+	}
+	for _, js := range decodeBad {
+		if _, err := spec.Decode([]byte(js)); err == nil {
+			t.Errorf("Decode accepted invalid fault model: %s", js)
+		}
+	}
+}
+
+// TestFaultModelFingerprintRoundTrip: for each model kind, the
+// encode -> decode -> encode round trip preserves the spec fingerprint,
+// and distinct model configurations fingerprint differently.
+func TestFaultModelFingerprintRoundTrip(t *testing.T) {
+	mk := func(m spec.FaultModelSpec) *spec.Spec {
+		return &spec.Spec{
+			Version: spec.Version, Kind: "faultmodel", Seed: 7,
+			FaultModel: &spec.FaultModelCampaignSpec{Model: m, Array: 16},
+		}
+	}
+	variants := []spec.FaultModelSpec{
+		{Kind: "stuckat"},
+		{Kind: "stuckat", Bit: 30},
+		{Kind: "bitflip", Profile: "decay"},
+		{Kind: "bitflip", Profile: "msb"},
+		{Kind: "transient", Strike: 1, Decay: 2},
+	}
+	prints := make(map[string]string)
+	for _, m := range variants {
+		s := mk(m)
+		want, err := s.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := s.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := spec.Decode(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dec.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("model %+v: fingerprint changed across encode/decode: %s vs %s", m, got, want)
+		}
+		if prev, dup := prints[want]; dup {
+			t.Errorf("models %s and %+v share fingerprint %s", prev, m, want)
+		}
+		prints[want] = fmt.Sprintf("%+v", m)
 	}
 }
 

@@ -5,17 +5,22 @@ import "falvolt/internal/fixed"
 // Compiled weight tiles: a per-array view of a Matrix with every
 // per-element branch of the old inner loop hoisted out of the hot path.
 //
-//   - Weight-register stuck bits (wOrMask/wClearMask) are force-applied
-//     once per compile instead of per accumulation, so the slow path
-//     never consults wFaulty.
+//   - Weight-SRAM bit-flips (faults.MemoryFaults) corrupt each stored
+//     word first — the SRAM returns the flipped word — so memory faults
+//     hit exactly what the accelerator stores, once per compile.
+//   - Weight-register stuck bits (wOrMask/wClearMask) are then
+//     force-applied once per compile instead of per accumulation, so
+//     the slow path never consults wFaulty.
 //   - For the analog path, the effective weights are pre-dequantized to
 //     float64, eliminating the Dequantize (Ldexp) call per element; the
 //     per-element Quantize stays, keeping results bit-identical.
 //
 // Views cache on the Matrix keyed by *Array and are validated against the
 // array's fault-state generation, so InjectFaults / InjectWeightFaults /
-// ClearFaults / SetBypass (all of which bump the generation via
-// refreshColumns) transparently recompile on the next Forward.
+// InjectMemoryFaults / InjectTransient / ClearFaults / SetBypass (all of
+// which bump the generation via refresh) transparently recompile on the
+// next Forward. SetTimestep does not bump it: transient strikes live on
+// accumulator outputs, so compiled weights stay valid across timesteps.
 
 // weightTiles is one compiled view of a Matrix on one Array.
 type weightTiles struct {
@@ -35,7 +40,7 @@ func (w *Matrix) tilesFor(a *Array, needDeq bool) *weightTiles {
 	t := w.tiles[a]
 	if t == nil || t.gen != gen {
 		t = &weightTiles{gen: gen, eff: w.Words}
-		if a.wmap != nil {
+		if a.wmap != nil || a.mem != nil {
 			t.eff = w.compileEffective(a)
 		}
 		if w.tiles == nil {
@@ -63,9 +68,12 @@ func (w *Matrix) tilesFor(a *Array, needDeq bool) *weightTiles {
 	return t
 }
 
-// compileEffective applies the array's weight-register stuck bits to every
-// word under the weight-stationary mapping: w[m][k] lives in
-// PE(k mod Rows, m mod Cols).
+// compileEffective applies the array's weight-path faults to every
+// stored word: first the SRAM's bit-flips (addressed by the word's flat
+// index m*K+k — what the memory actually stores), then the destination
+// PE's weight-register stuck bits under the weight-stationary mapping
+// (w[m][k] lives in PE(k mod Rows, m mod Cols)). The dense reference
+// path applies the same two corruptions per element in the same order.
 func (w *Matrix) compileEffective(a *Array) []fixed.Word {
 	rows, cols := a.cfg.Rows, a.cfg.Cols
 	eff := make([]fixed.Word, len(w.Words))
@@ -74,6 +82,9 @@ func (w *Matrix) compileEffective(a *Array) []fixed.Word {
 		src := w.Words[m*w.K : (m+1)*w.K]
 		dst := eff[m*w.K : (m+1)*w.K]
 		for k, wd := range src {
+			if a.mem != nil {
+				wd = a.mem.FlipWord(m*w.K+k, wd)
+			}
 			idx := (k%rows)*cols + col
 			if a.wFaulty[idx] {
 				wd = fixed.ForceBits(wd, a.wOrMask[idx], a.wClearMask[idx])

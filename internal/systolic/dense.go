@@ -7,12 +7,20 @@ import (
 	"falvolt/internal/tensor"
 )
 
-// This file preserves the pre-event-list dense forward path verbatim. It
-// walks every PE of every column and is the semantic reference the sparse
-// data plane (forward.go) must reproduce bit for bit — outputs, Stats and
-// per-PE spike counters alike. SetDenseReference(true) routes Forward
-// through it; the sparsity property tests and the Dense benchmark
-// variants are its callers.
+// This file preserves the pre-event-list dense forward path. It walks
+// every PE of every column and is the semantic reference the sparse
+// data plane (forward.go) must reproduce bit for bit — outputs, Stats
+// and per-PE spike counters alike. SetDenseReference(true) routes
+// Forward through it; the sparsity property tests and the Dense
+// benchmark variants are its callers.
+//
+// Weight-SRAM bit-flips are applied here per element as each word is
+// read (memWord), independently of the compiled-tile path that the
+// sparse plane precomputes — so the bit-identity property test checks
+// the compile-time application against a second implementation, not
+// against itself. Transient strikes need no code here at all: they ride
+// the effective orMask/clearMask/faulty state that SetTimestep
+// recomputes.
 
 // forwardDense computes y on the dense scalar path. The caller (Forward)
 // has already validated shapes, allocated y and charged TilePasses /
@@ -28,7 +36,8 @@ func (a *Array) forwardDense(x *tensor.Tensor, w *Matrix, y *tensor.Tensor, bina
 		var ps passStats
 		for m := m0; m < m1; m++ {
 			j := m % cols
-			wrow := w.Words[m*w.K : (m+1)*w.K]
+			wordBase := m * w.K
+			wrow := w.Words[wordBase : wordBase+w.K]
 			for bi := 0; bi < b; bi++ {
 				xrow := x.Data[bi*w.K : (bi+1)*w.K]
 				var total int64
@@ -38,7 +47,7 @@ func (a *Array) forwardDense(x *tensor.Tensor, w *Matrix, y *tensor.Tensor, bina
 					if k1 > w.K {
 						k1 = w.K
 					}
-					total += int64(a.columnPass(xrow[k0:k1], wrow[k0:k1], k0, j, binary, &ps))
+					total += int64(a.columnPass(xrow[k0:k1], wrow[k0:k1], k0, wordBase, j, binary, &ps))
 				}
 				y.Data[bi*w.M+m] = float32(total) * scale
 			}
@@ -47,22 +56,34 @@ func (a *Array) forwardDense(x *tensor.Tensor, w *Matrix, y *tensor.Tensor, bina
 	})
 }
 
+// memWord reads one stored weight word through the (optional) faulty
+// SRAM: idx is the word's flat index m*K+k in the stored matrix.
+func (a *Array) memWord(idx int, w fixed.Word) fixed.Word {
+	if a.mem == nil {
+		return w
+	}
+	return a.mem.FlipWord(idx, w)
+}
+
 // columnPass streams one K-tile of one output column through the array and
 // returns the resulting partial sum word. k0 is the global k offset of the
 // tile (PE row for global index k is k mod Rows, which equals the local
-// index within a full tile). Datapath activity lands in ps, the calling
-// chunk's private accumulator.
-func (a *Array) columnPass(xs []float32, ws []fixed.Word, k0, col int, binary bool, ps *passStats) fixed.Word {
+// index within a full tile); wordBase is the flat index of the row's first
+// stored word (m*K), so wordBase+k0+i addresses element i in the weight
+// SRAM. Datapath activity lands in ps, the calling chunk's private
+// accumulator.
+func (a *Array) columnPass(xs []float32, ws []fixed.Word, k0, wordBase, col int, binary bool, ps *passStats) fixed.Word {
 	cols := a.cfg.Cols
 	format := a.cfg.Format
 
 	// Fast path: a fault-free, bypass-free column is a plain integer sum.
+	// Memory flips still apply — the SRAM is faulty, not the column.
 	if a.colClean[col] && !a.colBypassed[col] {
 		var acc fixed.Word
 		if binary {
 			for i, xv := range xs {
 				if xv != 0 {
-					acc = a.add(acc, ws[i])
+					acc = a.add(acc, a.memWord(wordBase+k0+i, ws[i]))
 				}
 			}
 			ps.accumulations += uint64(len(xs))
@@ -71,7 +92,8 @@ func (a *Array) columnPass(xs []float32, ws []fixed.Word, k0, col int, binary bo
 		}
 		for i, xv := range xs {
 			if xv != 0 {
-				acc = a.add(acc, format.Quantize(float64(xv)*format.Dequantize(ws[i])))
+				w := a.memWord(wordBase+k0+i, ws[i])
+				acc = a.add(acc, format.Quantize(float64(xv)*format.Dequantize(w)))
 			}
 		}
 		ps.accumulations += uint64(len(xs))
@@ -79,7 +101,9 @@ func (a *Array) columnPass(xs []float32, ws []fixed.Word, k0, col int, binary bo
 	}
 
 	// Slow path: walk every PE in the column, applying bypass or stuck-bit
-	// forcing on the accumulator output register at each step.
+	// forcing on the accumulator output register at each step. Per word,
+	// the SRAM flip comes first, then the weight-register stuck bits —
+	// the same order compileEffective bakes into the sparse plane's tiles.
 	var acc fixed.Word
 	for i, xv := range xs {
 		row := (k0 + i) % a.cfg.Rows
@@ -90,7 +114,7 @@ func (a *Array) columnPass(xs []float32, ws []fixed.Word, k0, col int, binary bo
 		}
 		var add fixed.Word
 		if xv != 0 {
-			w := ws[i]
+			w := a.memWord(wordBase+k0+i, ws[i])
 			if a.wFaulty[idx] {
 				w = fixed.ForceBits(w, a.wOrMask[idx], a.wClearMask[idx])
 			}

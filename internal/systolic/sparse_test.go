@@ -45,6 +45,7 @@ func TestSparseForwardMatchesDenseReference(t *testing.T) {
 	type scenario struct {
 		name           string
 		faults, wfault bool
+		mem, trans     bool
 		bypass         bool
 	}
 	scenarios := []scenario{
@@ -53,6 +54,11 @@ func TestSparseForwardMatchesDenseReference(t *testing.T) {
 		{name: "weight-faulty", wfault: true},
 		{name: "bypassed", faults: true, bypass: true},
 		{name: "mixed-bypassed", faults: true, wfault: true, bypass: true},
+		{name: "mem-bitflip", mem: true},
+		{name: "mem-bitflip-pe-faulty", mem: true, faults: true},
+		{name: "transient", trans: true},
+		{name: "transient-bitflip", trans: true, mem: true},
+		{name: "everything-bypassed", faults: true, wfault: true, mem: true, trans: true, bypass: true},
 	}
 	shapes := []struct{ rows, cols, b, k, m int }{
 		{8, 8, 3, 19, 13},    // ragged K and M tiles
@@ -81,6 +87,24 @@ func TestSparseForwardMatchesDenseReference(t *testing.T) {
 					t.Fatal(err)
 				}
 			}
+			var mem *faults.MemoryFaults
+			if sc.mem {
+				rates, err := faults.BitRates(faults.ProfileUniform, 0.03)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mem = &faults.MemoryFaults{Seed: 99, BitRate: rates}
+			}
+			var ts *faults.TransientSchedule
+			if sc.trans {
+				ts, err = faults.GenerateTransient(sh.rows, sh.cols, faults.TransientSpec{
+					Strikes: sh.rows * sh.cols / 4, BitMode: faults.MSBBits, Pol: faults.StuckAt1,
+					Start: 1, MaxDuration: 2, PolMode: faults.RandomPol,
+				}, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
 			w := tensor.New(sh.m, sh.k)
 			w.RandNormal(rng, 0.5)
 			for _, sat := range []bool{true, false} {
@@ -102,6 +126,19 @@ func TestSparseForwardMatchesDenseReference(t *testing.T) {
 							if err := a.InjectWeightFaults(wfm); err != nil {
 								t.Fatal(err)
 							}
+						}
+						if mem != nil {
+							if err := a.InjectMemoryFaults(mem); err != nil {
+								t.Fatal(err)
+							}
+						}
+						if ts != nil {
+							if err := a.InjectTransient(ts); err != nil {
+								t.Fatal(err)
+							}
+							// Land inside the strike window so the transient
+							// masks are live during the identity check.
+							a.SetTimestep(1)
 						}
 						a.SetBypass(sc.bypass)
 						a.SetDenseReference(dense)
@@ -169,6 +206,18 @@ func TestCompiledTilesRecompileOnFaultChange(t *testing.T) {
 		assertForwardIdentical(t, label+" binary", sparse, dense, x, wm, true)
 		assertForwardIdentical(t, label+" analog", sparse, dense, analog, wm, false)
 	}
+	rates, err := faults.BitRates(faults.ProfileDecay, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := &faults.MemoryFaults{Seed: 3, BitRate: rates}
+	ts, err := faults.GenerateTransient(rows, cols, faults.TransientSpec{
+		Strikes: 10, BitMode: faults.MSBBits, Pol: faults.StuckAt1, Start: 1, MaxDuration: 2,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	step("clean", func(a *Array) {})
 	step("inject-acc", func(a *Array) {
 		if err := a.InjectFaults(fm); err != nil {
@@ -182,5 +231,91 @@ func TestCompiledTilesRecompileOnFaultChange(t *testing.T) {
 	})
 	step("bypass-on", func(a *Array) { a.SetBypass(true) })
 	step("bypass-off", func(a *Array) { a.SetBypass(false) })
+	step("inject-mem", func(a *Array) {
+		if err := a.InjectMemoryFaults(mem); err != nil {
+			t.Fatal(err)
+		}
+	})
+	step("swap-mem", func(a *Array) {
+		if err := a.InjectMemoryFaults(&faults.MemoryFaults{Seed: 4, BitRate: rates}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	step("inject-transient", func(a *Array) {
+		if err := a.InjectTransient(ts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	step("timestep-strike", func(a *Array) { a.SetTimestep(1) })
+	step("timestep-decayed", func(a *Array) { a.SetTimestep(ts.Horizon()) })
 	step("clear", func(a *Array) { a.ClearFaults() })
+}
+
+// TestTransientTimestepSweep drives an array with a soft-error schedule
+// through every timestep from before the burst to past its horizon,
+// asserting at each step that (1) sparse matches the dense reference bit
+// for bit, (2) steps outside every strike window reproduce the clean
+// output exactly, and (3) steps inside the burst corrupt it. It also
+// pins the SetTimestep contract: advancing time never recompiles weight
+// tiles, while every true fault mutation does.
+func TestTransientTimestepSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const rows, cols, b, k, m = 8, 8, 4, 20, 11
+	w := tensor.New(m, k)
+	w.RandNormal(rng, 0.5)
+	wm := QuantizeMatrix(w, fixed.Q16x16)
+	x := randSpikeInput(rng, b, k, 0.5)
+
+	// MSB strikes landing at t=2, decaying within 3 steps.
+	ts, err := faults.GenerateTransient(rows, cols, faults.TransientSpec{
+		Strikes: 16, BitMode: faults.MSBBits, Pol: faults.StuckAt1, Start: 2, MaxDuration: 3,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.ActiveCount(2) != 16 {
+		t.Fatalf("burst at t=2 has %d active strikes, want 16", ts.ActiveCount(2))
+	}
+
+	sparse := newTestArray(t, rows, cols, tensor.Serial(), nil, nil, false, true)
+	dense := newTestArray(t, rows, cols, tensor.Serial(), nil, nil, false, true)
+	dense.SetDenseReference(true)
+	baseline := newTestArray(t, rows, cols, tensor.Serial(), nil, nil, false, false)
+	clean := baseline.Forward(x, wm, true)
+
+	for _, a := range []*Array{sparse, dense} {
+		if err := a.InjectTransient(ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	genBefore := sparse.gen.Load()
+	for step := 0; step <= ts.Horizon()+1; step++ {
+		sparse.SetTimestep(step)
+		dense.SetTimestep(step)
+		label := fmt.Sprintf("t=%d", step)
+		got := sparse.Forward(x, wm, true)
+		want := dense.Forward(x, wm, true)
+		same := true
+		for i := range want.Data {
+			if math.Float32bits(want.Data[i]) != math.Float32bits(got.Data[i]) {
+				t.Fatalf("%s: sparse y[%d] = %v, dense reference %v", label, i, got.Data[i], want.Data[i])
+			}
+			if math.Float32bits(clean.Data[i]) != math.Float32bits(got.Data[i]) {
+				same = false
+			}
+		}
+		if sparse.Stats() != dense.Stats() {
+			t.Fatalf("%s: stats %+v, want %+v", label, sparse.Stats(), dense.Stats())
+		}
+		if active := ts.ActiveCount(step) > 0; active == same {
+			t.Fatalf("%s: %d active strikes but output unchanged=%v", label, ts.ActiveCount(step), same)
+		}
+	}
+	if gen := sparse.gen.Load(); gen != genBefore {
+		t.Fatalf("SetTimestep sweep bumped tile generation %d -> %d; timestep advances must not recompile weights", genBefore, gen)
+	}
+	sparse.ClearFaults()
+	if gen := sparse.gen.Load(); gen == genBefore {
+		t.Fatal("ClearFaults did not bump tile generation")
+	}
 }

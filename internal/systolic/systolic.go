@@ -46,16 +46,28 @@ func DefaultConfig() Config {
 	return Config{Rows: 256, Cols: 256, Format: fixed.Q16x16, Saturate: true}
 }
 
-// Array is a systolic accelerator with an optional injected fault map.
+// Array is a systolic accelerator with optional injected faults: a
+// permanent stuck-at map, weight-SRAM bit-flips, and/or a transient
+// soft-error schedule (see the faults package for the three models).
 // The zero value is not usable; construct with New.
 type Array struct {
 	cfg Config
 
-	// Per-PE accumulator fault state, indexed row*Cols+col.
-	orMask    []uint32 // bits forced high
-	clearMask []uint32 // bits forced low
-	faulty    []bool   // any stuck bit on this PE (either register)
-	bypassed  []bool   // faulty PE with bypass mux engaged
+	// Permanent accumulator stuck bits (from the injected fault map),
+	// indexed row*Cols+col.
+	pOr    []uint32
+	pClear []uint32
+
+	// EFFECTIVE per-PE accumulator fault state at the current timestep:
+	// the permanent bits plus any transient strikes active right now.
+	// All datapath loops (dense and sparse) read only these.
+	orMask     []uint32 // bits forced high
+	clearMask  []uint32 // bits forced low
+	faulty     []bool   // any effective stuck bit on this PE (either register)
+	permFaulty []bool   // any permanent stuck bit (either register)
+	bypassed   []bool   // permanently faulty PE with bypass mux engaged;
+	// transient upsets are invisible to post-fab testing, so the bypass
+	// mux can never be programmed around them
 
 	// Per-PE weight-register fault state: stuck bits in the pre-stored
 	// filter word rather than the accumulator output. An extension to the
@@ -67,6 +79,18 @@ type Array struct {
 	bypassOn bool
 	fmap     *faults.Map
 	wmap     *faults.Map
+
+	// Weight-SRAM bit-flips (faults.BitFlipModel): applied to stored
+	// words on the compiled-tile path (compile.go) and per element on
+	// the dense reference path.
+	mem *faults.MemoryFaults
+
+	// Transient soft-error schedule (faults.TransientModel) and the
+	// current inference timestep it is evaluated at; tOr/tClear are the
+	// scratch masks ActiveMasks fills on each SetTimestep.
+	transient   *faults.TransientSchedule
+	step        int
+	tOr, tClear []uint32
 
 	// Per-column summaries for inner-loop fast paths.
 	colClean    []bool // no faulty, non-bypassed PE in column
@@ -82,7 +106,10 @@ type Array struct {
 	clearT  []uint32
 
 	// gen counts fault-state changes (InjectFaults, InjectWeightFaults,
-	// ClearFaults, SetBypass). Compiled weight tiles cache against it.
+	// InjectMemoryFaults, InjectTransient, ClearFaults, SetBypass).
+	// Compiled weight tiles cache against it. SetTimestep deliberately
+	// does NOT bump it: transient strikes hit accumulator outputs only,
+	// never the stored weights, so tiles stay valid across timesteps.
 	gen atomic.Uint64
 
 	// denseRef forces the pre-event-list scalar forward path; see
@@ -120,9 +147,12 @@ func New(cfg Config) (*Array, error) {
 	n := cfg.Rows * cfg.Cols
 	a := &Array{
 		cfg:         cfg,
+		pOr:         make([]uint32, n),
+		pClear:      make([]uint32, n),
 		orMask:      make([]uint32, n),
 		clearMask:   make([]uint32, n),
 		faulty:      make([]bool, n),
+		permFaulty:  make([]bool, n),
 		bypassed:    make([]bool, n),
 		wOrMask:     make([]uint32, n),
 		wClearMask:  make([]uint32, n),
@@ -137,9 +167,12 @@ func New(cfg Config) (*Array, error) {
 	if cfg.CountSpikes {
 		a.spikeCount = make([]uint64, n)
 	}
-	a.refreshColumns()
+	a.refresh()
 	return a, nil
 }
+
+// Array satisfies the model-driven injection surface.
+var _ faults.Target = (*Array)(nil)
 
 // MustNew is New but panics on error; for tests and examples.
 func MustNew(cfg Config) *Array {
@@ -198,13 +231,9 @@ func (a *Array) InjectFaults(m *faults.Map) error {
 	}
 	a.fmap = m.Clone()
 	or, clear := m.Masks()
-	copy(a.orMask, or)
-	copy(a.clearMask, clear)
-	for i := range a.faulty {
-		a.faulty[i] = or[i] != 0 || clear[i] != 0 || a.wFaulty[i]
-	}
-	a.applyBypassFlags()
-	a.refreshColumns()
+	copy(a.pOr, or)
+	copy(a.pClear, clear)
+	a.refresh()
 	return nil
 }
 
@@ -223,28 +252,105 @@ func (a *Array) InjectWeightFaults(m *faults.Map) error {
 	copy(a.wClearMask, clear)
 	for i := range a.wFaulty {
 		a.wFaulty[i] = or[i] != 0 || clear[i] != 0
-		if a.wFaulty[i] {
-			a.faulty[i] = true
-		}
 	}
-	a.applyBypassFlags()
-	a.refreshColumns()
+	a.refresh()
 	return nil
 }
 
 // WeightFaultMap returns the injected weight-register fault map, if any.
 func (a *Array) WeightFaultMap() *faults.Map { return a.wmap }
 
-// ClearFaults removes all faults (both registers) and disengages bypass.
+// InjectMemoryFaults installs weight-SRAM bit-flips: every stored
+// weight word is read through the instance's per-(word, bit) flip
+// decisions. Flips are applied where the accelerator actually stores
+// weights — the compiled-tile path (and per element on the dense
+// reference path) — replacing any previous memory faults. Other fault
+// classes are kept; use ClearFaults to remove everything.
+func (a *Array) InjectMemoryFaults(m *faults.MemoryFaults) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	a.mem = m.Clone()
+	a.refresh()
+	return nil
+}
+
+// MemoryFaults returns the injected weight-SRAM flip instance, if any.
+func (a *Array) MemoryFaults() *faults.MemoryFaults { return a.mem }
+
+// InjectTransient installs a soft-error strike schedule and rewinds the
+// array to timestep 0. Strikes corrupt accumulator outputs only while
+// active at the current timestep (see SetTimestep); they are not
+// bypassable — post-fab testing cannot see them, so the bypass mux is
+// never programmed around them. The schedule's dimensions must match
+// the array. Other fault classes are kept; ClearFaults removes all.
+func (a *Array) InjectTransient(s *faults.TransientSchedule) error {
+	if s.Rows != a.cfg.Rows || s.Cols != a.cfg.Cols {
+		return fmt.Errorf("systolic: transient schedule %dx%d does not match array %dx%d",
+			s.Rows, s.Cols, a.cfg.Rows, a.cfg.Cols)
+	}
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	a.transient = s.Clone()
+	a.step = 0
+	if a.tOr == nil {
+		n := a.cfg.Rows * a.cfg.Cols
+		a.tOr = make([]uint32, n)
+		a.tClear = make([]uint32, n)
+	}
+	a.refresh()
+	return nil
+}
+
+// Transient returns the injected soft-error schedule, if any.
+func (a *Array) Transient() *faults.TransientSchedule { return a.transient }
+
+// TimeFaulted reports whether the array carries time-dependent fault
+// state, i.e. Forward results depend on SetTimestep. Callers that share
+// one array across concurrent evaluations must serialize when this is
+// true (snn.EvaluateWith does).
+func (a *Array) TimeFaulted() bool { return a.transient != nil }
+
+// SetTimestep advances the array to inference timestep t, activating
+// and decaying transient strikes. Without a transient schedule it is a
+// no-op, so per-timestep callers (snn.Network.Forward) pay nothing in
+// the common case. It never invalidates compiled weight tiles:
+// transient upsets live on accumulator outputs, not in stored weights.
+func (a *Array) SetTimestep(t int) {
+	if a.transient == nil {
+		return
+	}
+	if t < 0 {
+		t = 0
+	}
+	if t == a.step {
+		return
+	}
+	a.step = t
+	a.refreshState()
+}
+
+// Timestep returns the timestep the array is currently configured for.
+func (a *Array) Timestep() int { return a.step }
+
+// Dims returns the PE grid extent (the faults.Target surface).
+func (a *Array) Dims() (rows, cols int) { return a.cfg.Rows, a.cfg.Cols }
+
+// ClearFaults removes all fault state — stuck-at maps in both
+// registers, memory flips, transient schedules — and disengages bypass.
 func (a *Array) ClearFaults() {
 	for i := range a.faulty {
-		a.orMask[i], a.clearMask[i] = 0, 0
+		a.pOr[i], a.pClear[i] = 0, 0
 		a.wOrMask[i], a.wClearMask[i] = 0, 0
-		a.faulty[i], a.bypassed[i], a.wFaulty[i] = false, false, false
+		a.wFaulty[i] = false
 	}
 	a.fmap = nil
 	a.wmap = nil
-	a.refreshColumns()
+	a.mem = nil
+	a.transient = nil
+	a.step = 0
+	a.refresh()
 }
 
 // SetBypass engages (or disengages) the bypass multiplexer on every faulty
@@ -252,26 +358,39 @@ func (a *Array) ClearFaults() {
 // corrupt the passing partial sum.
 func (a *Array) SetBypass(on bool) {
 	a.bypassOn = on
-	a.applyBypassFlags()
-	a.refreshColumns()
+	a.refresh()
 }
 
 // BypassEnabled reports whether faulty PEs are currently bypassed.
 func (a *Array) BypassEnabled() bool { return a.bypassOn }
 
-func (a *Array) applyBypassFlags() {
-	for i, f := range a.faulty {
-		a.bypassed[i] = f && a.bypassOn
+// refreshState recomputes the effective per-PE fault state (permanent
+// masks plus transient strikes active at the current timestep), the
+// bypass flags, the per-column summaries and the column-major mirrors.
+// It does not touch the tile generation — SetTimestep calls it every
+// timestep and must not force a weight recompile.
+func (a *Array) refreshState() {
+	rows, cols := a.cfg.Rows, a.cfg.Cols
+	if a.transient != nil {
+		a.transient.ActiveMasks(a.step, a.tOr, a.tClear)
 	}
-}
-
-func (a *Array) refreshColumns() {
-	rows := a.cfg.Rows
-	for j := 0; j < a.cfg.Cols; j++ {
+	for i := range a.faulty {
+		or, cl := a.pOr[i], a.pClear[i]
+		pf := or != 0 || cl != 0 || a.wFaulty[i]
+		a.permFaulty[i] = pf
+		a.bypassed[i] = pf && a.bypassOn
+		if a.transient != nil {
+			or |= a.tOr[i]
+			cl |= a.tClear[i]
+		}
+		a.orMask[i], a.clearMask[i] = or, cl
+		a.faulty[i] = pf || or != 0 || cl != 0
+	}
+	for j := 0; j < cols; j++ {
 		clean, byp := true, false
 		base := j * rows
 		for i := 0; i < rows; i++ {
-			idx := i*a.cfg.Cols + j
+			idx := i*cols + j
 			if a.bypassed[idx] {
 				byp = true
 			} else if a.faulty[idx] {
@@ -285,6 +404,12 @@ func (a *Array) refreshColumns() {
 		a.colClean[j] = clean
 		a.colBypassed[j] = byp
 	}
+}
+
+// refresh is refreshState plus tile invalidation — the path every
+// fault-state mutation (as opposed to a timestep advance) goes through.
+func (a *Array) refresh() {
+	a.refreshState()
 	// Invalidate every compiled weight-tile view of this array.
 	a.gen.Add(1)
 }
@@ -374,10 +499,12 @@ func (a *Array) PERowCol(k, m int) (row, col int) {
 
 // ScanWritePE models scan-chain access used by post-fabrication testing:
 // it writes a word into the accumulator register of PE (row, col) and
-// returns what the register's output presents, with any stuck bits forced.
+// returns what the register's output presents, with any stuck bits
+// forced. Only permanent faults are visible — scan testing happens on
+// the tester, not mid-inference, so transient strikes never appear.
 func (a *Array) ScanWritePE(row, col int, w fixed.Word) fixed.Word {
 	idx := row*a.cfg.Cols + col
-	return fixed.ForceBits(w, a.orMask[idx], a.clearMask[idx])
+	return fixed.ForceBits(w, a.pOr[idx], a.pClear[idx])
 }
 
 // ScanWriteWeight models scan access to the weight register of PE
