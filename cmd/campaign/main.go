@@ -44,6 +44,19 @@
 // instead of by trial count, so slow keys no longer serialize the
 // fleet behind one overloaded shard.
 //
+// Where serve runs ONE campaign and exits, `campaign service` is the
+// long-lived multi-tenant form (internal/service): a persistent
+// catalog that accepts specs over HTTP, schedules every admitted run
+// across one shared worker fleet with priority + fair-share, and
+// survives its own restart. `campaign submit`, `campaign runs` and
+// `campaign drain` are its clients:
+//
+//	campaign service -addr :9191 -state svc/ -token $TOK     # the service
+//	campaign work -coordinator http://host:9191 -token $TOK  # shared fleet
+//	RUN=$(campaign submit -service http://host:9191 -token $TOK \
+//	          -c selftest -trials 200 -name nightly)
+//	campaign runs -service http://host:9191 -token $TOK -id $RUN -watch -o out.jsonl
+//
 // A run appends each completed trial to its JSONL checkpoint (-o) and
 // resumes from it after an interruption, skipping completed trial IDs;
 // -max bounds one sitting. Shard partials merge bit-identically to a
@@ -58,12 +71,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
 
 	"falvolt/internal/campaign"
 	"falvolt/internal/cluster"
+	"falvolt/internal/service"
 	"falvolt/internal/spec"
 	"falvolt/internal/tensor"
 
@@ -85,6 +100,14 @@ func main() {
 		err = runCmd(os.Args[2:])
 	case "serve":
 		err = serveCmd(os.Args[2:])
+	case "service":
+		err = serviceCmd(os.Args[2:])
+	case "submit":
+		err = submitCmd(os.Args[2:])
+	case "runs":
+		err = runsCmd(os.Args[2:])
+	case "drain":
+		err = drainCmd(os.Args[2:])
 	case "work":
 		err = workCmd(os.Args[2:])
 	case "merge":
@@ -102,7 +125,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: campaign <plan|run|serve|work|merge> [flags]
+	fmt.Fprintf(os.Stderr, `usage: campaign <plan|run|serve|service|submit|runs|drain|work|merge> [flags]
 
   plan  -c <kind> [-balance src] [-shards N] [config flags]
                                             print the deterministic trial list as JSON
@@ -112,19 +135,31 @@ func usage() {
                                             JSONL checkpointing and resume
   serve -c <kind> -addr <host:port> [-shards N] [-lease-ttl D] [-o file]
         [-state dir] [-balance src] [config flags]
-                                            coordinate the campaign across HTTP workers,
+                                            coordinate ONE campaign across HTTP workers,
                                             then print the figures/report; -state makes
                                             the coordinator survive its own restart,
                                             -balance sizes shards by recorded timing
-  work  -coordinator <url> [-checkpoint dir] [-cache dir]
-                                            spec-free worker daemon: the campaign spec
-                                            arrives from the coordinator at registration
+  service -addr <host:port> -state <dir> -token <tok> [-shards N] [-lease-ttl D]
+                                            long-lived multi-tenant coordinator: accepts
+                                            submitted specs, fair-shares one worker fleet
+                                            across all running campaigns, survives restart
+  submit -service <url> -token <tok> [-priority P] [-name N] [-label k=v]
+         (-c <kind> [config flags] | -spec <file>)
+                                            submit a spec to a service; prints the run ID
+  runs   -service <url> -token <tok> [-id run [-watch] [-cancel] [-o file]]
+                                            list catalog runs, or watch/cancel/fetch one
+  drain  -service <url> -token <tok> -worker <id|name>
+                                            gracefully retire workers (finish shard, exit)
+  work  -coordinator <url> [-token tok] [-checkpoint dir] [-cache dir]
+                                            spec-free worker daemon: campaign specs
+                                            arrive from the coordinator or service
   merge [-cache dir] [-json file] [-o file] <file>...
                                             merge shard/checkpoint files and print the
                                             figures or report (plus a timing summary)
 
-plan, run and serve also accept -spec <file> (a spec replaces the config
-flags; "-" reads stdin) and -dump-spec (print the compiled spec and exit).
+plan, run, serve and submit also accept -spec <file> (a spec replaces the
+config flags; "-" reads stdin) and -dump-spec (print the compiled spec and
+exit). -token flags fall back to the CAMPAIGN_TOKEN environment variable.
 
 campaign kinds: %s
 `, strings.Join(spec.Kinds(), " "))
@@ -462,12 +497,39 @@ func serveCmd(args []string) error {
 	if *out == "" {
 		*out = s.Kind + "-cluster.jsonl"
 	}
+	// Fail fast on a misconfigured -state: resolve it to an absolute
+	// path and prove it writable NOW, not at the first journal append
+	// mid-campaign.
+	if *state != "" {
+		abs, err := ensureStateDir(*state)
+		if err != nil {
+			return err
+		}
+		*state = abs
+	}
+	pn := plannerName(s, *balance)
 	ctx, stop := sigCtx()
 	defer stop()
 	co := cluster.NewCoordinator(cluster.CoordinatorConfig{
 		Addr: *addr, Spec: s, Shards: *shards, LeaseTTL: *leaseTTL,
-		PlannerName: plannerName(s, *balance), StateDir: *state, Log: os.Stderr,
+		PlannerName: pn, StateDir: *state, Log: os.Stderr,
 	})
+	// One startup line with everything an operator needs to point
+	// workers (and debug a wrong flag): the RESOLVED listen address —
+	// ":0" is useless in a log — plus state dir and planner.
+	go func() {
+		<-co.Ready()
+		stateDesc := *state
+		if stateDesc == "" {
+			stateDesc = "none (in-memory; a restart loses leases and results)"
+		}
+		planDesc := pn
+		if planDesc == "" {
+			planDesc = "uniform"
+		}
+		fmt.Fprintf(os.Stderr, "serve: listening on %s (state %s, planner %s, spec %s)\n",
+			co.URL(), stateDesc, planDesc, fingerprintOf(s))
+	}()
 	opt := campaign.Options{Context: ctx, Runner: co, Checkpoint: *out, Log: os.Stderr}
 	rr, err := campaign.Run(built.Campaign, opt)
 	if err != nil {
@@ -487,7 +549,8 @@ func serveCmd(args []string) error {
 func workCmd(args []string) error {
 	fs := flag.NewFlagSet("work", flag.ExitOnError)
 	var (
-		coord   = fs.String("coordinator", "", "coordinator base URL (http://host:port)")
+		coord   = fs.String("coordinator", "", "coordinator or campaign-service base URL (http://host:port)")
+		token   = fs.String("token", "", "bearer token for a campaign service (default $CAMPAIGN_TOKEN; single-run coordinators ignore it)")
 		name    = fs.String("name", "", "worker display name (default host-pid)")
 		ckptDir = fs.String("checkpoint", "", "directory for local per-shard JSONL checkpoints (resume on restart)")
 		cache   = fs.String("cache", "", "directory for baseline snapshots (reused across runs)")
@@ -509,10 +572,249 @@ func workCmd(args []string) error {
 	// No campaign configuration here, by design: the coordinator ships
 	// its canonical spec at registration and the worker builds from it.
 	w := cluster.NewWorker(cluster.WorkerConfig{
-		Coordinator: *coord, Name: *name, CheckpointDir: *ckptDir,
-		CacheDir: *cache, Poll: *poll, Log: os.Stderr,
+		Coordinator: *coord, Token: resolveToken(*token), Name: *name,
+		CheckpointDir: *ckptDir, CacheDir: *cache, Poll: *poll, Log: os.Stderr,
 	})
 	return w.Run(ctx)
+}
+
+// serviceCmd runs the long-lived multi-tenant coordinator: a catalog of
+// submitted runs fair-shared across one worker fleet, durable across
+// its own restarts (internal/service).
+func serviceCmd(args []string) error {
+	fs := flag.NewFlagSet("service", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", ":9191", "service listen address")
+		state    = fs.String("state", "", "state directory (required): a lock file plus one WAL-journaled directory per run")
+		token    = fs.String("token", "", "bearer token required on every endpoint (default $CAMPAIGN_TOKEN; required)")
+		shards   = fs.Int("shards", 0, "shards per run (0 = auto; more shards = finer fair-share interleaving)")
+		leaseTTL = fs.Duration("lease-ttl", 0, "shard lease deadline without a heartbeat (0 = default)")
+		cache    = fs.String("cache", "", "directory for baseline snapshots (reused across runs)")
+		backend  = fs.String("backend", "", tensor.BackendFlagDoc)
+	)
+	fs.Parse(args)
+	if err := noPositional(fs); err != nil {
+		return err
+	}
+	if *state == "" {
+		return fmt.Errorf("service needs -state <dir>")
+	}
+	abs, err := ensureStateDir(*state)
+	if err != nil {
+		return err
+	}
+	if err := tensor.SetDefaultByName(*backend); err != nil {
+		return err
+	}
+	ctx, stop := sigCtx()
+	defer stop()
+	svc := service.New(service.Config{
+		Addr: *addr, StateDir: abs, Token: resolveToken(*token),
+		Shards: *shards, LeaseTTL: *leaseTTL, CacheDir: *cache, Log: os.Stderr,
+	})
+	return svc.Run(ctx)
+}
+
+// submitCmd compiles a spec exactly like plan/run/serve and posts it to
+// a campaign service. The run ID — the handle for `campaign runs` — is
+// the only thing printed to stdout, so shells can capture it.
+func submitCmd(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	var c config
+	labels := labelFlags{}
+	var (
+		svcURL   = fs.String("service", "", "campaign service base URL (http://host:port)")
+		token    = fs.String("token", "", "bearer token (default $CAMPAIGN_TOKEN)")
+		name     = fs.String("name", "", "catalog display name for the run (overrides the spec's name)")
+		priority = fs.Int("priority", 0, fmt.Sprintf("scheduling priority %d..%d; higher leases first within the fleet", -service.MaxPriority, service.MaxPriority))
+	)
+	fs.Var(labels, "label", "catalog label k=v (repeatable; merged over the spec's labels)")
+	addConfigFlags(fs, &c)
+	fs.Parse(args)
+	if err := noPositional(fs); err != nil {
+		return err
+	}
+	s, err := c.spec()
+	if err != nil {
+		return err
+	}
+	if *name != "" {
+		s.Name = *name
+	}
+	if len(labels) > 0 {
+		if s.Labels == nil {
+			s.Labels = map[string]string{}
+		}
+		for k, v := range labels {
+			s.Labels[k] = v
+		}
+	}
+	if c.dump {
+		return s.Dump(os.Stdout)
+	}
+	if *svcURL == "" {
+		return fmt.Errorf("submit needs -service <url>")
+	}
+	enc, err := s.Encode()
+	if err != nil {
+		return err
+	}
+	// The service builds and validates the spec on admission; no local
+	// build here — the submitting machine may lack the dataset/caches.
+	cl := service.NewClient(*svcURL, resolveToken(*token))
+	resp, err := cl.Submit(enc, *priority)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "submitted %s: %d trials in %d shards (spec %s)\n",
+		resp.RunID, resp.Trials, resp.Shards, resp.Fingerprint)
+	fmt.Println(resp.RunID)
+	return nil
+}
+
+// runsCmd is the catalog viewer: list all runs, or inspect / watch /
+// cancel one and fetch its completed results.
+func runsCmd(args []string) error {
+	fs := flag.NewFlagSet("runs", flag.ExitOnError)
+	var (
+		svcURL = fs.String("service", "", "campaign service base URL (http://host:port)")
+		token  = fs.String("token", "", "bearer token (default $CAMPAIGN_TOKEN)")
+		id     = fs.String("id", "", "run ID (from `campaign submit`); \"\" lists the whole catalog")
+		watch  = fs.Bool("watch", false, "with -id: long-poll until the run reaches a terminal state")
+		cancel = fs.Bool("cancel", false, "with -id: cancel the run (idempotent)")
+		out    = fs.String("o", "", "with -id: save the completed run's checkpoint JSONL here (mergeable)")
+	)
+	fs.Parse(args)
+	if err := noPositional(fs); err != nil {
+		return err
+	}
+	if *svcURL == "" {
+		return fmt.Errorf("runs needs -service <url>")
+	}
+	cl := service.NewClient(*svcURL, resolveToken(*token))
+	if *id == "" {
+		list, err := cl.List()
+		if err != nil {
+			return err
+		}
+		for _, r := range list.Runs {
+			name := r.Name
+			if name == "" {
+				name = "-"
+			}
+			fmt.Printf("%s\t%s\t%d/%d\tprio %d\t%s\t%s\n",
+				r.ID, r.State, r.Done, r.Trials, r.Priority, r.Kind, name)
+		}
+		return nil
+	}
+	var (
+		sum service.RunSummary
+		err error
+	)
+	switch {
+	case *cancel:
+		sum, err = cl.Cancel(*id)
+	case *watch:
+		sum, err = cl.Watch(*id)
+	default:
+		sum, err = cl.Get(*id)
+	}
+	if err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	if *out != "" {
+		if sum.State != service.RunDone {
+			return fmt.Errorf("run %s is %s; results exist only for done runs", *id, sum.State)
+		}
+		data, err := cl.Results(*id)
+		if err != nil {
+			return err
+		}
+		if err := campaign.WriteFileAtomic(*out, data); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "run %s results -> %s\n", *id, *out)
+	}
+	return nil
+}
+
+// drainCmd gracefully retires workers: each finishes its current shard,
+// then exits instead of leasing more.
+func drainCmd(args []string) error {
+	fs := flag.NewFlagSet("drain", flag.ExitOnError)
+	var (
+		svcURL = fs.String("service", "", "campaign service base URL (http://host:port)")
+		token  = fs.String("token", "", "bearer token (default $CAMPAIGN_TOKEN)")
+		worker = fs.String("worker", "", "worker ID or display name to drain")
+	)
+	fs.Parse(args)
+	if err := noPositional(fs); err != nil {
+		return err
+	}
+	if *svcURL == "" || *worker == "" {
+		return fmt.Errorf("drain needs -service <url> and -worker <id|name>")
+	}
+	cl := service.NewClient(*svcURL, resolveToken(*token))
+	resp, err := cl.Drain(*worker)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "draining %d worker(s)\n", resp.Drained)
+	return nil
+}
+
+// labelFlags accumulates repeatable -label k=v flags.
+type labelFlags map[string]string
+
+func (l labelFlags) String() string {
+	var parts []string
+	for k, v := range l {
+		parts = append(parts, k+"="+v)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (l labelFlags) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok || k == "" {
+		return fmt.Errorf("label %q is not k=v", s)
+	}
+	l[k] = v
+	return nil
+}
+
+// resolveToken falls back to the CAMPAIGN_TOKEN environment variable so
+// tokens stay out of shell history and process listings.
+func resolveToken(flagValue string) string {
+	if flagValue != "" {
+		return flagValue
+	}
+	return os.Getenv("CAMPAIGN_TOKEN")
+}
+
+// ensureStateDir resolves a -state flag to an absolute, writable
+// directory — creating it if needed — so misconfiguration fails at
+// startup, not at the first journal write.
+func ensureStateDir(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", fmt.Errorf("resolve -state %s: %w", dir, err)
+	}
+	if err := os.MkdirAll(abs, 0o755); err != nil {
+		return "", fmt.Errorf("-state %s unusable: %w", dir, err)
+	}
+	probe, err := os.CreateTemp(abs, ".probe-*")
+	if err != nil {
+		return "", fmt.Errorf("-state %s not writable: %w", abs, err)
+	}
+	probe.Close()
+	os.Remove(probe.Name())
+	return abs, nil
 }
 
 func mergeCmd(args []string) error {

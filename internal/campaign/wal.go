@@ -21,8 +21,10 @@ import (
 // out-of-band per-trial wall-clock.
 
 // walVersion is bumped on incompatible WAL schema changes; readers
-// refuse newer files instead of misparsing them.
-const walVersion = 1
+// refuse newer files instead of misparsing them. Version 2 added plan
+// records (mid-run re-planning journals a replacement shard table);
+// version-1 files remain readable.
+const walVersion = 2
 
 // WALFileName is the journal's filename inside a coordinator state
 // directory.
@@ -82,10 +84,24 @@ type WALLease struct {
 	Shard  string `json:"shard,omitempty"`
 }
 
-// walRecord is one journal line: exactly one of Header/Lease/Result
-// set. Wall carries Result.Wall out of band, as checkpoints do.
+// WALPlan journals a replacement shard table: a coordinator that
+// re-planned a run mid-flight (as accumulated timing data arrives)
+// appends one so replay restores the plan actually in force, not the
+// admission-time one. Only unleased, unfinished work may be moved, so
+// the latest plan record is always authoritative.
+type WALPlan struct {
+	// Planner names the policy that produced this plan (observability).
+	Planner string `json:"planner,omitempty"`
+	// Shards is the full replacement shard table (same shape as the
+	// header's).
+	Shards []WALShard `json:"shards"`
+}
+
+// walRecord is one journal line: exactly one of Header/Plan/Lease/
+// Result set. Wall carries Result.Wall out of band, as checkpoints do.
 type walRecord struct {
 	Header *WALHeader `json:"header,omitempty"`
+	Plan   *WALPlan   `json:"plan,omitempty"`
 	Lease  *WALLease  `json:"lease,omitempty"`
 	Result *Result    `json:"result,omitempty"`
 	Wall   float64    `json:"wall,omitempty"`
@@ -132,6 +148,11 @@ func (w *WAL) AppendResult(r Result) error {
 // AppendLease journals one lease lifecycle event.
 func (w *WAL) AppendLease(l WALLease) error {
 	return w.append(walRecord{Lease: &l})
+}
+
+// AppendPlan journals a replacement shard table (mid-run re-planning).
+func (w *WAL) AppendPlan(p WALPlan) error {
+	return w.append(walRecord{Plan: &p})
 }
 
 func (w *WAL) append(rec walRecord) error {
@@ -197,6 +218,17 @@ func ReadWALBytes(data []byte, path string) (WALHeader, []Result, []WALLease, er
 			}
 			header = *rec.Header
 			gotHeader = true
+		case rec.Plan != nil:
+			if !gotHeader {
+				return fail(fmt.Errorf("campaign: WAL %s: plan record before header", path))
+			}
+			// The latest plan supersedes the header's admission-time
+			// shard table; fold it in so callers replay the plan that
+			// was actually in force.
+			header.Shards = rec.Plan.Shards
+			if rec.Plan.Planner != "" {
+				header.Planner = rec.Plan.Planner
+			}
 		case rec.Lease != nil:
 			if !gotHeader {
 				return fail(fmt.Errorf("campaign: WAL %s: lease event before header", path))

@@ -95,7 +95,7 @@ type Coordinator struct {
 	fp         string
 	shards     []*shardState
 	trialShard map[int]int // trial ID -> owning shard index
-	leases     *leaseTable
+	leases     *LeaseTable[int]
 	recorded   map[int][]byte // trial ID -> canonical result JSON (conflict check)
 	remaining  int            // trials without results, across all shards
 	sink       func(campaign.Result) error
@@ -195,7 +195,7 @@ func (co *Coordinator) Run(ctx context.Context, c campaign.Campaign, trials []ca
 	co.sink = sink
 	co.recorded = make(map[int][]byte)
 	co.workers = make(map[string]string)
-	co.leases = newLeaseTable(co.cfg.LeaseTTL, co.cfg.now)
+	co.leases = NewLeaseTable[int](co.cfg.LeaseTTL, co.cfg.now)
 	co.remaining = len(trials)
 	if co.cfg.StateDir != "" {
 		err = co.openStateLocked(c, trials)
@@ -442,7 +442,7 @@ func (co *Coordinator) restoreLocked(c campaign.Campaign, trials []campaign.Tria
 	// Continue the lease sequence where the journal left off, so this
 	// epoch's lease IDs never collide with journaled ones (OpenLeases
 	// tolerates reuse, but unique IDs keep the audit trail unambiguous).
-	co.leases.seq = campaign.GrantCount(leases)
+	co.leases.SetSeq(campaign.GrantCount(leases))
 	open := campaign.OpenLeases(leases)
 	for _, l := range open {
 		if err := co.wal.AppendLease(campaign.WALLease{Event: campaign.LeaseInvalidated, ID: l.ID}); err != nil {
@@ -473,22 +473,22 @@ func (co *Coordinator) mux() *http.ServeMux {
 
 func (co *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req RegisterRequest
-	if !readJSON(w, r, &req) {
+	if !ReadJSON(w, r, &req) {
 		return
 	}
 	co.mu.Lock()
 	defer co.mu.Unlock()
-	if req.Proto != protocolVersion {
-		writeJSONError(w, http.StatusConflict, fmt.Sprintf(
+	if req.Proto != ProtocolVersion {
+		WriteJSONError(w, http.StatusConflict, fmt.Sprintf(
 			"protocol version mismatch: worker %q speaks v%d, coordinator v%d — rebuild the worker",
-			req.Worker, req.Proto, protocolVersion))
+			req.Worker, req.Proto, ProtocolVersion))
 		return
 	}
 	co.wseq++
 	id := fmt.Sprintf("w%d-%s", co.wseq, req.Worker)
 	co.workers[id] = req.Worker
 	co.logf("coordinator: registered worker %s (shipping spec %s)\n", id, co.fp)
-	writeJSON(w, RegisterResponse{
+	WriteJSON(w, RegisterResponse{
 		WorkerID:       id,
 		LeaseTTLMillis: co.cfg.LeaseTTL.Milliseconds(),
 		Spec:           json.RawMessage(co.specJSON),
@@ -498,40 +498,40 @@ func (co *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 
 func (co *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	var req LeaseRequest
-	if !readJSON(w, r, &req) {
+	if !ReadJSON(w, r, &req) {
 		return
 	}
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	if co.closed {
-		writeJSONError(w, http.StatusServiceUnavailable, "coordinator shutting down")
+		WriteJSONError(w, http.StatusServiceUnavailable, "coordinator shutting down")
 		return
 	}
 	if !co.knownWorker(w, req.WorkerID) {
 		return
 	}
 	if resp, over := co.runOverLocked(); over {
-		writeJSON(w, resp)
+		WriteJSON(w, resp)
 		return
 	}
 	if err := co.sweepLocked(); err != nil {
 		co.failLocked(err)
 	}
 	if resp, over := co.runOverLocked(); over {
-		writeJSON(w, resp)
+		WriteJSON(w, resp)
 		return
 	}
 	for i, st := range co.shards {
-		if st.done || co.leases.holder(i) != nil {
+		if st.done || co.leases.Holder(i) != nil {
 			continue
 		}
-		l := co.leases.grant(req.WorkerID, i)
+		l := co.leases.Grant(req.WorkerID, i)
 		if err := co.journalLeaseLocked(campaign.WALLease{
-			Event: campaign.LeaseGranted, ID: l.id, Worker: req.WorkerID, Shard: st.label,
+			Event: campaign.LeaseGranted, ID: l.ID, Worker: req.WorkerID, Shard: st.label,
 		}); err != nil {
 			co.failLocked(err)
 			resp, _ := co.runOverLocked()
-			writeJSON(w, resp)
+			WriteJSON(w, resp)
 			return
 		}
 		pending := make([]campaign.Trial, 0, len(st.remaining))
@@ -540,16 +540,16 @@ func (co *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		}
 		sort.Slice(pending, func(a, b int) bool { return pending[a].ID < pending[b].ID })
 		co.logf("coordinator: leased shard %s (%d trials pending) to %s as %s\n",
-			st.label, len(pending), req.WorkerID, l.id)
-		writeJSON(w, LeaseResponse{Status: StatusLease, LeaseID: l.id, Shard: st.label, Trials: pending})
+			st.label, len(pending), req.WorkerID, l.ID)
+		WriteJSON(w, LeaseResponse{Status: StatusLease, LeaseID: l.ID, Shard: st.label, Trials: pending})
 		return
 	}
-	writeJSON(w, LeaseResponse{Status: StatusWait})
+	WriteJSON(w, LeaseResponse{Status: StatusWait})
 }
 
 func (co *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	var req HeartbeatRequest
-	if !readJSON(w, r, &req) {
+	if !ReadJSON(w, r, &req) {
 		return
 	}
 	co.mu.Lock()
@@ -561,18 +561,18 @@ func (co *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	if resp, over := co.runOverLocked(); over {
 		status = resp.Status
 	}
-	writeJSON(w, HeartbeatResponse{OK: co.leases.renew(req.LeaseID), Status: status})
+	WriteJSON(w, HeartbeatResponse{OK: co.leases.Renew(req.LeaseID), Status: status})
 }
 
 func (co *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
 	var req ResultsRequest
-	if !readJSON(w, r, &req) {
+	if !ReadJSON(w, r, &req) {
 		return
 	}
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	if co.closed {
-		writeJSONError(w, http.StatusServiceUnavailable, "coordinator shutting down")
+		WriteJSONError(w, http.StatusServiceUnavailable, "coordinator shutting down")
 		return
 	}
 	if !co.knownWorker(w, req.WorkerID) {
@@ -580,7 +580,7 @@ func (co *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.TrialErr != "" {
 		co.failLocked(fmt.Errorf("cluster: worker %s: %s", req.WorkerID, req.TrialErr))
-		writeJSON(w, ResultsResponse{OK: true})
+		WriteJSON(w, ResultsResponse{OK: true})
 		return
 	}
 	// Results are accepted from any registered worker (every worker
@@ -595,17 +595,17 @@ func (co *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
 		}
 		if _, err := co.recordLocked(res); err != nil {
 			co.failLocked(err)
-			writeJSON(w, ResultsResponse{OK: true})
+			WriteJSON(w, ResultsResponse{OK: true})
 			return
 		}
 	}
-	writeJSON(w, ResultsResponse{OK: true})
+	WriteJSON(w, ResultsResponse{OK: true})
 }
 
 func (co *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 	co.mu.Lock()
 	defer co.mu.Unlock()
-	writeJSON(w, co.statusLocked())
+	WriteJSON(w, co.statusLocked())
 }
 
 // recordLocked folds one streamed (or WAL-replayed) result in:
@@ -650,9 +650,9 @@ func (co *Coordinator) recordLocked(res campaign.Result) (bool, error) {
 	co.remaining--
 	if len(st.remaining) == 0 && !st.done {
 		st.done = true
-		if l := co.leases.holder(shard); l != nil {
-			co.leases.release(l.id)
-			if err := co.journalLeaseLocked(campaign.WALLease{Event: campaign.LeaseReleased, ID: l.id}); err != nil {
+		if l := co.leases.Holder(shard); l != nil {
+			co.leases.Release(l.ID)
+			if err := co.journalLeaseLocked(campaign.WALLease{Event: campaign.LeaseReleased, ID: l.ID}); err != nil {
 				return true, err
 			}
 		}
@@ -670,14 +670,14 @@ func (co *Coordinator) recordLocked(res campaign.Result) (bool, error) {
 // shards that go back on the queue with work still pending as
 // reassignments.
 func (co *Coordinator) sweepLocked() error {
-	for _, l := range co.leases.sweep() {
-		st := co.shards[l.shard]
+	for _, l := range co.leases.Sweep() {
+		st := co.shards[l.Key]
 		if !st.done && len(st.remaining) > 0 {
 			co.reassigned++
 			co.logf("coordinator: lease on shard %s expired with %d trials pending; reassigning\n",
 				st.label, len(st.remaining))
 		}
-		if err := co.journalLeaseLocked(campaign.WALLease{Event: campaign.LeaseExpired, ID: l.id}); err != nil {
+		if err := co.journalLeaseLocked(campaign.WALLease{Event: campaign.LeaseExpired, ID: l.ID}); err != nil {
 			return err
 		}
 	}
@@ -721,7 +721,7 @@ func (co *Coordinator) runOverLocked() (LeaseResponse, bool) {
 // that raced a coordinator restart must re-register).
 func (co *Coordinator) knownWorker(w http.ResponseWriter, id string) bool {
 	if _, ok := co.workers[id]; !ok {
-		writeJSONError(w, http.StatusForbidden, fmt.Sprintf("unknown worker %q: register first", id))
+		WriteJSONError(w, http.StatusForbidden, fmt.Sprintf("unknown worker %q: register first", id))
 		return false
 	}
 	return true
@@ -743,8 +743,8 @@ func (co *Coordinator) statusLocked() StatusResponse {
 	}
 	for i, sh := range co.shards {
 		s := ShardStatus{Shard: sh.label, Trials: len(sh.trials), Remaining: len(sh.remaining), Done: sh.done}
-		if l := co.leases.holder(i); l != nil {
-			s.Worker = l.worker
+		if l := co.leases.Holder(i); l != nil {
+			s.Worker = l.Worker
 		}
 		st.Shards = append(st.Shards, s)
 	}

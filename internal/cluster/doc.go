@@ -52,4 +52,32 @@
 // therefore unrepresentable; registration still rejects wire-protocol
 // version mismatches up front, and the spec fingerprint names the
 // experiment in logs and /v1/status.
+//
+// # Ownership split with internal/service
+//
+// This package owns the MECHANICS of distribution, deliberately
+// single-campaign and policy-free:
+//
+//   - the wire protocol (protocol.go) — register/lease/heartbeat/
+//     results, shared verbatim by both control planes;
+//   - LeaseTable — generic over its shard key, so one table can span
+//     shards of one run (Coordinator) or of a whole catalog (service);
+//   - Worker — the one worker binary for both worlds. Registration
+//     tells it which it joined: a single-run coordinator ships the spec
+//     up front and the worker pins its fingerprint for life, while a
+//     campaign service (RegisterResponse.Service) ships a spec per
+//     LEASE, and the worker builds per fingerprint on demand, caches
+//     builds, isolates per-run failures, and honors drain directives;
+//   - Coordinator — the ephemeral control plane: one campaign, runs as
+//     a campaign.Runner inside `campaign serve`, exits with its run.
+//
+// internal/service owns the POLICY a long-lived fleet needs on top:
+// the durable run catalog (submit/list/watch/cancel, one WAL-journaled
+// state dir per run), priority + deficit fair-share scheduling across
+// runs, re-planning at admission boundaries from accumulated timing,
+// autoscaling hooks (drain + scale-up advice), and bearer-token auth.
+// Nothing there reimplements a mechanism here: the service composes
+// LeaseTable, the WAL, and this protocol. When changing a behavior,
+// place it by that test — every fleet needs it: cluster; only a
+// multi-run catalog needs it: service.
 package cluster

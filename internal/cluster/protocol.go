@@ -18,9 +18,14 @@ import (
 // misconfiguration class the old flag-matching + fingerprint scheme
 // could only detect is unrepresentable.
 
-// protocolVersion is bumped on incompatible wire changes; registration
-// rejects mismatched versions up front.
-const protocolVersion = 2
+// ProtocolVersion is bumped on incompatible wire changes; registration
+// rejects mismatched versions up front. Version 3 added service mode:
+// a multi-run coordinator registers workers without shipping a spec
+// (RegisterResponse.Service), ships each run's spec inside its lease
+// grants instead (LeaseResponse.RunID/Spec/Fingerprint), routes result
+// batches by run (ResultsRequest.RunID), and carries autoscaling
+// directives (HeartbeatResponse.Drain/ScaleUp, LeaseResponse.Drain).
+const ProtocolVersion = 3
 
 // Lease-response statuses.
 const (
@@ -52,7 +57,7 @@ func InfoOf(c campaign.Campaign) (CampaignInfo, error) {
 	if err != nil {
 		return CampaignInfo{}, fmt.Errorf("cluster: enumerate %s: %w", c.Name(), err)
 	}
-	info := CampaignInfo{Version: protocolVersion, Campaign: c.Name(), Trials: len(trials)}
+	info := CampaignInfo{Version: ProtocolVersion, Campaign: c.Name(), Trials: len(trials)}
 	if mp, ok := c.(campaign.MetaProvider); ok {
 		info.Meta = mp.Meta()
 	}
@@ -79,12 +84,18 @@ type RegisterResponse struct {
 	LeaseTTLMillis int64 `json:"leaseTTLMillis"`
 	// Spec is the canonical JSON of the experiment spec this
 	// coordinator serves (internal/spec). The worker builds its
-	// campaign from exactly these bytes via the spec registry.
-	Spec json.RawMessage `json:"spec"`
+	// campaign from exactly these bytes via the spec registry. Empty
+	// in service mode, where every lease grant carries its run's spec.
+	Spec json.RawMessage `json:"spec,omitempty"`
 	// Fingerprint is the spec's digest (spec.Fingerprint), echoed so
 	// the worker can verify the payload arrived intact and logs can
-	// name the experiment.
-	Fingerprint string `json:"fingerprint"`
+	// name the experiment. Empty in service mode.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Service marks a multi-run campaign service: the worker must not
+	// expect a registration spec, builds one campaign per distinct
+	// fingerprint it is leased, and keeps polling when individual runs
+	// finish (only a drain directive or cancellation stops it).
+	Service bool `json:"service,omitempty"`
 }
 
 // LeaseRequest asks for a shard of work.
@@ -106,6 +117,20 @@ type LeaseResponse struct {
 	// its dead worker never delivered.
 	Trials []campaign.Trial `json:"trials,omitempty"`
 	Error  string           `json:"error,omitempty"`
+
+	// RunID names the catalog run this lease belongs to (service mode;
+	// echoed back in ResultsRequest so results route to the right run).
+	RunID string `json:"runID,omitempty"`
+	// Spec is the run's canonical spec JSON (service mode: the per-run
+	// analogue of RegisterResponse.Spec). Workers cache built campaigns
+	// by Fingerprint, so a fleet serving N concurrent runs builds each
+	// distinct experiment once.
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Fingerprint digests Spec (service mode).
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Drain tells an idle worker to exit now instead of polling again:
+	// the graceful scale-down half of the autoscaling hooks.
+	Drain bool `json:"drain,omitempty"`
 }
 
 // HeartbeatRequest renews a lease.
@@ -120,14 +145,26 @@ type HeartbeatRequest struct {
 type HeartbeatResponse struct {
 	OK     bool   `json:"ok"`
 	Status string `json:"status"`
+	// Drain asks the worker to finish its current shard, then exit
+	// instead of taking another lease (graceful scale-down). Unlike
+	// OK=false it never aborts in-flight work.
+	Drain bool `json:"drain,omitempty"`
+	// ScaleUp is the coordinator's scale-up advice: how many ADDITIONAL
+	// workers could be leasing work right now (schedulable shards with
+	// no holder, minus idle registered workers). Pure advice — workers
+	// log it and external autoscalers act on it via /v1/status.
+	ScaleUp int `json:"scaleUp,omitempty"`
 }
 
 // ResultsRequest streams completed trial results (or a fatal trial
 // error) back to the coordinator.
 type ResultsRequest struct {
-	WorkerID string            `json:"workerID"`
-	LeaseID  string            `json:"leaseID,omitempty"`
-	Results  []campaign.Result `json:"results,omitempty"`
+	WorkerID string `json:"workerID"`
+	LeaseID  string `json:"leaseID,omitempty"`
+	// RunID routes the batch to its catalog run (service mode; echoed
+	// from the lease grant).
+	RunID   string            `json:"runID,omitempty"`
+	Results []campaign.Result `json:"results,omitempty"`
 	// Wall carries Results[i].Wall (seconds), which canonical result
 	// JSON excludes, so coordinator checkpoints keep per-trial timing.
 	Wall []float64 `json:"wall,omitempty"`

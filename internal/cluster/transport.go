@@ -10,21 +10,25 @@ import (
 	"time"
 )
 
-// maxBodyBytes bounds request/response bodies. Lease grants carry at
+// MaxBodyBytes bounds request/response bodies. Lease grants carry at
 // most one shard's trial list and results stream in small batches, so
 // 64 MiB is far above any legitimate message.
-const maxBodyBytes = 64 << 20
+const MaxBodyBytes = 64 << 20
 
-// client is the worker side of the wire protocol.
+// client is the worker side of the wire protocol. A non-empty token is
+// sent as a bearer credential on every request (campaign services
+// require one; single-run coordinators ignore it).
 type client struct {
-	base string
-	hc   *http.Client
+	base  string
+	token string
+	hc    *http.Client
 }
 
-func newClient(base string) *client {
+func newClient(base, token string) *client {
 	return &client{
-		base: strings.TrimRight(base, "/"),
-		hc:   &http.Client{Timeout: 30 * time.Second},
+		base:  strings.TrimRight(base, "/"),
+		token: token,
+		hc:    &http.Client{Timeout: 30 * time.Second},
 	}
 }
 
@@ -51,12 +55,20 @@ func (cl *client) post(path string, in, out any) error {
 	if err != nil {
 		return fmt.Errorf("cluster: marshal %s request: %w", path, err)
 	}
-	resp, err := cl.hc.Post(cl.base+path, "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, cl.base+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("cluster: %s: %w", path, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if cl.token != "" {
+		req.Header.Set("Authorization", "Bearer "+cl.token)
+	}
+	resp, err := cl.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("cluster: %s: %w", path, err)
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	data, err := io.ReadAll(io.LimitReader(resp.Body, MaxBodyBytes))
 	if err != nil {
 		return fmt.Errorf("cluster: read %s response: %w", path, err)
 	}
@@ -97,27 +109,27 @@ func (cl *client) results(req ResultsRequest) (ResultsResponse, error) {
 	return resp, err
 }
 
-// readJSON decodes a request body, replying 400 on malformed input.
-func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
-	data, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+// ReadJSON decodes a request body, replying 400 on malformed input.
+func ReadJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	data, err := io.ReadAll(io.LimitReader(r.Body, MaxBodyBytes))
 	if err == nil {
 		err = json.Unmarshal(data, v)
 	}
 	if err != nil {
-		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("bad request: %v", err))
+		WriteJSONError(w, http.StatusBadRequest, fmt.Sprintf("bad request: %v", err))
 		return false
 	}
 	return true
 }
 
-// writeJSON replies 200 with a JSON body.
-func writeJSON(w http.ResponseWriter, v any) {
+// WriteJSON replies 200 with a JSON body.
+func WriteJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(v)
 }
 
-// writeJSONError replies with a JSON {"error": ...} body.
-func writeJSONError(w http.ResponseWriter, code int, msg string) {
+// WriteJSONError replies with a JSON {"error": ...} body.
+func WriteJSONError(w http.ResponseWriter, code int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(struct {

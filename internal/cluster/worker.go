@@ -55,6 +55,10 @@ var errCampaignDone = errors.New("cluster: campaign completed")
 type WorkerConfig struct {
 	// Coordinator is the coordinator's base URL ("http://host:9090").
 	Coordinator string
+	// Token is the bearer credential sent on every request. Campaign
+	// services (internal/service) require one; single-run coordinators
+	// ignore it.
+	Token string
 	// Name is the worker's display name (default "host-pid").
 	Name string
 	// Runner executes leased trials locally (nil selects
@@ -112,35 +116,74 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	if cfg.Retries <= 0 {
 		cfg.Retries = defaultRetries
 	}
-	return &Worker{cfg: cfg, cl: newClient(cfg.Coordinator)}
+	return &Worker{cfg: cfg, cl: newClient(cfg.Coordinator, cfg.Token)}
 }
 
-// Run registers with the coordinator, builds the campaign from the
-// spec received at registration, and processes shard leases until the
-// campaign completes (nil), fails, or ctx is cancelled. A coordinator
-// restart (the worker's ID is rejected as unknown) triggers
-// re-registration: the worker keeps its built campaign — the restarted
-// coordinator must ship a spec with the same fingerprint — and resumes
-// from its local checkpoints under the fresh worker ID.
+// Run registers with the coordinator and processes shard leases until
+// the work is over or ctx is cancelled. Against a single-run
+// coordinator it builds the campaign from the spec received at
+// registration and exits when that campaign completes (nil) or fails.
+// Against a campaign service (RegisterResponse.Service) it serves MANY
+// runs — each lease grant carries its run's spec, campaigns are built
+// once per distinct fingerprint — and exits only on a drain directive
+// or cancellation. A coordinator restart (the worker's ID is rejected
+// as unknown) triggers re-registration; leased shards resume from the
+// local checkpoints.
 func (w *Worker) Run(ctx context.Context) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	workerID, ttl, sp, err := w.register(ctx)
+	resp, err := w.register(ctx)
 	if err != nil {
 		return err
 	}
+	hbEvery := time.Duration(resp.LeaseTTLMillis) * time.Millisecond / 3
+	if hbEvery <= 0 {
+		hbEvery = w.cfg.Poll
+	}
+	if resp.Service {
+		return w.serviceLoop(ctx, resp.WorkerID, hbEvery)
+	}
+	return w.singleLoop(ctx, resp, hbEvery)
+}
+
+// buildFunc resolves the campaign builder (cfg.Build, or spec.Build
+// with this worker's cache/log — the production path).
+func (w *Worker) buildFunc() func(s *spec.Spec) (*spec.Built, error) {
+	if w.cfg.Build != nil {
+		return w.cfg.Build
+	}
+	return func(s *spec.Spec) (*spec.Built, error) {
+		return spec.Build(s, spec.BuildOpts{CacheDir: w.cfg.CacheDir, Log: w.cfg.Log})
+	}
+}
+
+// decodeShipped decodes and fingerprint-verifies a spec payload
+// received from the coordinator (registration or lease grant).
+func decodeShipped(raw []byte, wantFP string) (*spec.Spec, string, error) {
+	sp, err := spec.Decode(raw)
+	if err != nil {
+		return nil, "", fmt.Errorf("cluster: coordinator shipped an unreadable spec: %w", err)
+	}
 	fp, err := sp.Fingerprint()
 	if err != nil {
-		return fmt.Errorf("cluster: fingerprint received spec: %w", err)
+		return nil, "", fmt.Errorf("cluster: fingerprint received spec: %w", err)
 	}
-	build := w.cfg.Build
-	if build == nil {
-		build = func(s *spec.Spec) (*spec.Built, error) {
-			return spec.Build(s, spec.BuildOpts{CacheDir: w.cfg.CacheDir, Log: w.cfg.Log})
-		}
+	if wantFP != "" && fp != wantFP {
+		return nil, "", fmt.Errorf("cluster: received spec fingerprint %s does not match coordinator's %s", fp, wantFP)
 	}
-	built, err := build(sp)
+	return sp, fp, nil
+}
+
+// singleLoop is the classic one-campaign worker life: build the
+// registration spec, lease shards until the campaign is over.
+func (w *Worker) singleLoop(ctx context.Context, reg RegisterResponse, hbEvery time.Duration) error {
+	workerID := reg.WorkerID
+	sp, fp, err := decodeShipped(reg.Spec, reg.Fingerprint)
+	if err != nil {
+		return err
+	}
+	built, err := w.buildFunc()(sp)
 	if err != nil {
 		return fmt.Errorf("cluster: build campaign from coordinator spec: %w", err)
 	}
@@ -148,10 +191,6 @@ func (w *Worker) Run(ctx context.Context) error {
 	info, err := InfoOf(c)
 	if err != nil {
 		return err
-	}
-	hbEvery := ttl / 3
-	if hbEvery <= 0 {
-		hbEvery = w.cfg.Poll
 	}
 	w.logf("worker %s: registered for campaign %s (%d trials), heartbeat every %v\n",
 		workerID, info.Campaign, info.Trials, hbEvery)
@@ -181,20 +220,21 @@ func (w *Worker) Run(ctx context.Context) error {
 				if err := sleepCtx(ctx, w.cfg.Poll); err != nil {
 					return err
 				}
-				newID, newTTL, sp2, rerr := w.register(ctx)
+				resp, rerr := w.register(ctx)
 				if rerr != nil {
 					return fmt.Errorf("cluster: re-register after coordinator restart: %w", rerr)
 				}
-				fp2, rerr := sp2.Fingerprint()
-				if rerr != nil {
-					return fmt.Errorf("cluster: fingerprint re-received spec: %w", rerr)
+				if resp.Service {
+					return fmt.Errorf("cluster: coordinator at %s restarted as a campaign service; restart this worker against it", w.cfg.Coordinator)
 				}
-				if fp2 != fp {
+				if _, fp2, rerr := decodeShipped(resp.Spec, resp.Fingerprint); rerr != nil {
+					return fmt.Errorf("cluster: re-register after coordinator restart: %w", rerr)
+				} else if fp2 != fp {
 					return fmt.Errorf("cluster: restarted coordinator serves spec %s, but this worker joined for %s", fp2, fp)
 				}
-				workerID = newID
-				if newTTL/3 > 0 {
-					hbEvery = newTTL / 3
+				workerID = resp.WorkerID
+				if d := time.Duration(resp.LeaseTTLMillis) * time.Millisecond / 3; d > 0 {
+					hbEvery = d
 				}
 				w.logf("worker %s: re-registered after coordinator restart\n", workerID)
 				continue
@@ -227,7 +267,8 @@ func (w *Worker) Run(ctx context.Context) error {
 				return err
 			}
 		case StatusLease:
-			err := w.runShard(ctx, c, info, workerID, hbEvery, lr)
+			env := shardEnv{c: c, info: info, ckptName: info.Campaign}
+			err := w.runShard(ctx, env, workerID, hbEvery, lr)
 			switch {
 			case errors.Is(err, errLeaseLost):
 				w.logf("worker %s: lease %s lost; rejoining the queue\n", workerID, lr.LeaseID)
@@ -243,45 +284,192 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 }
 
+// serviceLoop is the multi-run worker life against a campaign service:
+// lease shards of whatever run the service schedules, building (and
+// caching) one campaign per distinct spec fingerprint. Individual runs
+// finishing, failing or being cancelled never stop the worker; only a
+// drain directive (graceful scale-down), an unrecoverable local fault,
+// or ctx cancellation do.
+func (w *Worker) serviceLoop(ctx context.Context, workerID string, hbEvery time.Duration) error {
+	w.logf("worker %s: registered with campaign service, heartbeat every %v\n", workerID, hbEvery)
+	build := w.buildFunc()
+	type cached struct {
+		c    campaign.Campaign
+		info CampaignInfo
+	}
+	builds := make(map[string]*cached) // spec fingerprint -> built campaign
+	var drain atomic.Bool              // set by a heartbeat drain directive mid-shard
+	fails, reregs := 0, 0
+	for {
+		if drain.Load() {
+			w.logf("worker %s: drained; exiting\n", workerID)
+			return nil
+		}
+		if err := sleepCtx(ctx, 0); err != nil {
+			return err
+		}
+		lr, err := w.cl.lease(LeaseRequest{WorkerID: workerID})
+		if err != nil {
+			var se *statusError
+			if errors.As(err, &se) && se.code == http.StatusForbidden {
+				// The service restarted and lost its worker table (or this
+				// worker's registration aged out): re-register. Built
+				// campaigns are keyed by spec fingerprint, not worker ID,
+				// so the cache survives.
+				reregs++
+				if reregs > w.cfg.Retries {
+					return fmt.Errorf("cluster: service rejected this worker %d times in a row; giving up", reregs)
+				}
+				if err := sleepCtx(ctx, w.cfg.Poll); err != nil {
+					return err
+				}
+				resp, rerr := w.register(ctx)
+				if rerr != nil {
+					return fmt.Errorf("cluster: re-register after service restart: %w", rerr)
+				}
+				if !resp.Service {
+					return fmt.Errorf("cluster: coordinator at %s is no longer a campaign service; restart this worker against it", w.cfg.Coordinator)
+				}
+				workerID = resp.WorkerID
+				if d := time.Duration(resp.LeaseTTLMillis) * time.Millisecond / 3; d > 0 {
+					hbEvery = d
+				}
+				w.logf("worker %s: re-registered after service restart\n", workerID)
+				continue
+			}
+			if errors.As(err, &se) && se.code != http.StatusServiceUnavailable {
+				return err
+			}
+			fails++
+			if fails > w.cfg.Retries {
+				return fmt.Errorf("cluster: service unreachable after %d attempts: %w", fails, err)
+			}
+			if err := sleepCtx(ctx, w.cfg.Poll); err != nil {
+				return err
+			}
+			continue
+		}
+		fails, reregs = 0, 0
+		if lr.Drain {
+			// Idle-side drain: no shard in flight, exit immediately.
+			w.logf("worker %s: drain directive received; exiting\n", workerID)
+			return nil
+		}
+		switch lr.Status {
+		case StatusWait:
+			if err := sleepCtx(ctx, w.cfg.Poll); err != nil {
+				return err
+			}
+		case StatusDone:
+			w.logf("worker %s: service closed its queue; exiting\n", workerID)
+			return nil
+		case StatusFailed:
+			return fmt.Errorf("cluster: campaign service failed: %s", lr.Error)
+		case StatusLease:
+			br, ok := builds[lr.Fingerprint]
+			if !ok {
+				sp, _, err := decodeShipped(lr.Spec, lr.Fingerprint)
+				var built *spec.Built
+				if err == nil {
+					built, err = build(sp)
+				}
+				var info CampaignInfo
+				if err == nil {
+					info, err = InfoOf(built.Campaign)
+				}
+				if err != nil {
+					// A spec that will not build is deterministically broken
+					// for every worker: fail THAT RUN (routed by RunID) and
+					// keep serving the rest of the catalog.
+					w.logf("worker %s: run %s: %v\n", workerID, lr.RunID, err)
+					w.cl.results(ResultsRequest{WorkerID: workerID, LeaseID: lr.LeaseID, RunID: lr.RunID, TrialErr: err.Error()})
+					continue
+				}
+				br = &cached{c: built.Campaign, info: info}
+				builds[lr.Fingerprint] = br
+				w.logf("worker %s: built campaign %s (spec %s) for run %s\n",
+					workerID, info.Campaign, lr.Fingerprint, lr.RunID)
+			}
+			env := shardEnv{
+				c: br.c, info: br.info,
+				// The run ID prefixes the checkpoint name: two runs of equal
+				// shard labels (even of the same experiment) must never
+				// share a local file.
+				ckptName: lr.RunID + "-" + br.info.Campaign,
+				runID:    lr.RunID,
+				service:  true,
+				drain:    &drain,
+			}
+			err := w.runShard(ctx, env, workerID, hbEvery, lr)
+			switch {
+			case errors.Is(err, errLeaseLost):
+				w.logf("worker %s: lease %s lost; rejoining the queue\n", workerID, lr.LeaseID)
+			case errors.Is(err, errCampaignDone):
+				// The run finished under this shard's feet — fine; there
+				// may be more runs to serve.
+			case errors.Is(err, errLocal):
+				return err // this worker can no longer checkpoint durably
+			case ctx.Err() != nil:
+				return err
+			case err != nil:
+				// Deterministic trial failure: already reported to the
+				// service with this run's ID (it fails the run, not the
+				// fleet); keep serving other runs.
+				w.logf("worker %s: run %s failed: %v\n", workerID, lr.RunID, err)
+			}
+		default:
+			return fmt.Errorf("cluster: service sent unknown lease status %q", lr.Status)
+		}
+	}
+}
+
 // register enrolls the worker — retrying transport failures so workers
-// may start before their coordinator listens — and returns the
-// experiment spec the coordinator shipped, verified against its
-// fingerprint.
-func (w *Worker) register(ctx context.Context) (string, time.Duration, *spec.Spec, error) {
-	req := RegisterRequest{Worker: w.cfg.Name, Proto: protocolVersion}
+// may start before their coordinator listens.
+func (w *Worker) register(ctx context.Context) (RegisterResponse, error) {
+	req := RegisterRequest{Worker: w.cfg.Name, Proto: ProtocolVersion}
 	for attempt := 1; ; attempt++ {
 		resp, err := w.cl.register(req)
 		if err == nil {
-			sp, err := spec.Decode(resp.Spec)
-			if err != nil {
-				return "", 0, nil, fmt.Errorf("cluster: coordinator shipped an unreadable spec: %w", err)
-			}
-			fp, err := sp.Fingerprint()
-			if err != nil {
-				return "", 0, nil, fmt.Errorf("cluster: fingerprint received spec: %w", err)
-			}
-			if resp.Fingerprint != "" && fp != resp.Fingerprint {
-				return "", 0, nil, fmt.Errorf("cluster: received spec fingerprint %s does not match coordinator's %s", fp, resp.Fingerprint)
-			}
-			return resp.WorkerID, time.Duration(resp.LeaseTTLMillis) * time.Millisecond, sp, nil
+			return resp, nil
 		}
 		var se *statusError
 		if errors.As(err, &se) {
-			return "", 0, nil, err // protocol mismatch or malformed request
+			return RegisterResponse{}, err // protocol mismatch, bad token, malformed request
 		}
 		if attempt > w.cfg.Retries {
-			return "", 0, nil, fmt.Errorf("cluster: register failed after %d attempts: %w", attempt, err)
+			return RegisterResponse{}, fmt.Errorf("cluster: register failed after %d attempts: %w", attempt, err)
 		}
 		if err := sleepCtx(ctx, w.cfg.Poll); err != nil {
-			return "", 0, nil, err
+			return RegisterResponse{}, err
 		}
 	}
+}
+
+// shardEnv is everything runShard needs to execute one lease beyond
+// the lease grant itself: which campaign to run, what to name the
+// local checkpoint, and — in service mode — which run results route to
+// and where mid-shard drain directives land.
+type shardEnv struct {
+	c    campaign.Campaign
+	info CampaignInfo
+	// ckptName prefixes the local checkpoint filename (the campaign
+	// name in single mode; runID-campaign in service mode so concurrent
+	// runs of the same experiment never share a file).
+	ckptName string
+	// runID routes result batches in service mode ("" in single mode).
+	runID string
+	// service marks service-mode semantics: a terminal heartbeat status
+	// means THIS RUN is over, not the worker's life.
+	service bool
+	// drain, when non-nil, receives heartbeat drain directives: finish
+	// this shard, then exit at the top of the lease loop.
+	drain *atomic.Bool
 }
 
 // runShard executes one leased shard: resume from the local checkpoint,
 // run the pending trials on the local runner, stream each result back,
 // heartbeat until done.
-func (w *Worker) runShard(ctx context.Context, c campaign.Campaign, info CampaignInfo,
+func (w *Worker) runShard(ctx context.Context, env shardEnv,
 	workerID string, hbEvery time.Duration, lr LeaseResponse) error {
 	shardCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -292,7 +480,7 @@ func (w *Worker) runShard(ctx context.Context, c campaign.Campaign, info Campaig
 	var ckpt *campaign.Checkpoint
 	if w.cfg.CheckpointDir != "" {
 		var err error
-		ckpt, done, err = w.openShardCheckpoint(c, info, workerID, lr)
+		ckpt, done, err = w.openShardCheckpoint(env, workerID, lr)
 		if err != nil {
 			if errors.Is(err, errPush) {
 				// Streaming the resumed records failed transiently;
@@ -319,8 +507,12 @@ func (w *Worker) runShard(ctx context.Context, c campaign.Campaign, info Campaig
 	// aborts the runner promptly; a terminal campaign status observed
 	// on the heartbeat (failed/done elsewhere in the fleet) does the
 	// same and is remembered, so the worker reports the real outcome
-	// instead of burning its retry budget against a dead socket.
+	// instead of burning its retry budget against a dead socket. In
+	// service mode terminal statuses belong to individual runs, so they
+	// never stop the worker; drain directives and scale-up advice ride
+	// the heartbeat responses instead.
 	var terminal atomic.Value // string: StatusFailed or StatusDone
+	var lastAdvice atomic.Int64
 	go func() {
 		ticker := time.NewTicker(hbEvery)
 		defer ticker.Stop()
@@ -332,6 +524,15 @@ func (w *Worker) runShard(ctx context.Context, c campaign.Campaign, info Campaig
 			case <-ticker.C:
 			}
 			resp, err := w.cl.heartbeat(HeartbeatRequest{WorkerID: workerID, LeaseID: lr.LeaseID})
+			if err == nil {
+				if resp.Drain && env.drain != nil && !env.drain.Load() {
+					env.drain.Store(true)
+					w.logf("worker %s: drain directive received; will exit after this shard\n", workerID)
+				}
+				if adv := int64(resp.ScaleUp); adv != lastAdvice.Swap(adv) {
+					w.logf("worker %s: service advises %+d workers\n", workerID, adv)
+				}
+			}
 			switch {
 			case err != nil:
 				misses++
@@ -339,7 +540,7 @@ func (w *Worker) runShard(ctx context.Context, c campaign.Campaign, info Campaig
 					cancel()
 					return
 				}
-			case resp.Status == StatusFailed || resp.Status == StatusDone:
+			case !env.service && (resp.Status == StatusFailed || resp.Status == StatusDone):
 				terminal.Store(resp.Status)
 				cancel()
 				return
@@ -363,7 +564,7 @@ func (w *Worker) runShard(ctx context.Context, c campaign.Campaign, info Campaig
 			}
 		}
 		if _, err := w.cl.results(ResultsRequest{
-			WorkerID: workerID, LeaseID: lr.LeaseID,
+			WorkerID: workerID, LeaseID: lr.LeaseID, RunID: env.runID,
 			Results: []campaign.Result{r}, Wall: []float64{r.Wall},
 		}); err != nil {
 			return fmt.Errorf("%w: %v", errPush, err)
@@ -371,7 +572,7 @@ func (w *Worker) runShard(ctx context.Context, c campaign.Campaign, info Campaig
 		w.logf("worker %s: shard %s: trial %d (%s) done\n", workerID, lr.Shard, r.TrialID, r.Key)
 		return nil
 	}
-	err := w.cfg.Runner.Run(shardCtx, c, pending, sink)
+	err := w.cfg.Runner.Run(shardCtx, env.c, pending, sink)
 	if st, _ := terminal.Load().(string); st != "" && ctx.Err() == nil {
 		// The fleet finished (or failed) while this shard ran; report
 		// the observed outcome directly instead of polling a
@@ -403,8 +604,9 @@ func (w *Worker) runShard(ctx context.Context, c campaign.Campaign, info Campaig
 	default:
 		// A deterministic trial (or worker-construction) failure:
 		// another worker would fail the same way, so tell the
-		// coordinator to abort the campaign (best effort).
-		w.cl.results(ResultsRequest{WorkerID: workerID, LeaseID: lr.LeaseID, TrialErr: err.Error()})
+		// coordinator to abort the campaign (single mode) or just this
+		// run (service mode, routed by RunID) — best effort.
+		w.cl.results(ResultsRequest{WorkerID: workerID, LeaseID: lr.LeaseID, RunID: env.runID, TrialErr: err.Error()})
 		return err
 	}
 }
@@ -412,14 +614,14 @@ func (w *Worker) runShard(ctx context.Context, c campaign.Campaign, info Campaig
 // openShardCheckpoint opens (or creates) the local checkpoint for a
 // leased shard, returning the writer, the completed trial IDs, and —
 // when resuming — streaming the completed records to the coordinator.
-func (w *Worker) openShardCheckpoint(c campaign.Campaign, info CampaignInfo,
+func (w *Worker) openShardCheckpoint(env shardEnv,
 	workerID string, lr LeaseResponse) (*campaign.Checkpoint, map[int]bool, error) {
 	shard, err := campaign.ParseShard(lr.Shard)
 	if err != nil {
 		return nil, nil, fmt.Errorf("cluster: coordinator sent bad shard label %q: %w", lr.Shard, err)
 	}
-	header := campaign.NewHeader(c, info.Trials, shard)
-	path := filepath.Join(w.cfg.CheckpointDir, shardFileName(info.Campaign, lr.Shard))
+	header := campaign.NewHeader(env.c, env.info.Trials, shard)
+	path := filepath.Join(w.cfg.CheckpointDir, shardFileName(env.ckptName, lr.Shard))
 	done := make(map[int]bool)
 	if _, err := os.Stat(path); err == nil {
 		prev, results, err := campaign.ReadCheckpoint(path)
@@ -435,7 +637,8 @@ func (w *Worker) openShardCheckpoint(c campaign.Campaign, info CampaignInfo,
 				walls[i] = r.Wall
 			}
 			if _, err := w.cl.results(ResultsRequest{
-				WorkerID: workerID, LeaseID: lr.LeaseID, Results: results, Wall: walls,
+				WorkerID: workerID, LeaseID: lr.LeaseID, RunID: env.runID,
+				Results: results, Wall: walls,
 			}); err != nil {
 				return nil, nil, fmt.Errorf("%w: %v", errPush, err)
 			}

@@ -1,0 +1,72 @@
+// Package service is the campaign-as-a-service layer: one long-lived,
+// multi-tenant coordinator that multiplexes MANY concurrent experiment
+// runs over a single shared worker fleet, where internal/cluster's
+// Coordinator serves exactly one campaign and then exits.
+//
+// The split of responsibilities between the two layers:
+//
+//   - internal/cluster owns the mechanics of distributed execution: the
+//     wire protocol (register/lease/heartbeat/results), the generic
+//     lease table with heartbeat-renewed deadlines, the worker daemon
+//     (local shard checkpoints, error taxonomy, resume), and the
+//     single-run Coordinator that drops in as a campaign.Runner.
+//   - internal/service owns multi-tenancy policy on top of those
+//     mechanics: the run catalog (submit/list/get/watch/cancel, with
+//     spec.Spec Name/Labels annotations), per-run durability, the
+//     cross-run fair-share scheduler, admission-time re-planning, the
+//     autoscaling hooks, and bearer-token auth. It reuses — not forks —
+//     cluster's LeaseTable, protocol types and HTTP helpers, and
+//     campaign's WAL.
+//
+// # Run catalog and durability
+//
+// Each submitted spec becomes a run: "r<seq>-<fingerprint[:8]>", with
+// its own state directory <StateDir>/runs/<runID>/ holding
+//
+//   - status.json — catalog metadata (name, labels, priority, state),
+//     rewritten atomically on every state transition, so a restarted
+//     service can list terminal runs without replaying anything;
+//   - wal.jsonl — the same coordinator WAL internal/cluster journals
+//     (shard table, lease lifecycle, every accepted result), so restart
+//     recovery for an in-flight run is exactly PR 5's replay, per run;
+//   - results.jsonl — written atomically when the run completes: a
+//     complete, ordinary checkpoint (header + results sorted by trial
+//     ID) that `campaign merge` consumes like any shard file, and that
+//     merges byte-identically to a single-process execution.
+//
+// A SIGKILLed service restarted on the same StateDir replays every
+// in-flight run's WAL, invalidates the leases that were open at the
+// crash, and carries on; workers re-register and resume from their
+// local per-(run, shard) checkpoints, so completed trials never re-run.
+//
+// # Scheduling
+//
+// One cluster.LeaseTable keyed by (run, shard) covers the whole
+// catalog. A lease request picks among runs that are running and have a
+// free shard: the highest submission priority wins outright, and within
+// a priority band a deficit counter — charged to the chosen run,
+// credited equally to every contender — keeps long-term shard grants
+// fair however uneven the shard sizes are.
+//
+// Plans are revisited at run-admission boundaries: every admission
+// recomputes campaign.TimingByKey over all recorded results and feeds
+// it through the campaign.Planner seam (BalancedPlanner), both for the
+// new run and to re-plan any running run that currently has no leases
+// outstanding; each re-plan is journaled as a WAL plan record so replay
+// restores the table actually in force.
+//
+// # Autoscaling hooks
+//
+// Heartbeat responses carry scale-up advice (schedulable shards minus
+// idle live workers) and graceful-drain directives; lease responses
+// carry drain for idle workers. cluster.Worker honors both: a drained
+// worker finishes its current shard, then exits instead of taking
+// another lease. The advice is also exposed on GET /v1/status for
+// external autoscalers.
+//
+// # Auth
+//
+// Every endpoint — worker protocol and catalog alike — requires the
+// service's bearer token ("Authorization: Bearer <token>"), compared in
+// constant time. A service refuses to start without one.
+package service

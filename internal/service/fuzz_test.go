@@ -1,0 +1,52 @@
+package service_test
+
+import (
+	"testing"
+
+	"falvolt/internal/service"
+
+	_ "falvolt/internal/core"
+	_ "falvolt/internal/experiments"
+)
+
+// FuzzDecodeSubmit: arbitrary bytes through the submit-endpoint
+// decoder, the service's only write surface reachable from outside the
+// worker protocol. Malformed envelopes and specs must be rejected with
+// an error, never a panic, and whatever is accepted must satisfy the
+// endpoint's invariants (a decoded spec, an in-bounds priority).
+func FuzzDecodeSubmit(f *testing.F) {
+	seeds := []string{
+		`{"spec": {"version": 1, "kind": "selftest", "selftest": {"trials": 4}}}`,
+		`{"spec": {"version": 1, "kind": "selftest", "name": "smoke", "labels": {"team": "rel"}}, "priority": 10}`,
+		`{"spec": {"version": 1, "kind": "selftest", "name": "a\u0000b"}}`,
+		`{"spec": {"version": 1, "kind": "faultmodel", "faultModel": {"model": {"kind": "bitflip"}}}, "priority": 100}`,
+		`{"spec": {"version": 1, "kind": "selftest"}, "priority": 101}`,
+		`{"spec": {"version": 1, "kind": "selftest"}, "priority": -101}`,
+		`{"spec": {"version": 1, "kind": "selftest"}, "priority": -1}`,
+		`{"spec": {"version": 1, "kind": "selftest"}, "unknown": true}`,
+		`{"spec": {"version": 1, "kind": "selftest"}} trailing`,
+		`{"spec": null}`,
+		`{"priority": 5}`,
+		`{}`,
+		`not json`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, sp, err := service.DecodeSubmit(data)
+		if err != nil {
+			return // rejected is fine; panicking is the bug
+		}
+		if req == nil || sp == nil {
+			t.Fatalf("accepted submit returned nil request/spec: %v / %v", req, sp)
+		}
+		if req.Priority < -service.MaxPriority || req.Priority > service.MaxPriority {
+			t.Fatalf("accepted submit carries out-of-bounds priority %d", req.Priority)
+		}
+		if _, err := sp.Fingerprint(); err != nil {
+			t.Fatalf("accepted spec does not fingerprint: %v", err)
+		}
+	})
+}

@@ -23,6 +23,9 @@ import (
 func FuzzDecode(f *testing.F) {
 	seeds := [][]byte{
 		[]byte(`{"version": 1, "kind": "selftest", "selftest": {"trials": 4}}`),
+		[]byte(`{"version": 1, "kind": "selftest", "name": "smoke", "labels": {"team": "rel"}}`),
+		[]byte(`{"version": 1, "kind": "selftest", "name": "a\u0000b"}`),
+		[]byte(`{"version": 1, "kind": "selftest", "labels": {"": "v"}}`),
 		[]byte(`{"version": 1, "kind": "faultmodel", "faultModel": {"model": {"kind": "bitflip"}}}`),
 		[]byte(`{"version": 1, "kind": "faultmodel", "faultModel": {"model": {"kind": "transient", "strike": 2, "decay": 3}, "rates": [0.1]}}`),
 		[]byte(`{"version": 1, "kind": "faultsim", "faultsim": {"dataset": "mnist", "sweep": "model", "model": {"kind": "stuckat", "bit": 30}}}`),

@@ -70,6 +70,15 @@ type Spec struct {
 	// any plan of the same experiment merges byte-identically, so the
 	// planner is excluded from the canonical form.
 	Planner string `json:"planner,omitempty"`
+	// Name is a human-readable run name for service catalogs (`campaign
+	// submit -name`). Execution-only, like Backend/Shard/Planner: two
+	// submissions of the same experiment under different names are the
+	// same experiment, so the name is excluded from the canonical form.
+	Name string `json:"name,omitempty"`
+	// Labels are free-form key=value catalog annotations ("team",
+	// "sweep", "ticket", ...). Execution-only: excluded from the
+	// canonical form and the fingerprint, like Name.
+	Labels map[string]string `json:"labels,omitempty"`
 
 	// Suite configures the figure campaigns (fig2, fig5a-c, mitigation).
 	Suite *SuiteSpec `json:"suite,omitempty"`
@@ -554,6 +563,12 @@ func (s *Spec) Validate() error {
 	if err := campaign.ValidatePlannerName(s.Planner); err != nil {
 		return fmt.Errorf("spec: %w", err)
 	}
+	if err := validateRunName(s.Name); err != nil {
+		return err
+	}
+	if err := validateLabels(s.Labels); err != nil {
+		return err
+	}
 	want := sectionFor(s.Kind)
 	for name, present := range map[string]bool{
 		"suite":      s.Suite != nil,
@@ -584,13 +599,64 @@ func (s *Spec) Validate() error {
 	return nil
 }
 
+// Catalog-field limits. Names and labels travel through service
+// catalogs, log lines and status tables; bound them so a pasted blob
+// or a control character cannot wreck a listing or a journal line.
+const (
+	maxNameLen       = 128
+	maxLabelKeyLen   = 64
+	maxLabelValueLen = 256
+	maxLabels        = 32
+)
+
+// validateRunName bounds the catalog name: printable, single-line,
+// at most maxNameLen bytes.
+func validateRunName(name string) error {
+	if len(name) > maxNameLen {
+		return fmt.Errorf("spec: name longer than %d bytes", maxNameLen)
+	}
+	for _, r := range name {
+		if r < 0x20 || r == 0x7f {
+			return fmt.Errorf("spec: name contains control character %q", r)
+		}
+	}
+	return nil
+}
+
+// validateLabels bounds the catalog labels: non-empty printable keys,
+// printable single-line values, at most maxLabels entries.
+func validateLabels(labels map[string]string) error {
+	if len(labels) > maxLabels {
+		return fmt.Errorf("spec: more than %d labels", maxLabels)
+	}
+	for k, v := range labels {
+		if k == "" {
+			return fmt.Errorf("spec: empty label key")
+		}
+		if len(k) > maxLabelKeyLen {
+			return fmt.Errorf("spec: label key %q longer than %d bytes", k[:maxLabelKeyLen], maxLabelKeyLen)
+		}
+		if len(v) > maxLabelValueLen {
+			return fmt.Errorf("spec: label %q value longer than %d bytes", k, maxLabelValueLen)
+		}
+		for _, r := range k + v {
+			if r < 0x20 || r == 0x7f {
+				return fmt.Errorf("spec: label %q contains control character %q", k, r)
+			}
+		}
+	}
+	return nil
+}
+
 // Canonical returns the spec's identity bytes: execution placement
-// (Backend, Shard, Planner) cleared, compact JSON in fixed struct-field
-// order. Two specs describing the same experiment canonicalize
-// identically however their JSON source was ordered or indented.
+// (Backend, Shard, Planner) and catalog identity (Name, Labels)
+// cleared, compact JSON in fixed struct-field order. Two specs
+// describing the same experiment canonicalize identically however
+// their JSON source was ordered or indented.
 func (s *Spec) Canonical() ([]byte, error) {
 	c := *s
 	c.Backend, c.Shard, c.Planner = "", "", ""
+	c.Name, c.Labels = "", nil
 	b, err := json.Marshal(&c)
 	if err != nil {
 		return nil, fmt.Errorf("spec: canonicalize: %w", err)

@@ -47,6 +47,8 @@ func representative() map[string]*spec.Spec {
 		},
 		"selftest": {
 			Version: spec.Version, Kind: "selftest", Seed: 7,
+			Name:     "smoke-sweep",
+			Labels:   map[string]string{"team": "reliability", "tier": "smoke"},
 			Selftest: &spec.SelftestSpec{Trials: 24},
 		},
 		"falvolt": {
@@ -150,6 +152,15 @@ func TestFingerprintStability(t *testing.T) {
 		t.Fatal("backend/shard/planner leaked into the fingerprint")
 	}
 
+	// Catalog identity (name, labels) must not perturb identity either:
+	// two submissions of one experiment under different names merge.
+	named := *s
+	named.Name = "overnight-yield-a"
+	named.Labels = map[string]string{"team": "reliability", "ticket": "FV-812"}
+	if got, _ := named.Fingerprint(); got != want {
+		t.Fatal("name/labels leaked into the fingerprint")
+	}
+
 	// A genuinely different experiment must fingerprint differently.
 	changed := *s
 	y := *s.Yield
@@ -174,6 +185,10 @@ func TestDecodeRejections(t *testing.T) {
 		{"bad planner", `{"version": 1, "kind": "selftest", "planner": "fastest"}`, "unknown planner"},
 		{"balance without source", `{"version": 1, "kind": "selftest", "planner": "balance:"}`, "unknown planner"},
 		{"trailing garbage", `{"version": 1, "kind": "selftest"} {"again": true}`, "trailing data"},
+		{"name with newline", `{"version": 1, "kind": "selftest", "name": "a\nb"}`, "control character"},
+		{"overlong name", fmt.Sprintf(`{"version": 1, "kind": "selftest", "name": %q}`, strings.Repeat("x", 200)), "longer than"},
+		{"empty label key", `{"version": 1, "kind": "selftest", "labels": {"": "v"}}`, "empty label key"},
+		{"label value with control char", `{"version": 1, "kind": "selftest", "labels": {"k": "a\tb"}}`, "control character"},
 		{"section/kind mismatch", `{"version": 1, "kind": "selftest", "yield": {"chips": 3}}`, "does not use the yield section"},
 	}
 	for _, tc := range cases {
