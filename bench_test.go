@@ -17,7 +17,9 @@ import (
 	"falvolt/internal/faults"
 	"falvolt/internal/fixed"
 	"falvolt/internal/mapping"
+	"falvolt/internal/mitigation"
 	"falvolt/internal/snn"
+	"falvolt/internal/spec"
 	"falvolt/internal/systolic"
 	"falvolt/internal/tensor"
 )
@@ -342,6 +344,45 @@ func BenchmarkSystolicForwardFaultySparse30(b *testing.B) {
 }
 func BenchmarkSystolicForwardFaultyDense30(b *testing.B) {
 	benchSystolicForwardAt(b, 0.3, true, false, true, nil)
+}
+
+// Salvage pair: one head-to-head benchmark cell through the pluggable
+// mitigation seam — a zero-retraining strategy (respawn's remap) and a
+// retraining one (falvolt, one epoch). Restore → inject → Apply →
+// evaluate, exactly the salvage campaign's RunTrial shape.
+func benchSalvage(b *testing.B, mitSpec spec.MitigationSpec, epochs int) {
+	f := getFixture(b)
+	arr := newArray(b, 32)
+	fm := msbFaults(b, 32, 200, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.restore(b)
+		arr.ClearFaults()
+		arr.SetBypass(false)
+		if err := arr.InjectFaults(fm); err != nil {
+			b.Fatal(err)
+		}
+		mit, err := mitigation.New(mitSpec.EffectiveKind(), mitigation.Options{
+			Train: f.ds.Train[:48], Test: f.ds.Test[:24],
+			Epochs: epochs, BatchSize: 16, LR: 0.01, ClipNorm: 5,
+			Rng: rand.New(rand.NewSource(int64(i))), Silent: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mit.Apply(f.model, arr, arr.FaultMap()); err != nil {
+			b.Fatal(err)
+		}
+		snn.EvaluateWith(nil, f.model.Net, f.ds.Test[:24], 24)
+		f.model.Net.Undeploy()
+	}
+}
+
+func BenchmarkSalvageRespawn(b *testing.B) {
+	benchSalvage(b, spec.MitigationSpec{Kind: "respawn"}, 0)
+}
+func BenchmarkSalvageFalVoltEpoch(b *testing.B) {
+	benchSalvage(b, spec.MitigationSpec{Kind: "falvolt"}, 1)
 }
 
 func BenchmarkScanTest256(b *testing.B) {

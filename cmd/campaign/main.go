@@ -134,15 +134,17 @@ func usage() {
                                             execute (one shard of) a campaign with
                                             JSONL checkpointing and resume
   serve -c <kind> -addr <host:port> [-shards N] [-lease-ttl D] [-o file]
-        [-state dir] [-balance src] [config flags]
+        [-state dir] [-balance src] [-tls-cert crt -tls-key key] [config flags]
                                             coordinate ONE campaign across HTTP workers,
                                             then print the figures/report; -state makes
                                             the coordinator survive its own restart,
                                             -balance sizes shards by recorded timing
   service -addr <host:port> -state <dir> -token <tok> [-shards N] [-lease-ttl D]
+          [-retain N] [-tls-cert crt -tls-key key]
                                             long-lived multi-tenant coordinator: accepts
                                             submitted specs, fair-shares one worker fleet
-                                            across all running campaigns, survives restart
+                                            across all running campaigns, survives restart;
+                                            -retain prunes the oldest finished runs
   submit -service <url> -token <tok> [-priority P] [-name N] [-label k=v]
          (-c <kind> [config flags] | -spec <file>)
                                             submit a spec to a service; prints the run ID
@@ -150,9 +152,10 @@ func usage() {
                                             list catalog runs, or watch/cancel/fetch one
   drain  -service <url> -token <tok> -worker <id|name>
                                             gracefully retire workers (finish shard, exit)
-  work  -coordinator <url> [-token tok] [-checkpoint dir] [-cache dir]
+  work  -coordinator <url> [-token tok] [-checkpoint dir] [-cache dir] [-tls-ca pem]
                                             spec-free worker daemon: campaign specs
                                             arrive from the coordinator or service
+                                            (https:// coordinators verify via -tls-ca)
   merge [-cache dir] [-json file] [-o file] <file>...
                                             merge shard/checkpoint files and print the
                                             figures or report (plus a timing summary)
@@ -220,6 +223,15 @@ type config struct {
 	rates     string
 	timesteps int
 	density   float64
+
+	// Salvage campaign options.
+	models string
+	mits   string
+
+	// Site-sweep campaign options.
+	bits   string
+	pols   string
+	sample int
 }
 
 func addConfigFlags(fs *flag.FlagSet, c *config) {
@@ -250,9 +262,14 @@ func addConfigFlags(fs *flag.FlagSet, c *config) {
 	fs.IntVar(&c.trials, "trials", 24, "selftest: synthetic trial count")
 	fs.IntVar(&c.delayMS, "delay", 0, "selftest: artificial per-trial delay in ms (scheduling smoke tests)")
 	fs.StringVar(&c.model, "model", "", "faultmodel: fault model stuckat | bitflip | transient (\"\" = stuckat)")
-	fs.StringVar(&c.rates, "rates", "", "faultmodel: comma-separated rate ladder (\"\" = default)")
-	fs.IntVar(&c.timesteps, "timesteps", 0, "faultmodel: inference horizon per trial (0 = default)")
-	fs.Float64Var(&c.density, "density", 0, "faultmodel: input spike density (0 = default)")
+	fs.StringVar(&c.rates, "rates", "", "faultmodel/salvage: comma-separated rate ladder (\"\" = default)")
+	fs.IntVar(&c.timesteps, "timesteps", 0, "faultmodel/sitesweep: inference horizon per trial (0 = default)")
+	fs.Float64Var(&c.density, "density", 0, "faultmodel/sitesweep: input spike density (0 = default)")
+	fs.StringVar(&c.models, "models", "", "salvage: comma-separated fault-model axis (\"\" = default)")
+	fs.StringVar(&c.mits, "mitigations", "", "salvage: comma-separated mitigation kinds: "+strings.Join(spec.MitigationKinds(), " | ")+" (\"\" = default)")
+	fs.StringVar(&c.bits, "bits", "", "sitesweep: comma-separated stuck bit positions (\"\" = every word bit)")
+	fs.StringVar(&c.pols, "pols", "", "sitesweep: stuck-at polarity both | sa0 | sa1 (\"\" = both)")
+	fs.IntVar(&c.sample, "sample", 0, "sitesweep: seed-addressed random site subset (0 = exhaustive)")
 }
 
 // parseRates parses the -rates ladder ("0.01,0.05,0.1").
@@ -269,6 +286,41 @@ func parseRates(s string) ([]float64, error) {
 		rates = append(rates, r)
 	}
 	return rates, nil
+}
+
+// parseList splits a comma-separated flag into trimmed entries.
+func parseList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		out = append(out, strings.TrimSpace(f))
+	}
+	return out
+}
+
+// parseBits parses the -bits ladder ("0,8,31") into bit positions.
+func parseBits(s string) ([]uint, error) {
+	var bits []uint
+	for _, f := range parseList(s) {
+		b, err := strconv.ParseUint(f, 10, 8)
+		if err != nil {
+			return nil, fmt.Errorf("bad -bits entry %q", f)
+		}
+		bits = append(bits, uint(b))
+	}
+	return bits, nil
+}
+
+// parseMitigations turns the -mitigations kind list into specs; per-kind
+// knobs (epochs, lr, vth, bypass bit) need a spec file.
+func parseMitigations(s string) []spec.MitigationSpec {
+	var mits []spec.MitigationSpec
+	for _, kind := range parseList(s) {
+		mits = append(mits, spec.MitigationSpec{Kind: kind})
+	}
+	return mits
 }
 
 // spec loads -spec or compiles the config flags into a Spec. The
@@ -302,6 +354,33 @@ func (c *config) spec() (*spec.Spec, error) {
 			Repeats: c.repeats,
 			// Batch stays at its documented default; the flag surface
 			// exposes the knobs sweeps actually vary.
+			Timesteps: c.timesteps,
+			Density:   c.density,
+		}
+	case "salvage":
+		rates, err := parseRates(c.rates)
+		if err != nil {
+			return nil, err
+		}
+		s.Salvage = &spec.SalvageCampaignSpec{
+			Models:      parseList(c.models),
+			Mitigations: parseMitigations(c.mits),
+			Rates:       rates,
+			Repeats:     c.repeats,
+			Array:       c.arrayN,
+			BaseEpochs:  c.baseEp,
+			Epochs:      c.epochs,
+		}
+	case "sitesweep":
+		bits, err := parseBits(c.bits)
+		if err != nil {
+			return nil, err
+		}
+		s.SiteSweep = &spec.SiteSweepSpec{
+			Array:     c.arrayN,
+			Bits:      bits,
+			Pols:      c.pols,
+			Sample:    c.sample,
 			Timesteps: c.timesteps,
 			Density:   c.density,
 		}
@@ -484,6 +563,8 @@ func serveCmd(args []string) error {
 		out      = fs.String("o", "", "checkpoint/output JSONL (default <kind>-cluster.jsonl); resumes")
 		state    = fs.String("state", "", "state directory for the coordinator WAL: journal shard table, leases and results; a restarted serve with the same -state resumes the run")
 		balance  = fs.String("balance", "", "size shards by predicted wall-clock from this timing source (a checkpoint, WAL, or state dir of a prior run)")
+		tlsCert  = fs.String("tls-cert", "", "serve HTTPS with this PEM certificate (requires -tls-key)")
+		tlsKey   = fs.String("tls-key", "", "PEM private key for -tls-cert")
 	)
 	addConfigFlags(fs, &c)
 	fs.Parse(args)
@@ -513,6 +594,7 @@ func serveCmd(args []string) error {
 	co := cluster.NewCoordinator(cluster.CoordinatorConfig{
 		Addr: *addr, Spec: s, Shards: *shards, LeaseTTL: *leaseTTL,
 		PlannerName: pn, StateDir: *state, Log: os.Stderr,
+		TLSCert: *tlsCert, TLSKey: *tlsKey,
 	})
 	// One startup line with everything an operator needs to point
 	// workers (and debug a wrong flag): the RESOLVED listen address —
@@ -555,6 +637,7 @@ func workCmd(args []string) error {
 		ckptDir = fs.String("checkpoint", "", "directory for local per-shard JSONL checkpoints (resume on restart)")
 		cache   = fs.String("cache", "", "directory for baseline snapshots (reused across runs)")
 		poll    = fs.Duration("poll", 0, "idle poll interval (0 = default)")
+		tlsCA   = fs.String("tls-ca", "", "PEM CA bundle for an https:// coordinator with a private certificate")
 		backend = fs.String("backend", "", tensor.BackendFlagDoc)
 	)
 	fs.Parse(args)
@@ -573,7 +656,8 @@ func workCmd(args []string) error {
 	// its canonical spec at registration and the worker builds from it.
 	w := cluster.NewWorker(cluster.WorkerConfig{
 		Coordinator: *coord, Token: resolveToken(*token), Name: *name,
-		CheckpointDir: *ckptDir, CacheDir: *cache, Poll: *poll, Log: os.Stderr,
+		CheckpointDir: *ckptDir, CacheDir: *cache, Poll: *poll,
+		TLSCA: *tlsCA, Log: os.Stderr,
 	})
 	return w.Run(ctx)
 }
@@ -590,6 +674,9 @@ func serviceCmd(args []string) error {
 		shards   = fs.Int("shards", 0, "shards per run (0 = auto; more shards = finer fair-share interleaving)")
 		leaseTTL = fs.Duration("lease-ttl", 0, "shard lease deadline without a heartbeat (0 = default)")
 		cache    = fs.String("cache", "", "directory for baseline snapshots (reused across runs)")
+		retain   = fs.Int("retain", 0, "keep at most this many finished (done/failed/cancelled) runs, pruning oldest first (0 = keep all)")
+		tlsCert  = fs.String("tls-cert", "", "serve HTTPS with this PEM certificate (requires -tls-key)")
+		tlsKey   = fs.String("tls-key", "", "PEM private key for -tls-cert")
 		backend  = fs.String("backend", "", tensor.BackendFlagDoc)
 	)
 	fs.Parse(args)
@@ -610,7 +697,8 @@ func serviceCmd(args []string) error {
 	defer stop()
 	svc := service.New(service.Config{
 		Addr: *addr, StateDir: abs, Token: resolveToken(*token),
-		Shards: *shards, LeaseTTL: *leaseTTL, CacheDir: *cache, Log: os.Stderr,
+		Shards: *shards, LeaseTTL: *leaseTTL, CacheDir: *cache,
+		Retain: *retain, TLSCert: *tlsCert, TLSKey: *tlsKey, Log: os.Stderr,
 	})
 	return svc.Run(ctx)
 }
@@ -625,6 +713,7 @@ func submitCmd(args []string) error {
 	var (
 		svcURL   = fs.String("service", "", "campaign service base URL (http://host:port)")
 		token    = fs.String("token", "", "bearer token (default $CAMPAIGN_TOKEN)")
+		tlsCA    = fs.String("tls-ca", "", "PEM CA bundle for an https:// service with a private certificate")
 		name     = fs.String("name", "", "catalog display name for the run (overrides the spec's name)")
 		priority = fs.Int("priority", 0, fmt.Sprintf("scheduling priority %d..%d; higher leases first within the fleet", -service.MaxPriority, service.MaxPriority))
 	)
@@ -661,7 +750,10 @@ func submitCmd(args []string) error {
 	}
 	// The service builds and validates the spec on admission; no local
 	// build here — the submitting machine may lack the dataset/caches.
-	cl := service.NewClient(*svcURL, resolveToken(*token))
+	cl, err := service.NewClientTLS(*svcURL, resolveToken(*token), *tlsCA)
+	if err != nil {
+		return err
+	}
 	resp, err := cl.Submit(enc, *priority)
 	if err != nil {
 		return err
@@ -679,6 +771,7 @@ func runsCmd(args []string) error {
 	var (
 		svcURL = fs.String("service", "", "campaign service base URL (http://host:port)")
 		token  = fs.String("token", "", "bearer token (default $CAMPAIGN_TOKEN)")
+		tlsCA  = fs.String("tls-ca", "", "PEM CA bundle for an https:// service with a private certificate")
 		id     = fs.String("id", "", "run ID (from `campaign submit`); \"\" lists the whole catalog")
 		watch  = fs.Bool("watch", false, "with -id: long-poll until the run reaches a terminal state")
 		cancel = fs.Bool("cancel", false, "with -id: cancel the run (idempotent)")
@@ -691,7 +784,10 @@ func runsCmd(args []string) error {
 	if *svcURL == "" {
 		return fmt.Errorf("runs needs -service <url>")
 	}
-	cl := service.NewClient(*svcURL, resolveToken(*token))
+	cl, err := service.NewClientTLS(*svcURL, resolveToken(*token), *tlsCA)
+	if err != nil {
+		return err
+	}
 	if *id == "" {
 		list, err := cl.List()
 		if err != nil {
@@ -707,10 +803,7 @@ func runsCmd(args []string) error {
 		}
 		return nil
 	}
-	var (
-		sum service.RunSummary
-		err error
-	)
+	var sum service.RunSummary
 	switch {
 	case *cancel:
 		sum, err = cl.Cancel(*id)
@@ -750,6 +843,7 @@ func drainCmd(args []string) error {
 	var (
 		svcURL = fs.String("service", "", "campaign service base URL (http://host:port)")
 		token  = fs.String("token", "", "bearer token (default $CAMPAIGN_TOKEN)")
+		tlsCA  = fs.String("tls-ca", "", "PEM CA bundle for an https:// service with a private certificate")
 		worker = fs.String("worker", "", "worker ID or display name to drain")
 	)
 	fs.Parse(args)
@@ -759,7 +853,10 @@ func drainCmd(args []string) error {
 	if *svcURL == "" || *worker == "" {
 		return fmt.Errorf("drain needs -service <url> and -worker <id|name>")
 	}
-	cl := service.NewClient(*svcURL, resolveToken(*token))
+	cl, err := service.NewClientTLS(*svcURL, resolveToken(*token), *tlsCA)
+	if err != nil {
+		return err
+	}
 	resp, err := cl.Drain(*worker)
 	if err != nil {
 		return err

@@ -16,6 +16,13 @@
 //	faultsim -sweep count -dataset nmnist -array 64
 //	faultsim -sweep size  -dataset mnist -faults 4
 //	faultsim -sweep model -model bitflip -dataset mnist
+//
+// -mitigate <kind> salvages every deployment before measuring: each
+// sweep point injects its fault instance, applies the named mitigation
+// strategy (internal/mitigation — falvolt, fap, fapit, respawn,
+// rescuesnn or softsnn) to the trained network on the faulty array, and
+// reports the salvaged accuracy instead of the raw one. The same sweep
+// with and without -mitigate is the per-point recovery picture.
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"falvolt/internal/datasets"
 	"falvolt/internal/faults"
 	"falvolt/internal/fixed"
+	"falvolt/internal/mitigation"
 	"falvolt/internal/snn"
 	"falvolt/internal/spec"
 	"falvolt/internal/systolic"
@@ -44,6 +52,8 @@ func main() {
 		dataset  = flag.String("dataset", def.Dataset, "mnist | nmnist | dvsgesture")
 		sweep    = flag.String("sweep", def.Sweep, "bits | count | size | model")
 		modelN   = flag.String("model", "", "fault model for -sweep model: "+strings.Join(faults.ModelNames(), " | "))
+		mitigate = flag.String("mitigate", "", "salvage each deployment with this mitigation before measuring: "+strings.Join(spec.MitigationKinds(), " | ")+" (\"\" = unmitigated)")
+		mitEp    = flag.Int("mit-epochs", 0, "retraining epochs per salvage for retraining mitigations (0 = 1)")
 		arrayN   = flag.Int("array", def.Array, "systolic array side for bits/count sweeps")
 		nFaults  = flag.Int("faults", def.Faults, "faulty PEs for bits/size sweeps")
 		repeats  = flag.Int("repeats", def.Repeats, "fault maps averaged per point")
@@ -86,6 +96,9 @@ func main() {
 		}
 		if *modelN != "" {
 			s.FaultSim.Model = &spec.FaultModelSpec{Kind: *modelN}
+		}
+		if *mitigate != "" {
+			s.FaultSim.Mitigate = &spec.MitigationSpec{Kind: *mitigate, Epochs: *mitEp}
 		}
 	}
 	if *dumpSpec {
@@ -131,6 +144,12 @@ func run(s *spec.Spec) error {
 			return err
 		}
 	}
+	mitSpec := f.Mitigate
+	if mitSpec != nil {
+		if err := mitSpec.Validate(); err != nil {
+			return err
+		}
+	}
 	var mspec snn.ModelSpec
 	var gen func(datasets.Config) (*datasets.Dataset, error)
 	dcfg := datasets.Config{Train: trainN, Test: testN, Seed: seed}
@@ -167,8 +186,50 @@ func run(s *spec.Spec) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("baseline accuracy %.3f\n\n", baseAcc)
+	fmt.Printf("baseline accuracy %.3f\n", baseAcc)
+	if mitSpec != nil {
+		fmt.Printf("mitigating every deployment with %s\n", mitSpec.EffectiveKind())
+	}
+	fmt.Println()
 
+	// Fault-free snapshot: each salvaged measurement restores it before
+	// the strategy (possibly) retrains, so sweep points stay independent.
+	base := model.Net.State()
+	var mitTrial int64
+	salvaged := func(arr *systolic.Array, inject func() error) (float64, error) {
+		net := model.Net
+		net.Undeploy()
+		if err := net.LoadState(base); err != nil {
+			return 0, err
+		}
+		arr.ClearFaults()
+		arr.SetBypass(false)
+		if err := inject(); err != nil {
+			return 0, err
+		}
+		epochs := mitSpec.Epochs
+		if epochs == 0 {
+			epochs = 1
+		}
+		mitTrial++
+		mit, err := mitigation.New(mitSpec.EffectiveKind(), mitigation.Options{
+			Train: ds.Train, Test: ds.Test, Epochs: epochs, BatchSize: 16,
+			LR: mitSpec.LR, ClipNorm: 5, FixedVth: mitSpec.Vth,
+			Rng:       rand.New(rand.NewSource(seed + 7919*mitTrial)),
+			BypassBit: mitSpec.BypassBit, Silent: true,
+		})
+		if err != nil {
+			return 0, err
+		}
+		if _, err := mit.Apply(model, arr, arr.FaultMap()); err != nil {
+			return 0, err
+		}
+		acc := snn.EvaluateWith(nil, net, ds.Test, 32)
+		net.Undeploy()
+		arr.ClearFaults()
+		arr.SetBypass(false)
+		return acc, nil
+	}
 	evalMap := func(arr *systolic.Array, genMap func(rep int) (*faults.Map, error)) (float64, error) {
 		var sum float64
 		for r := 0; r < repeats; r++ {
@@ -176,7 +237,12 @@ func run(s *spec.Spec) error {
 			if err != nil {
 				return 0, err
 			}
-			acc, err := core.EvaluateFaulty(model, arr, fm, ds.Test, false, 32)
+			var acc float64
+			if mitSpec != nil {
+				acc, err = salvaged(arr, func() error { return arr.InjectFaults(fm) })
+			} else {
+				acc, err = core.EvaluateFaulty(model, arr, fm, ds.Test, false, 32)
+			}
 			if err != nil {
 				return 0, err
 			}
@@ -254,7 +320,14 @@ func run(s *spec.Spec) error {
 		for _, rate := range spec.DefaultFaultModelRates() {
 			var sum float64
 			for r := 0; r < repeats; r++ {
-				acc, err := core.EvaluateModelFaulty(model, arr, fmodel, rate, seed+int64(1e6*rate)+int64(r), ds.Test, core.EvalOptions{BatchSize: 32})
+				mseed := seed + int64(1e6*rate) + int64(r)
+				var acc float64
+				var err error
+				if mitSpec != nil {
+					acc, err = salvaged(arr, func() error { return fmodel.Inject(arr, rate, mseed) })
+				} else {
+					acc, err = core.EvaluateModelFaulty(model, arr, fmodel, rate, mseed, ds.Test, core.EvalOptions{BatchSize: 32})
+				}
 				if err != nil {
 					return err
 				}

@@ -377,7 +377,7 @@ func TestProtocolMismatchRejected(t *testing.T) {
 		CoordinatorConfig{LeaseTTL: time.Second},
 		campaign.Options{Context: ctx})
 
-	cl := newClient(url, "")
+	cl := newClient(url, "", "")
 	_, err := cl.register(RegisterRequest{Worker: "stale-build", Proto: ProtocolVersion - 1})
 	if err == nil || !strings.Contains(err.Error(), "protocol version mismatch") {
 		t.Fatalf("stale worker registered anyway: err=%v", err)

@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"crypto/tls"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -66,6 +67,12 @@ type CoordinatorConfig struct {
 	// LeaseTTL is how long a shard lease survives without a heartbeat
 	// (0 = DefaultLeaseTTL).
 	LeaseTTL time.Duration
+	// TLSCert/TLSKey, when set (both required together), serve the
+	// coordinator over HTTPS with this PEM certificate and private key;
+	// URL then reports an https:// base. Workers with a private CA pass
+	// its bundle via WorkerConfig.TLSCA.
+	TLSCert string
+	TLSKey  string
 	// Linger keeps the server answering StatusDone after completion so
 	// idle workers observe the result instead of a dead socket
 	// (default 1s; tests shorten it).
@@ -221,7 +228,17 @@ func (co *Coordinator) Run(ctx context.Context, c campaign.Campaign, trials []ca
 	if err != nil {
 		return fmt.Errorf("cluster: listen %s: %w", co.cfg.Addr, err)
 	}
-	co.url = "http://" + ln.Addr().String()
+	scheme := "http"
+	if co.cfg.TLSCert != "" || co.cfg.TLSKey != "" {
+		tc, err := TLSServerConfig(co.cfg.TLSCert, co.cfg.TLSKey)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		ln = tls.NewListener(ln, tc)
+		scheme = "https"
+	}
+	co.url = scheme + "://" + ln.Addr().String()
 	close(co.ready)
 	srv := &http.Server{Handler: co.mux()}
 	serveErr := make(chan error, 1)

@@ -17,19 +17,21 @@ const MaxBodyBytes = 64 << 20
 
 // client is the worker side of the wire protocol. A non-empty token is
 // sent as a bearer credential on every request (campaign services
-// require one; single-run coordinators ignore it).
+// require one; single-run coordinators ignore it). A non-empty caFile
+// makes HTTPS connections verify against that CA bundle instead of the
+// system roots; a bundle that fails to load is surfaced on every call
+// rather than at construction, so NewWorker stays infallible.
 type client struct {
 	base  string
 	token string
 	hc    *http.Client
+	err   error
 }
 
-func newClient(base, token string) *client {
-	return &client{
-		base:  strings.TrimRight(base, "/"),
-		token: token,
-		hc:    &http.Client{Timeout: 30 * time.Second},
-	}
+func newClient(base, token, caFile string) *client {
+	cl := &client{base: strings.TrimRight(base, "/"), token: token}
+	cl.hc, cl.err = HTTPClient(caFile, 30*time.Second)
+	return cl
 }
 
 // statusError is a non-2xx protocol reply — a deliberate rejection
@@ -51,6 +53,9 @@ func (e *statusError) Error() string {
 // responses come back as *statusError carrying the server's message;
 // other errors are transport failures.
 func (cl *client) post(path string, in, out any) error {
+	if cl.err != nil {
+		return cl.err
+	}
 	body, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("cluster: marshal %s request: %w", path, err)

@@ -72,6 +72,10 @@ type WorkerConfig struct {
 	// CacheDir persists trained baselines between runs; it is passed to
 	// the spec builder (execution-local, never affects results).
 	CacheDir string
+	// TLSCA, when non-empty, is a PEM CA bundle HTTPS connections verify
+	// against instead of the system roots — for an https:// coordinator
+	// served with a privately-issued certificate.
+	TLSCA string
 	// Build constructs the campaign from the spec the coordinator ships
 	// at registration. Nil selects spec.Build with this worker's
 	// CacheDir and Log — the production path. Tests inject wrappers
@@ -116,7 +120,7 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	if cfg.Retries <= 0 {
 		cfg.Retries = defaultRetries
 	}
-	return &Worker{cfg: cfg, cl: newClient(cfg.Coordinator, cfg.Token)}
+	return &Worker{cfg: cfg, cl: newClient(cfg.Coordinator, cfg.Token, cfg.TLSCA)}
 }
 
 // Run registers with the coordinator and processes shard leases until

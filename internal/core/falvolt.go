@@ -17,122 +17,51 @@
 // weight indices from the chip's fault map, zero them, retrain (re-zeroing
 // at the end of every epoch, Algorithm 1 line 13), then evaluate on the
 // faulty array with bypass enabled.
+//
+// The Algorithm-1 engine itself now lives in internal/mitigation, where
+// it is one strategy among several in the salvage zoo; this package
+// aliases and delegates so the historical core API — and the campaigns
+// built on it — is byte-for-byte unchanged.
 package core
 
 import (
 	"fmt"
 	"math/rand"
-	"time"
 
 	"falvolt/internal/faults"
-	"falvolt/internal/mapping"
+	"falvolt/internal/mitigation"
 	"falvolt/internal/snn"
 	"falvolt/internal/systolic"
 	"falvolt/internal/tensor"
 )
 
 // Method selects the mitigation strategy.
-type Method int
+type Method = mitigation.Method
 
 const (
 	// FaP is fault-aware pruning only.
-	FaP Method = iota
+	FaP = mitigation.FaP
 	// FaPIT is fault-aware pruning with retraining, fixed threshold.
-	FaPIT
+	FaPIT = mitigation.FaPIT
 	// FalVolt is fault-aware pruning with retraining and per-layer
 	// threshold-voltage optimization.
-	FalVolt
+	FalVolt = mitigation.FalVolt
 )
 
-// String implements fmt.Stringer.
-func (m Method) String() string {
-	switch m {
-	case FaP:
-		return "FaP"
-	case FaPIT:
-		return "FaPIT"
-	case FalVolt:
-		return "FalVolt"
-	default:
-		return fmt.Sprintf("Method(%d)", int(m))
-	}
-}
-
 // Config controls a mitigation run.
-type Config struct {
-	Method Method
-	// Epochs is the retraining budget (ignored for FaP).
-	Epochs int
-	// BatchSize and LR configure the retraining loop.
-	BatchSize int
-	LR        float64
-	// FixedVth, when non-zero, forces every spiking layer to this
-	// threshold before retraining — the Fig. 2 fixed-threshold sweeps.
-	// FaPIT conventionally uses 1.0 (the training default).
-	FixedVth float64
-	// ClipNorm caps the global gradient norm during retraining.
-	ClipNorm float64
-	// Rng drives batch shuffling. When nil, a generator seeded with Seed
-	// is constructed, so runs are reproducible from the config alone —
-	// never from the wall clock.
-	Rng *rand.Rand
-	// Seed seeds the default Rng (0 selects seed 1). Ignored when Rng is
-	// supplied.
-	Seed int64
-	// Engine is the compute backend retraining and evaluation run on
-	// (nil selects tensor.Default()). Mitigate installs it on the model's
-	// network (part of the "model is modified in place" contract) and it
-	// remains in effect afterwards; call Network.SetEngine to change it.
-	// Results are bit-identical on every engine; only wall-clock changes.
-	Engine tensor.Backend
-	// TrackCurve records float-path test accuracy after every retraining
-	// epoch (the Fig. 8 convergence curves). Costs one evaluation/epoch.
-	TrackCurve bool
-	// CurveEvalSize limits how many test samples the per-epoch curve uses
-	// (0 = all).
-	CurveEvalSize int
-	// Silent suppresses progress output.
-	Silent bool
-}
+type Config = mitigation.Config
 
 // EpochPoint is one point of a retraining convergence curve.
-type EpochPoint struct {
-	Epoch    int
-	Loss     float64
-	Accuracy float64
-}
+type EpochPoint = mitigation.EpochPoint
 
 // Report summarises a mitigation run.
-type Report struct {
-	Method    Method
-	FaultRate float64
-	// PrunedFraction is the overall fraction of weights pruned across all
-	// GEMM layers (array reuse can make this exceed the PE fault rate).
-	PrunedFraction float64
-	// PrunedPerLayer gives the pruned fraction of each GEMM layer.
-	PrunedPerLayer []float64
-	// Accuracy is the final test accuracy on the faulty array with bypass
-	// enabled and the retrained weights deployed.
-	Accuracy float64
-	// Vths is the per-spiking-layer threshold voltage after mitigation
-	// (the Fig. 6 quantities).
-	Vths []float64
-	// Curve is the per-epoch convergence trace when TrackCurve is set.
-	Curve []EpochPoint
-	// RetrainDuration is the wall-clock time spent retraining.
-	RetrainDuration time.Duration
-}
+type Report = mitigation.Report
 
 // EpochsToReachTarget returns the first epoch at which a convergence curve
 // reaches the target accuracy, or -1 if it never does — the quantity
 // behind the paper's "FalVolt is 2x faster than FaPIT" claim (Fig. 8).
 func EpochsToReachTarget(curve []EpochPoint, target float64) int {
-	for _, p := range curve {
-		if p.Accuracy >= target {
-			return p.Epoch
-		}
-	}
-	return -1
+	return mitigation.EpochsToReachTarget(curve, target)
 }
 
 // Mitigate runs Algorithm 1 on model against the fault map, retraining on
@@ -142,111 +71,7 @@ func EpochsToReachTarget(curve []EpochPoint, target float64) int {
 // fault-injected with bypass enabled and the network deployed onto it.
 func Mitigate(model *snn.Model, arr *systolic.Array, fm *faults.Map,
 	train, test []snn.Sample, cfg Config) (*Report, error) {
-	net := model.Net
-	if cfg.BatchSize <= 0 {
-		cfg.BatchSize = 16
-	}
-	if cfg.LR == 0 {
-		cfg.LR = 1e-3
-	}
-	if cfg.Rng == nil {
-		seed := cfg.Seed
-		if seed == 0 {
-			seed = 1
-		}
-		cfg.Rng = rand.New(rand.NewSource(seed))
-	}
-	eng := cfg.Engine
-	if eng == nil {
-		eng = tensor.Default()
-	}
-	net.SetEngine(eng)
-
-	// Lines 1–2: derive pruned-weight indices from the fault map and zero
-	// them. One mask per GEMM layer.
-	gemms := net.GEMMLayers()
-	masks := make([]*mapping.PruneMask, len(gemms))
-	report := &Report{Method: cfg.Method, FaultRate: fm.FaultRate()}
-	totalW, totalP := 0, 0
-	for i, g := range gemms {
-		m, k := g.GEMMShape()
-		mask, err := mapping.Derive(fm, m, k)
-		if err != nil {
-			return nil, fmt.Errorf("core: mask for layer %d: %w", i, err)
-		}
-		masks[i] = mask
-		mask.Apply(g.WeightMatrix())
-		report.PrunedPerLayer = append(report.PrunedPerLayer, mask.Fraction())
-		totalW += m * k
-		totalP += mask.Count()
-	}
-	if totalW > 0 {
-		report.PrunedFraction = float64(totalP) / float64(totalW)
-	}
-	applyMasks := func() {
-		for i, g := range gemms {
-			masks[i].Apply(g.WeightMatrix())
-		}
-	}
-
-	// Line 3: threshold-voltage initialization. FalVolt learns V per
-	// layer; the others freeze it (optionally at a swept fixed value).
-	net.SetLearnVth(cfg.Method == FalVolt)
-	if cfg.FixedVth > 0 {
-		net.SetVths(cfg.FixedVth)
-	}
-
-	// Lines 4–14: retraining with epoch-end re-pruning.
-	epochs := cfg.Epochs
-	if cfg.Method == FaP {
-		epochs = 0
-	}
-	if epochs > 0 {
-		curveTest := test
-		if cfg.TrackCurve && cfg.CurveEvalSize > 0 && cfg.CurveEvalSize < len(test) {
-			curveTest = test[:cfg.CurveEvalSize]
-		}
-		start := time.Now()
-		_, err := snn.Train(net, train, snn.TrainConfig{
-			Epochs:    epochs,
-			BatchSize: cfg.BatchSize,
-			LR:        cfg.LR,
-			Classes:   model.Spec.Classes,
-			ClipNorm:  cfg.ClipNorm,
-			Rng:       cfg.Rng,
-			Silent:    true,
-			Engine:    eng,
-			AfterEpoch: func(epoch int, loss float64) {
-				// Algorithm 1 line 13: re-zero pruned weights.
-				applyMasks()
-				if cfg.TrackCurve {
-					acc := snn.EvaluateWith(eng, net, curveTest, cfg.BatchSize)
-					report.Curve = append(report.Curve, EpochPoint{Epoch: epoch, Loss: loss, Accuracy: acc})
-				}
-				if !cfg.Silent {
-					fmt.Printf("  [%s] epoch %2d loss %.4f\n", cfg.Method, epoch, loss)
-				}
-			},
-		})
-		if err != nil {
-			return nil, fmt.Errorf("core: retraining: %w", err)
-		}
-		report.RetrainDuration = time.Since(start)
-	}
-	applyMasks()
-
-	// Line 15: inference accuracy on the faulty hardware, bypass enabled.
-	if err := arr.InjectFaults(fm); err != nil {
-		return nil, fmt.Errorf("core: inject faults: %w", err)
-	}
-	arr.SetBypass(true)
-	restoreArr := installEngine(arr, cfg.Engine)
-	defer restoreArr()
-	net.Deploy(arr)
-	net.Redeploy() // quantize the retrained weights
-	report.Accuracy = snn.EvaluateWith(eng, net, test, cfg.BatchSize)
-	report.Vths = net.Vths()
-	return report, nil
+	return mitigation.Mitigate(model, arr, fm, train, test, cfg)
 }
 
 // EvalOptions configures a faulty-array evaluation.

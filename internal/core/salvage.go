@@ -1,0 +1,308 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+
+	"falvolt/internal/campaign"
+	"falvolt/internal/faults"
+	"falvolt/internal/mitigation"
+	"falvolt/internal/snn"
+	"falvolt/internal/spec"
+	"falvolt/internal/systolic"
+)
+
+// The "salvage" campaign kind: the head-to-head mitigation benchmark.
+// Every (fault model × rate × mitigation × repeat) cell restores the
+// shared trained baseline, injects a seed-addressed fault instance,
+// measures raw (unmitigated) accuracy, applies the cell's salvage
+// strategy through the mitigation.Mitigation seam, and measures
+// salvaged accuracy plus the costs that separate the strategies:
+// retraining epochs spent and per-inference MAC-cycle overhead. Trials
+// are a pure function of the spec, per-trial randomness is a pure
+// function of the trial seed, and metrics fold deterministically, so
+// sharded merges are byte-identical to a single-process run.
+
+// SalvageMitLabels names each mitigation axis entry: the kind, suffixed
+// with its list index when the same kind appears more than once (e.g. a
+// falvolt epoch sweep). A pure function of the spec, so every shard,
+// worker and report renderer agrees on the keys.
+func SalvageMitLabels(mits []spec.MitigationSpec) []string {
+	counts := map[string]int{}
+	for _, m := range mits {
+		counts[m.EffectiveKind()]++
+	}
+	labels := make([]string, len(mits))
+	for i, m := range mits {
+		kind := m.EffectiveKind()
+		if counts[kind] > 1 {
+			labels[i] = fmt.Sprintf("%s#%d", kind, i)
+		} else {
+			labels[i] = kind
+		}
+	}
+	return labels
+}
+
+// SalvageTrials enumerates the grid deterministically: fault models,
+// then mitigations, then rates, then repeats, IDs dense. The Key names
+// the (model, mitigation, rate) cell the report averages over; Tags pin
+// the exact coordinates.
+func SalvageTrials(d spec.SalvageCampaignSpec, seed int64) []campaign.Trial {
+	labels := SalvageMitLabels(d.Mitigations)
+	var trials []campaign.Trial
+	id := 0
+	for _, model := range d.Models {
+		for mi, label := range labels {
+			for _, rate := range d.Rates {
+				rtag := strconv.FormatFloat(rate, 'g', -1, 64)
+				key := fmt.Sprintf("model=%s|mit=%s|rate=%s", model, label, rtag)
+				for rep := 0; rep < d.Repeats; rep++ {
+					trials = append(trials, campaign.Trial{
+						ID:   id,
+						Key:  key,
+						Seed: seed + 7919*int64(id),
+						Tags: map[string]string{
+							"model": model,
+							"mit":   label,
+							"miti":  strconv.Itoa(mi),
+							"rate":  rtag,
+							"rep":   strconv.Itoa(rep),
+						},
+					})
+					id++
+				}
+			}
+		}
+	}
+	return trials
+}
+
+// salvageMeta fingerprints every result-affecting knob so shards run
+// with different settings refuse to merge.
+func salvageMeta(d spec.SalvageCampaignSpec, seed int64, extra map[string]string) map[string]string {
+	mits := make([]string, len(d.Mitigations))
+	for i, ms := range d.Mitigations {
+		mits[i] = fmt.Sprintf("%s:e%d:lr%g:v%g:b%d",
+			ms.EffectiveKind(), ms.Epochs, ms.LR, ms.Vth, ms.BypassBit)
+	}
+	rates := make([]string, len(d.Rates))
+	for i, r := range d.Rates {
+		rates[i] = strconv.FormatFloat(r, 'g', -1, 64)
+	}
+	m := map[string]string{
+		"models":      strings.Join(d.Models, "+"),
+		"mitigations": strings.Join(mits, "+"),
+		"rates":       strings.Join(rates, "+"),
+		"repeats":     strconv.Itoa(d.Repeats),
+		"array":       strconv.Itoa(d.Array),
+		"base-epochs": strconv.Itoa(d.BaseEpochs),
+		"epochs":      strconv.Itoa(d.Epochs),
+		"batch":       strconv.Itoa(d.Batch),
+		"seed":        strconv.FormatInt(seed, 10),
+	}
+	for k, v := range extra {
+		m[k] = v
+	}
+	return m
+}
+
+// salvageCampaign implements campaign.Campaign and
+// campaign.MetaProvider, with the expensive resources (trained
+// baseline, arrays) built lazily on first worker use — planning trials,
+// and resuming a checkpoint that already covers every trial, never pay
+// for baseline training.
+type salvageCampaign struct {
+	d           spec.SalvageCampaignSpec
+	seed        int64
+	fingerprint map[string]string
+	build       func() (YieldDeps, error)
+
+	once sync.Once
+	deps YieldDeps
+	err  error
+}
+
+// SalvageCampaign builds the runnable campaign for a salvage section.
+// The baseline resources are shared with the yield study
+// (SyntheticYieldBuild): one trained model, its fault-free snapshot, a
+// clean array, and a BuildModel factory for parallel lanes.
+func SalvageCampaign(cfg spec.SalvageCampaignSpec, seed int64,
+	fingerprint map[string]string, build func() (YieldDeps, error)) (campaign.Campaign, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &salvageCampaign{
+		d: cfg.Defaulted(), seed: seed, fingerprint: fingerprint, build: build,
+	}, nil
+}
+
+// Name implements campaign.Campaign.
+func (c *salvageCampaign) Name() string { return "salvage" }
+
+// Meta implements campaign.MetaProvider.
+func (c *salvageCampaign) Meta() map[string]string {
+	return salvageMeta(c.d, c.seed, c.fingerprint)
+}
+
+// Trials implements campaign.Campaign without touching the resources.
+func (c *salvageCampaign) Trials() ([]campaign.Trial, error) {
+	return SalvageTrials(c.d, c.seed), nil
+}
+
+// NewWorker implements campaign.Campaign, building the resources once.
+// Lane 0 reuses the shared model and array; further lanes build private
+// replicas via BuildModel.
+func (c *salvageCampaign) NewWorker(lane int) (campaign.Worker, error) {
+	c.once.Do(func() {
+		deps, err := c.build()
+		if err != nil {
+			c.err = err
+			return
+		}
+		acfg := deps.Arr.Config()
+		if acfg.Rows != c.d.Array || acfg.Cols != c.d.Array {
+			c.err = fmt.Errorf("core: salvage campaign built a %dx%d array, planned %dx%d",
+				acfg.Rows, acfg.Cols, c.d.Array, c.d.Array)
+			return
+		}
+		c.deps = deps
+	})
+	if c.err != nil {
+		return nil, c.err
+	}
+	w := &salvageWorker{c: c}
+	if lane == 0 {
+		w.model, w.arr = c.deps.Model, c.deps.Arr
+		return w, nil
+	}
+	if c.deps.BuildModel == nil {
+		return nil, fmt.Errorf("core: salvage campaign is single-lane (no BuildModel); run it on a serial runner")
+	}
+	m, err := c.deps.BuildModel()
+	if err != nil {
+		return nil, err
+	}
+	arr, err := systolic.New(c.deps.Arr.Config())
+	if err != nil {
+		return nil, err
+	}
+	w.model, w.arr = m, arr
+	return w, nil
+}
+
+// salvageWorker processes cells on a private model+array pair.
+type salvageWorker struct {
+	c     *salvageCampaign
+	model *snn.Model
+	arr   *systolic.Array
+}
+
+// RunTrial implements campaign.Worker: one (model × rate × mitigation ×
+// repeat) cell.
+func (w *salvageWorker) RunTrial(t campaign.Trial) (campaign.Result, error) {
+	d := w.c.d
+	rate, err := strconv.ParseFloat(t.Tags["rate"], 64)
+	if err != nil {
+		return campaign.Result{}, fmt.Errorf("core: trial %d: bad rate tag %q", t.ID, t.Tags["rate"])
+	}
+	mi, err := strconv.Atoi(t.Tags["miti"])
+	if err != nil || mi < 0 || mi >= len(d.Mitigations) {
+		return campaign.Result{}, fmt.Errorf("core: trial %d: bad mitigation tag %q", t.ID, t.Tags["miti"])
+	}
+	ms := d.Mitigations[mi]
+	fmodel, err := faults.ModelByName(t.Tags["model"])
+	if err != nil {
+		return campaign.Result{}, fmt.Errorf("core: trial %d: %w", t.ID, err)
+	}
+
+	net := w.model.Net
+	net.Undeploy()
+	if err := net.LoadState(w.c.deps.Baseline); err != nil {
+		return campaign.Result{}, err
+	}
+	w.arr.ClearFaults()
+	w.arr.SetBypass(false)
+	if err := fmodel.Inject(w.arr, rate, t.Seed); err != nil {
+		return campaign.Result{}, fmt.Errorf("core: trial %d: inject %s: %w", t.ID, fmodel.Name(), err)
+	}
+
+	// Raw (unmitigated) accuracy on the faulty deployment, bypass off —
+	// the floor every strategy is measured against.
+	net.Deploy(w.arr)
+	rawAcc := snn.EvaluateWith(nil, net, w.c.deps.Test, d.Batch)
+	net.Undeploy()
+
+	// Salvage: the strategy owns deployment, bypass and retraining. The
+	// concrete accumulator fault map (empty for bitflip/transient, whose
+	// fault state lives elsewhere on the array) rides along.
+	epochs := ms.Epochs
+	if epochs == 0 {
+		epochs = d.Epochs
+	}
+	lr := ms.LR
+	if lr == 0 {
+		lr = 0.01
+	}
+	mit, err := mitigation.New(ms.EffectiveKind(), mitigation.Options{
+		Train:     w.c.deps.Train,
+		Test:      w.c.deps.Test,
+		Epochs:    epochs,
+		BatchSize: 16,
+		LR:        lr,
+		ClipNorm:  5,
+		FixedVth:  ms.Vth,
+		Rng:       rand.New(rand.NewSource(t.Seed + 1)),
+		BypassBit: ms.BypassBit,
+		Silent:    true,
+	})
+	if err != nil {
+		return campaign.Result{}, fmt.Errorf("core: trial %d: %w", t.ID, err)
+	}
+	out, err := mit.Apply(w.model, w.arr, w.arr.FaultMap())
+	if err != nil {
+		return campaign.Result{}, fmt.Errorf("core: trial %d: %s: %w", t.ID, mit.Name(), err)
+	}
+
+	// Salvaged accuracy and per-inference overhead on the deployment the
+	// strategy left behind. Stats counters are order-independent
+	// integers, so the cycle count is bit-identical on every engine.
+	w.arr.ResetStats()
+	acc := snn.EvaluateWith(nil, net, w.c.deps.Test, d.Batch)
+	stats := w.arr.Stats()
+	perInf := 0.0
+	if n := len(w.c.deps.Test); n > 0 {
+		perInf = float64(stats.MACCycles) / float64(n)
+	}
+
+	net.Undeploy()
+	w.arr.ClearFaults()
+	w.arr.SetBypass(false)
+	return campaign.Result{
+		TrialID: t.ID,
+		Key:     t.Key,
+		Metrics: map[string]float64{
+			"raw":       rawAcc,
+			"acc":       acc,
+			"recovered": acc - rawAcc,
+			"epochs":    float64(out.RetrainEpochs),
+			"pruned":    out.PrunedFraction,
+			"remapped":  float64(out.RemappedLayers),
+			"bypassed":  float64(out.BypassedPEs),
+			"clamped":   float64(out.ClampedLayers),
+			"mac":       perInf,
+		},
+	}, nil
+}
+
+// SyntheticSalvageBuild adapts the canonical synthetic-MNIST baseline
+// (SyntheticYieldBuild — the same dataset, shrunk model and array every
+// distributed surface constructs bit-identically) to a salvage
+// campaign's knobs.
+func SyntheticSalvageBuild(d spec.SalvageCampaignSpec, seed int64, log io.Writer) func() (YieldDeps, error) {
+	return SyntheticYieldBuild(seed, d.BaseEpochs, d.Array, 0, log)
+}

@@ -3,10 +3,10 @@ package core
 import (
 	"fmt"
 	"io"
-	"strings"
 
 	"falvolt/internal/campaign"
 	"falvolt/internal/faults"
+	"falvolt/internal/mitigation"
 	"falvolt/internal/spec"
 )
 
@@ -19,15 +19,7 @@ import (
 // or "falvolt", case-insensitively (so both the flag spellings and the
 // Method.String() forms parse).
 func ParseMethod(name string) (Method, error) {
-	switch strings.ToLower(name) {
-	case "fap":
-		return FaP, nil
-	case "fapit":
-		return FaPIT, nil
-	case "falvolt", "":
-		return FalVolt, nil
-	}
-	return 0, fmt.Errorf("core: unknown method %q (want fap | fapit | falvolt)", name)
+	return mitigation.ParseMethod(name)
 }
 
 // YieldConfigFromSpec resolves a yield spec section into the concrete

@@ -1,0 +1,110 @@
+package mapping
+
+import (
+	"sort"
+
+	"falvolt/internal/faults"
+	"falvolt/internal/tensor"
+)
+
+// Remap is a fault-aware weight-to-PE permutation in the style of
+// ReSpawn (Putra et al.): significant weight rows/columns are steered
+// away from faulty cells by reordering which logical GEMM line each
+// physical array slot serves. MPerm[j] is the logical output row stored
+// in physical column slot j; KPerm[i] is the logical input streamed
+// into physical row slot i. A nil perm is the identity on that axis.
+type Remap struct {
+	MPerm []int
+	KPerm []int
+}
+
+// Identity reports whether the remap leaves the layout unchanged.
+func (r *Remap) Identity() bool {
+	return r == nil || (r.MPerm == nil && r.KPerm == nil)
+}
+
+// DeriveRemap computes a remap for one GEMM layer of shape m x k mapped
+// onto the faulted array described by fm (logical row ki -> PE row
+// ki%fm.Rows, logical column mi -> PE column mi%fm.Cols, matching
+// Derive). Fault severity per PE line is the sum of 2^Bit over its
+// stuck bits, so a fault in the sign or integer bits outweighs any
+// number of fractional-bit faults. Weight significance per logical line
+// is the sum of |w|; the most significant lines are assigned to the
+// least severe slots. Axes with no faulty line keep the identity so a
+// clean array yields an identity remap (the no-op invariant).
+func DeriveRemap(fm *faults.Map, m, k int, w *tensor.Tensor) *Remap {
+	if fm == nil || len(fm.Faults) == 0 {
+		return &Remap{}
+	}
+	rowSev := make([]float64, fm.Rows)
+	colSev := make([]float64, fm.Cols)
+	for _, f := range fm.Faults {
+		sev := float64(uint64(1) << f.Bit)
+		rowSev[f.Row] += sev
+		colSev[f.Col] += sev
+	}
+	r := &Remap{}
+	if anyPositive(colSev) {
+		sigM := make([]float64, m)
+		for mi := 0; mi < m; mi++ {
+			row := w.Data[mi*k : (mi+1)*k]
+			for _, v := range row {
+				sigM[mi] += abs(v)
+			}
+		}
+		r.MPerm = assign(m, fm.Cols, colSev, sigM)
+	}
+	if anyPositive(rowSev) {
+		sigK := make([]float64, k)
+		for mi := 0; mi < m; mi++ {
+			row := w.Data[mi*k : (mi+1)*k]
+			for ki, v := range row {
+				sigK[ki] += abs(v)
+			}
+		}
+		r.KPerm = assign(k, fm.Rows, rowSev, sigK)
+	}
+	return r
+}
+
+// assign pairs the n logical lines with the n physical slots: slots
+// sorted by ascending severity of the PE line they land on, logicals by
+// descending significance, ties broken by index so the result is
+// deterministic. Returns perm with perm[slot] = logical.
+func assign(n, lines int, lineSev, sig []float64) []int {
+	slots := make([]int, n)
+	for i := range slots {
+		slots[i] = i
+	}
+	sort.SliceStable(slots, func(a, b int) bool {
+		return lineSev[slots[a]%lines] < lineSev[slots[b]%lines]
+	})
+	logical := make([]int, n)
+	for i := range logical {
+		logical[i] = i
+	}
+	sort.SliceStable(logical, func(a, b int) bool {
+		return sig[logical[a]] > sig[logical[b]]
+	})
+	perm := make([]int, n)
+	for i, s := range slots {
+		perm[s] = logical[i]
+	}
+	return perm
+}
+
+func anyPositive(xs []float64) bool {
+	for _, x := range xs {
+		if x > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func abs(x float32) float64 {
+	if x < 0 {
+		return float64(-x)
+	}
+	return float64(x)
+}

@@ -1,0 +1,139 @@
+package mapping
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"falvolt/internal/faults"
+	"falvolt/internal/tensor"
+)
+
+// ramp builds an m x k weight tensor whose row significance strictly
+// increases with the row index: row mi is filled with mi+1.
+func ramp(m, k int) *tensor.Tensor {
+	w := tensor.New(m, k)
+	for mi := 0; mi < m; mi++ {
+		for ki := 0; ki < k; ki++ {
+			w.Data[mi*k+ki] = float32(mi + 1)
+		}
+	}
+	return w
+}
+
+func TestDeriveRemapIdentityOnCleanMap(t *testing.T) {
+	w := ramp(8, 8)
+	if r := DeriveRemap(nil, 8, 8, w); !r.Identity() {
+		t.Fatalf("nil fault map should give identity remap, got %+v", r)
+	}
+	if r := DeriveRemap(faults.NewMap(4, 4), 8, 8, w); !r.Identity() {
+		t.Fatalf("empty fault map should give identity remap, got %+v", r)
+	}
+	var nilRemap *Remap
+	if !nilRemap.Identity() {
+		t.Fatal("nil *Remap should report identity")
+	}
+}
+
+func validPerm(t *testing.T, perm []int, n int) {
+	t.Helper()
+	if len(perm) != n {
+		t.Fatalf("perm length %d, want %d", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, v := range perm {
+		if v < 0 || v >= n || seen[v] {
+			t.Fatalf("not a permutation of 0..%d: %v", n-1, perm)
+		}
+		seen[v] = true
+	}
+}
+
+func TestDeriveRemapPermutationAndAxes(t *testing.T) {
+	fm := faults.NewMap(4, 4)
+	// Column-only fault: row axis stays identity.
+	if err := fm.Add(faults.StuckAtFault{Row: 0, Col: 2, Bit: 30, Pol: faults.StuckAt1}); err != nil {
+		t.Fatal(err)
+	}
+	// A fault touches both a row line and a column line, so both severity
+	// vectors pick it up; MPerm and KPerm are both derived here.
+	m, k := 9, 7
+	r := DeriveRemap(fm, m, k, ramp(m, k))
+	validPerm(t, r.MPerm, m)
+	validPerm(t, r.KPerm, k)
+	if r.Identity() {
+		t.Fatal("faulted map should not derive the identity")
+	}
+}
+
+// TestDeriveRemapSeverityOrdering checks the core ReSpawn-style property:
+// the most significant logical lines land on the least severe physical
+// lines. With a single high-bit fault in column 2 of a 4-wide array and a
+// strictly increasing row-significance ramp, the logical rows assigned to
+// physical slots mapping onto column 2 (slots 2, 6, ...) must be exactly
+// the least significant ones.
+func TestDeriveRemapSeverityOrdering(t *testing.T) {
+	fm := faults.NewMap(4, 4)
+	if err := fm.Add(faults.StuckAtFault{Row: 3, Col: 2, Bit: 31, Pol: faults.StuckAt1}); err != nil {
+		t.Fatal(err)
+	}
+	const m, k = 8, 8
+	w := ramp(m, k)
+	r := DeriveRemap(fm, m, k, w)
+	validPerm(t, r.MPerm, m)
+
+	var onFaulty, onClean []int
+	for slot, logical := range r.MPerm {
+		if slot%fm.Cols == 2 {
+			onFaulty = append(onFaulty, logical)
+		} else {
+			onClean = append(onClean, logical)
+		}
+	}
+	// Significance of row mi is mi+1, so the two least significant logical
+	// rows (0 and 1) must absorb the faulty column's two slots.
+	sort.Ints(onFaulty)
+	if !reflect.DeepEqual(onFaulty, []int{0, 1}) {
+		t.Fatalf("faulty column got logical rows %v, want the least significant [0 1]", onFaulty)
+	}
+	for _, logical := range onClean {
+		if logical < 2 {
+			t.Fatalf("clean slots received low-significance row %d; MPerm=%v", logical, r.MPerm)
+		}
+	}
+
+	// KPerm: the fault is in PE row 3, so logical inputs on slots hitting
+	// row 3 (slots 3 and 7) must be the least significant columns. The ramp
+	// gives every column equal significance, so ordering falls back to the
+	// deterministic index tie-break — just require a valid permutation and
+	// determinism across repeated derivations.
+	validPerm(t, r.KPerm, k)
+	again := DeriveRemap(fm, m, k, w)
+	if !reflect.DeepEqual(r, again) {
+		t.Fatalf("DeriveRemap not deterministic: %+v vs %+v", r, again)
+	}
+}
+
+// TestDeriveRemapTieBreakDeterminism: with every line equally significant
+// and equally severe faults on two columns, the assignment must still be a
+// stable, reproducible permutation (SliceStable + index tie-breaks).
+func TestDeriveRemapTieBreakDeterminism(t *testing.T) {
+	fm := faults.NewMap(4, 4)
+	for _, col := range []int{1, 3} {
+		if err := fm.Add(faults.StuckAtFault{Row: 0, Col: col, Bit: 5, Pol: faults.StuckAt0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := tensor.New(6, 6)
+	for i := range w.Data {
+		w.Data[i] = 1
+	}
+	first := DeriveRemap(fm, 6, 6, w)
+	for i := 0; i < 3; i++ {
+		if got := DeriveRemap(fm, 6, 6, w); !reflect.DeepEqual(first, got) {
+			t.Fatalf("run %d differs: %+v vs %+v", i, first, got)
+		}
+	}
+	validPerm(t, first.MPerm, 6)
+	validPerm(t, first.KPerm, 6)
+}

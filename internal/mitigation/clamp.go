@@ -1,0 +1,82 @@
+package mitigation
+
+import (
+	"fmt"
+	"math"
+
+	"falvolt/internal/faults"
+	"falvolt/internal/fixed"
+	"falvolt/internal/snn"
+	"falvolt/internal/systolic"
+)
+
+// softSNN is SoftSNN-style zero-retraining range restriction: each
+// output neuron's array contribution is clamped to the interval its
+// fault-free weight row can actually produce under binary (spike)
+// inputs — [sum of negative weights, sum of positive weights] in the
+// array's fixed-point format. A stuck or flipped high bit that launches
+// an accumulator output far outside that reachable range is pulled back
+// to the boundary instead of swamping the membrane potential. Fault-free
+// outputs are subset sums of the weight row and already lie inside the
+// interval, so the clamp is exact there — the no-op invariant holds by
+// construction. Only spike-input (binary) layers get a clamp; the
+// analog-input encoder layer's reachable range is input-dependent.
+type softSNN struct {
+	opt Options
+}
+
+func (s *softSNN) Name() string { return "softsnn" }
+
+func (s *softSNN) Describe() string {
+	return "range restriction: per-neuron clamp to the fault-free reachable output interval, zero retraining"
+}
+
+func (s *softSNN) Apply(model *snn.Model, arr *systolic.Array, fm *faults.Map) (*Outcome, error) {
+	fm = ensureMap(arr, fm)
+	if err := arr.InjectFaults(fm); err != nil {
+		return nil, fmt.Errorf("mitigation: inject faults: %w", err)
+	}
+	arr.SetBypass(false)
+	if s.opt.Engine != nil {
+		model.Net.SetEngine(s.opt.Engine)
+	}
+	model.Net.Deploy(arr)
+	f := arr.Config().Format
+	clamped := 0
+	for _, g := range model.Net.GEMMLayers() {
+		d := g.Deployment()
+		if d == nil || !d.Binary {
+			continue
+		}
+		m, k := g.GEMMShape()
+		w := g.WeightMatrix()
+		lo := make([]float32, m)
+		hi := make([]float32, m)
+		for mi := 0; mi < m; mi++ {
+			var pos, neg int64
+			row := w.Data[mi*k : (mi+1)*k]
+			for _, v := range row {
+				word := f.Quantize(float64(v))
+				if word > 0 {
+					pos += int64(word)
+				} else {
+					neg += int64(word)
+				}
+			}
+			// The saturating accumulator can never leave the word's range,
+			// so the reachable interval is capped there too.
+			if pos > math.MaxInt32 {
+				pos = math.MaxInt32
+			}
+			if neg < math.MinInt32 {
+				neg = math.MinInt32
+			}
+			hi[mi] = float32(f.Dequantize(fixed.Word(pos)))
+			lo[mi] = float32(f.Dequantize(fixed.Word(neg)))
+		}
+		d.ClampLo, d.ClampHi = lo, hi
+		g.SetDeployment(d)
+		clamped++
+	}
+	return &Outcome{Mitigation: s.Name(), ClampedLayers: clamped}, nil
+}

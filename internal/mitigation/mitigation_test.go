@@ -1,0 +1,191 @@
+package mitigation_test
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"falvolt/internal/core"
+	"falvolt/internal/datasets"
+	"falvolt/internal/fixed"
+	"falvolt/internal/mitigation"
+	"falvolt/internal/snn"
+	"falvolt/internal/spec"
+	"falvolt/internal/systolic"
+	"falvolt/internal/tensor"
+)
+
+// TestNamesMatchSpecKinds pins the contract between the spec layer and
+// this package: spec.MitigationKinds spells out the registry by hand (so
+// spec stays free of the snn/systolic dependency tree), and this test is
+// what keeps the two lists from drifting.
+func TestNamesMatchSpecKinds(t *testing.T) {
+	if got, want := mitigation.Names(), spec.MitigationKinds(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("mitigation.Names() = %v, spec.MitigationKinds() = %v — update spec/mitigation.go", got, want)
+	}
+}
+
+func TestNewRejectsUnknown(t *testing.T) {
+	if _, err := mitigation.New("nosuch", mitigation.Options{}); err == nil {
+		t.Fatal("unknown mitigation name should error")
+	}
+	m, err := mitigation.New("", mitigation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "falvolt" {
+		t.Fatalf("empty name resolved to %q, want falvolt", m.Name())
+	}
+	for _, name := range mitigation.Names() {
+		m, err := mitigation.New(name, mitigation.Options{})
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if m.Name() != name {
+			t.Fatalf("New(%q).Name() = %q", name, m.Name())
+		}
+		if m.Describe() == "" {
+			t.Errorf("%s has no description", name)
+		}
+	}
+}
+
+// noopHarness is a small trained model shared by the no-op invariant
+// runs; every evaluation restores the baseline before deploying.
+type noopHarness struct {
+	model    *snn.Model
+	baseline *snn.NetworkState
+	train    []snn.Sample
+	test     []snn.Sample
+}
+
+var (
+	noopShared *noopHarness
+	noopErr    error
+	noopOnce   sync.Once
+)
+
+func newNoopHarness(t *testing.T) *noopHarness {
+	t.Helper()
+	noopOnce.Do(func() {
+		rng := rand.New(rand.NewSource(21))
+		ms := snn.MNISTSpec()
+		ms.T = 2
+		ms.EncoderC = 4
+		ms.BlockC = []int{8, 8}
+		ms.FCHidden = 32
+		model, err := snn.Build(ms, rng)
+		if err != nil {
+			noopErr = err
+			return
+		}
+		ds, err := datasets.SyntheticMNIST(datasets.Config{Train: 64, Test: 32, T: ms.T, Seed: 9})
+		if err != nil {
+			noopErr = err
+			return
+		}
+		if _, err := core.TrainBaseline(model, ds.Train, ds.Test, 1, 0.02,
+			rand.New(rand.NewSource(22)), true); err != nil {
+			noopErr = err
+			return
+		}
+		noopShared = &noopHarness{
+			model: model, baseline: model.Net.State(),
+			train: ds.Train, test: ds.Test,
+		}
+	})
+	if noopErr != nil {
+		t.Fatal(noopErr)
+	}
+	return noopShared
+}
+
+// spikeCounts snapshots every PE's internal spike counter.
+func spikeCounts(arr *systolic.Array, side int) []uint64 {
+	out := make([]uint64, 0, side*side)
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			out = append(out, arr.SpikeCount(r, c))
+		}
+	}
+	return out
+}
+
+// TestNoOpInvariant is the zoo's safety property: at fault rate zero
+// (an empty fault map on a pristine array), every mitigation must leave
+// the deployment observationally identical to the unmitigated baseline —
+// bit-identical accuracy AND bit-identical per-PE spike counts — across
+// saturate/wraparound arithmetic and serial/parallel engines. Retraining
+// strategies are handed a non-zero epoch budget precisely to prove they
+// skip it when there is nothing to repair.
+func TestNoOpInvariant(t *testing.T) {
+	h := newNoopHarness(t)
+	const side, batch = 8, 16
+	engines := []struct {
+		name string
+		eng  tensor.Backend
+	}{
+		{"serial", tensor.Serial()},
+		{"parallel", tensor.NewParallel(2)},
+	}
+	for _, sat := range []bool{true, false} {
+		for _, e := range engines {
+			cfg := systolic.Config{
+				Rows: side, Cols: side, Format: fixed.Q16x16,
+				Saturate: sat, CountSpikes: true, Engine: e.eng,
+			}
+			// Fresh array per evaluation: spike counters accumulate for the
+			// array's lifetime, so comparisons need matched histories.
+			eval := func(prep func(arr *systolic.Array) *mitigation.Outcome) (float64, []uint64) {
+				arr, err := systolic.New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				net := h.model.Net
+				net.Undeploy()
+				if err := net.LoadState(h.baseline); err != nil {
+					t.Fatal(err)
+				}
+				out := prep(arr)
+				if out != nil && out.RetrainEpochs != 0 {
+					t.Errorf("pristine salvage spent %d retraining epochs", out.RetrainEpochs)
+				}
+				acc := snn.EvaluateWith(e.eng, net, h.test, batch)
+				counts := spikeCounts(arr, side)
+				net.Undeploy()
+				return acc, counts
+			}
+
+			wantAcc, wantCounts := eval(func(arr *systolic.Array) *mitigation.Outcome {
+				h.model.Net.Deploy(arr)
+				return nil
+			})
+			for _, name := range mitigation.Names() {
+				mit, err := mitigation.New(name, mitigation.Options{
+					Train: h.train, Test: h.test,
+					Epochs: 2, BatchSize: 16, LR: 0.01, ClipNorm: 5,
+					Rng: rand.New(rand.NewSource(77)), Engine: e.eng, Silent: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				acc, counts := eval(func(arr *systolic.Array) *mitigation.Outcome {
+					out, err := mit.Apply(h.model, arr, nil)
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					return out
+				})
+				if acc != wantAcc {
+					t.Errorf("sat=%v engine=%s %s: accuracy %v != baseline %v at fault rate 0",
+						sat, e.name, name, acc, wantAcc)
+				}
+				if !reflect.DeepEqual(counts, wantCounts) {
+					t.Errorf("sat=%v engine=%s %s: per-PE spike counts diverge from baseline at fault rate 0",
+						sat, e.name, name)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package mitigation
+
+import (
+	"fmt"
+
+	"falvolt/internal/faults"
+	"falvolt/internal/mapping"
+	"falvolt/internal/snn"
+	"falvolt/internal/systolic"
+)
+
+// respawn is ReSpawn-style fault-aware weight-to-PE mapping (Putra et
+// al.): each GEMM layer's rows and columns are permuted so the most
+// significant weight lines (largest sum of |w|) land on the PE lines
+// with the least fault severity (sum of 2^Bit over stuck bits). Faulty
+// PEs keep computing — no bypass, no retraining — but they now corrupt
+// the least important products. Zero retraining epochs; on a clean
+// array the derived permutation is the identity and the deployment is
+// bit-identical to baseline.
+type respawn struct {
+	opt Options
+}
+
+func (r *respawn) Name() string { return "respawn" }
+
+func (r *respawn) Describe() string {
+	return "fault-aware weight-to-PE remapping: significant rows/columns steered off faulty PEs, zero retraining"
+}
+
+func (r *respawn) Apply(model *snn.Model, arr *systolic.Array, fm *faults.Map) (*Outcome, error) {
+	fm = ensureMap(arr, fm)
+	if err := arr.InjectFaults(fm); err != nil {
+		return nil, fmt.Errorf("mitigation: inject faults: %w", err)
+	}
+	arr.SetBypass(false)
+	if r.opt.Engine != nil {
+		model.Net.SetEngine(r.opt.Engine)
+	}
+	model.Net.Deploy(arr)
+	n, err := remapLayers(model.Net, arr, fm)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Mitigation: r.Name(), RemappedLayers: n}, nil
+}
+
+// remapLayers derives and installs a fault-aware permutation for every
+// deployed GEMM layer, returning how many layers were actually
+// permuted. The network must already be deployed on arr.
+func remapLayers(net *snn.Network, arr *systolic.Array, fm *faults.Map) (int, error) {
+	remapped := 0
+	for i, g := range net.GEMMLayers() {
+		d := g.Deployment()
+		if d == nil {
+			return 0, fmt.Errorf("mitigation: layer %d not deployed", i)
+		}
+		m, k := g.GEMMShape()
+		rm := mapping.DeriveRemap(fm, m, k, g.WeightMatrix())
+		if rm.Identity() {
+			continue
+		}
+		d.MPerm, d.KPerm = rm.MPerm, rm.KPerm
+		g.SetDeployment(d) // reinstall: quantize into the permuted layout
+		remapped++
+	}
+	return remapped, nil
+}

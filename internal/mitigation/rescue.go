@@ -1,0 +1,65 @@
+package mitigation
+
+import (
+	"fmt"
+
+	"falvolt/internal/faults"
+	"falvolt/internal/snn"
+	"falvolt/internal/systolic"
+)
+
+// rescueSNN is RescueSNN-style salvage (arXiv:2304.04041): PEs whose
+// stuck bits reach the integer part of the accumulator word are
+// individually bypassed via the per-PE mux mask — their products are
+// pruned rather than catastrophically corrupted — and the surviving
+// layout is then remapped ReSpawn-style against the full fault map, so
+// the least significant weight lines are the ones steered onto the
+// bypassed (pruned) and mildly-faulty cells. Zero retraining.
+type rescueSNN struct {
+	opt Options
+}
+
+func (r *rescueSNN) Name() string { return "rescuesnn" }
+
+func (r *rescueSNN) Describe() string {
+	return "selective per-PE bypass of catastrophically-faulty cells + fault-aware remapping, zero retraining"
+}
+
+func (r *rescueSNN) Apply(model *snn.Model, arr *systolic.Array, fm *faults.Map) (*Outcome, error) {
+	fm = ensureMap(arr, fm)
+	if err := arr.InjectFaults(fm); err != nil {
+		return nil, fmt.Errorf("mitigation: inject faults: %w", err)
+	}
+	arr.SetBypass(false)
+	bit := r.opt.BypassBit
+	if bit <= 0 {
+		bit = int(arr.Config().Format.FracBits)
+	}
+	rows, cols := arr.Dims()
+	mask := make([]bool, rows*cols)
+	masked := false
+	for _, f := range fm.Faults {
+		if int(f.Bit) >= bit {
+			mask[f.Row*cols+f.Col] = true
+			masked = true
+		}
+	}
+	if masked {
+		if err := arr.SetBypassMask(mask); err != nil {
+			return nil, fmt.Errorf("mitigation: %w", err)
+		}
+	}
+	if r.opt.Engine != nil {
+		model.Net.SetEngine(r.opt.Engine)
+	}
+	model.Net.Deploy(arr)
+	n, err := remapLayers(model.Net, arr, fm)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Mitigation:     r.Name(),
+		RemappedLayers: n,
+		BypassedPEs:    arr.BypassedPEs(),
+	}, nil
+}

@@ -9,6 +9,8 @@ import (
 	"net/url"
 	"strings"
 	"time"
+
+	"falvolt/internal/cluster"
 )
 
 // Client talks to a campaign service's catalog endpoints (the worker
@@ -29,6 +31,19 @@ func NewClient(base, token string) *Client {
 		// for up to 25s per round.
 		hc: &http.Client{Timeout: 60 * time.Second},
 	}
+}
+
+// NewClientTLS builds a catalog client that verifies an https:// service
+// against the PEM CA bundle at caFile (empty = NewClient's behavior:
+// system roots).
+func NewClientTLS(base, token, caFile string) (*Client, error) {
+	cl := NewClient(base, token)
+	hc, err := cluster.HTTPClient(caFile, 60*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	cl.hc = hc
+	return cl, nil
 }
 
 // do sends one request and decodes the JSON response into out (skipped

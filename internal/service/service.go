@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"crypto/tls"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -43,6 +44,18 @@ type Config struct {
 	// CacheDir persists trained baselines between runs; passed to the
 	// spec builder.
 	CacheDir string
+	// Retain caps how many terminal (done/failed/cancelled) runs the
+	// catalog keeps: beyond it, the oldest terminal run directories are
+	// deleted from disk and dropped from the catalog, at every terminal
+	// transition and at recovery. In-flight runs are never touched.
+	// 0 keeps everything.
+	Retain int
+	// TLSCert/TLSKey, when set (both required together), serve the
+	// service over HTTPS with this PEM certificate and private key.
+	// Clients with a private CA pass its bundle to NewClientTLS (or the
+	// -tls-ca flag).
+	TLSCert string
+	TLSKey  string
 	// Build constructs a campaign from an admitted spec (nil selects
 	// spec.Build with CacheDir and Log; tests inject counters here).
 	Build func(s *spec.Spec) (*spec.Built, error)
@@ -169,7 +182,17 @@ func (s *Service) Run(ctx context.Context) error {
 	if err != nil {
 		return fmt.Errorf("service: listen %s: %w", s.cfg.Addr, err)
 	}
-	s.url = "http://" + ln.Addr().String()
+	scheme := "http"
+	if s.cfg.TLSCert != "" || s.cfg.TLSKey != "" {
+		tc, err := cluster.TLSServerConfig(s.cfg.TLSCert, s.cfg.TLSKey)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		ln = tls.NewListener(ln, tc)
+		scheme = "https"
+	}
+	s.url = scheme + "://" + ln.Addr().String()
 	close(s.ready)
 	srv := &http.Server{Handler: s.mux()}
 	serveErr := make(chan error, 1)
@@ -256,7 +279,53 @@ func (s *Service) recoverLocked() error {
 	// Fresh lease IDs must never collide with journaled ones, across
 	// every run's journal.
 	s.leases.SetSeq(grants)
+	// Retention applies at recovery too: a service restarted over a
+	// catalog that outgrew Retain while it was down prunes on startup,
+	// so the cap holds across restarts, not just across transitions.
+	s.pruneLocked()
 	return nil
+}
+
+// pruneLocked enforces Config.Retain: when more than Retain terminal
+// runs exist, the oldest (by admission sequence) are deleted — run
+// directory removed from disk, entry dropped from the catalog. Running
+// runs never count against the cap and are never touched. A directory
+// that fails to delete stays listed, so the operator sees it rather
+// than a silently leaking orphan.
+func (s *Service) pruneLocked() {
+	if s.cfg.Retain <= 0 {
+		return
+	}
+	var term []*run
+	for _, id := range s.order {
+		if s.runs[id].terminal() {
+			term = append(term, s.runs[id])
+		}
+	}
+	if len(term) <= s.cfg.Retain {
+		return
+	}
+	sort.Slice(term, func(i, j int) bool { return term[i].seq < term[j].seq })
+	pruned := make(map[string]bool)
+	for _, r := range term[:len(term)-s.cfg.Retain] {
+		if err := os.RemoveAll(r.dir); err != nil {
+			s.logf("service: prune run %s: %v\n", r.id, err)
+			continue
+		}
+		delete(s.runs, r.id)
+		pruned[r.id] = true
+		s.logf("service: pruned run %s (%s, %s) under -retain %d\n", r.id, r.kind, r.state, s.cfg.Retain)
+	}
+	if len(pruned) == 0 {
+		return
+	}
+	keep := s.order[:0]
+	for _, id := range s.order {
+		if !pruned[id] {
+			keep = append(keep, id)
+		}
+	}
+	s.order = keep
 }
 
 // recoverRunLocked replays one in-flight run's WAL and returns its
@@ -533,6 +602,7 @@ func (s *Service) finishRunLocked(r *run) error {
 		s.logf("service: run %s: %v\n", r.id, err)
 	}
 	s.logf("service: run %s complete (%d trials) -> %s\n", r.id, len(r.results), filepath.Join(r.dir, resultsFileName))
+	s.pruneLocked()
 	s.bumpLocked()
 	return nil
 }
@@ -553,6 +623,7 @@ func (s *Service) failRunLocked(r *run, msg string) {
 		s.logf("service: run %s: %v\n", r.id, err)
 	}
 	s.logf("service: run %s failed: %s\n", r.id, msg)
+	s.pruneLocked()
 	s.bumpLocked()
 }
 
@@ -572,6 +643,7 @@ func (s *Service) cancelRunLocked(r *run) {
 		s.logf("service: run %s: %v\n", r.id, err)
 	}
 	s.logf("service: run %s cancelled\n", r.id)
+	s.pruneLocked()
 	s.bumpLocked()
 }
 

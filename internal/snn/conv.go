@@ -18,6 +18,21 @@ type Deployment struct {
 	// analog encoder layer.
 	Binary bool
 
+	// MPerm, when non-nil, is a fault-aware permutation of the layer's M
+	// output rows: physical slot j of the GEMM stores logical row
+	// MPerm[j], steering significant weights away from faulty array
+	// columns (ReSpawn-style mapping). Outputs are unpermuted on the way
+	// back, so the layer's logical contract is unchanged.
+	MPerm []int
+	// KPerm permutes the K reduction dimension the same way across array
+	// rows: physical slot i streams logical input KPerm[i]. The input
+	// vector is permuted to match on every forward call.
+	KPerm []int
+	// ClampLo/ClampHi, when non-nil, bound each logical output row of the
+	// GEMM result (SoftSNN-style range restriction): a fault-free output
+	// always lies within the bounds, so clamping only clips corruption.
+	ClampLo, ClampHi []float32
+
 	weights *systolic.Matrix
 }
 
@@ -79,7 +94,7 @@ func (c *Conv2D) GEMMShape() (int, int) { return c.Shape.M, c.Shape.K }
 func (c *Conv2D) SetDeployment(d *Deployment) {
 	c.deploy = d
 	if d != nil {
-		d.weights = systolic.QuantizeMatrix(c.weight.Value, d.Array.Config().Format)
+		d.install(c.weight.Value)
 	}
 }
 
@@ -121,7 +136,7 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	var y2 *tensor.Tensor // [N*P, M]
 	scratchY2 := false
 	if c.deploy != nil && !train {
-		y2 = c.deploy.Array.Forward(cols, c.deploy.weights, c.deploy.Binary)
+		y2 = c.deploy.forward(cols)
 	} else {
 		y2 = tensor.GetScratch(n*c.Shape.PatchesPerItem, c.Shape.M)
 		scratchY2 = true
@@ -270,7 +285,7 @@ func (l *Linear) GEMMShape() (int, int) { return l.Out, l.In }
 func (l *Linear) SetDeployment(d *Deployment) {
 	l.deploy = d
 	if d != nil {
-		d.weights = systolic.QuantizeMatrix(l.weight.Value, d.Array.Config().Format)
+		d.install(l.weight.Value)
 	}
 }
 
@@ -305,7 +320,7 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	var y *tensor.Tensor
 	if l.deploy != nil && !train {
-		y = l.deploy.Array.Forward(flat, l.deploy.weights, l.deploy.Binary)
+		y = l.deploy.forward(flat)
 	} else {
 		y = tensor.MatMulTransBUsing(l.engine(), flat, l.weight.Value)
 	}

@@ -114,6 +114,53 @@ func FuzzFaultModelSpec(f *testing.F) {
 	})
 }
 
+// FuzzMitigationSpec: arbitrary field combinations through the
+// mitigation section's validator. Validate must never panic; whatever
+// it accepts must construct through the mitigation registry (checked
+// indirectly: the kind must be one spec.MitigationKinds lists, which a
+// test in internal/mitigation pins against mitigation.New).
+func FuzzMitigationSpec(f *testing.F) {
+	f.Add("falvolt", 4, 0.02, 0.0, 0)
+	f.Add("fapit", 2, 0.01, 0.5, 0)
+	f.Add("rescuesnn", 0, 0.0, 0.0, 20)
+	f.Add("fap", 0, 0.0, 0.0, 0)
+	f.Add("respawn", 0, 0.0, 0.0, 0)
+	f.Add("softsnn", 0, 0.0, 0.0, 0)
+	f.Add("", 0, 0.0, 0.0, 0)
+	f.Add("lobotomy", -3, -0.5, -1.0, 99)
+	f.Add("fap", 2, 0.0, 0.0, 0)
+	f.Add("softsnn", 0, 0.1, 0.0, 0)
+	f.Add("falvolt", 0, 0.0, 0.5, 0)
+	f.Add("respawn", 0, 0.0, 0.0, 8)
+	f.Fuzz(func(t *testing.T, kind string, epochs int, lr, vth float64, bypassBit int) {
+		m := spec.MitigationSpec{Kind: kind, Epochs: epochs, LR: lr, Vth: vth, BypassBit: bypassBit}
+		err := m.Validate()
+		if err != nil {
+			return // rejected is fine; panicking is the bug
+		}
+		// Accepted specs resolve to a registered kind with in-range knobs.
+		known := false
+		for _, k := range spec.MitigationKinds() {
+			if m.EffectiveKind() == k {
+				known = true
+				break
+			}
+		}
+		if !known {
+			t.Fatalf("Validate accepted unknown kind %q", kind)
+		}
+		if m.Epochs < 0 || m.LR < 0 || m.Vth < 0 || m.BypassBit < 0 || m.BypassBit > 31 {
+			t.Fatalf("Validate accepted out-of-range knobs: %+v", m)
+		}
+		// A salvage campaign wrapping the accepted mitigation must also
+		// validate and enumerate deterministically.
+		s := spec.SalvageCampaignSpec{Mitigations: []spec.MitigationSpec{m}}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("salvage campaign rejected an accepted mitigation %+v: %v", m, err)
+		}
+	})
+}
+
 func mustJSON(t *testing.T, v any) []byte {
 	t.Helper()
 	b, err := json.Marshal(v)

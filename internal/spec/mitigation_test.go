@@ -1,0 +1,203 @@
+package spec
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestMitigationKindsSorted(t *testing.T) {
+	kinds := MitigationKinds()
+	if !sort.StringsAreSorted(kinds) {
+		t.Fatalf("MitigationKinds() = %v not sorted", kinds)
+	}
+	if len(kinds) < 4 {
+		t.Fatalf("only %d mitigation kinds — the zoo needs at least 4", len(kinds))
+	}
+}
+
+func TestMitigationSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		m    MitigationSpec
+		ok   bool
+	}{
+		{"empty defaults to falvolt", MitigationSpec{}, true},
+		{"falvolt with budget", MitigationSpec{Kind: "falvolt", Epochs: 5, LR: 0.02}, true},
+		{"fapit with vth", MitigationSpec{Kind: "fapit", Epochs: 3, Vth: 0.5}, true},
+		{"rescuesnn with bypass bit", MitigationSpec{Kind: "rescuesnn", BypassBit: 20}, true},
+		{"plain zero-retraining kinds", MitigationSpec{Kind: "respawn"}, true},
+		{"unknown kind", MitigationSpec{Kind: "lobotomy"}, false},
+		{"negative epochs", MitigationSpec{Kind: "falvolt", Epochs: -1}, false},
+		{"negative lr", MitigationSpec{Kind: "falvolt", LR: -0.1}, false},
+		{"negative vth", MitigationSpec{Kind: "fapit", Vth: -1}, false},
+		{"bypass bit out of range", MitigationSpec{Kind: "rescuesnn", BypassBit: 32}, false},
+		{"epochs on non-retraining kind", MitigationSpec{Kind: "fap", Epochs: 2}, false},
+		{"lr on non-retraining kind", MitigationSpec{Kind: "softsnn", LR: 0.1}, false},
+		{"vth on non-fapit kind", MitigationSpec{Kind: "falvolt", Vth: 0.5}, false},
+		{"bypass bit on non-rescuesnn kind", MitigationSpec{Kind: "respawn", BypassBit: 8}, false},
+	}
+	for _, tc := range cases {
+		err := tc.m.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: expected an error", tc.name)
+		}
+	}
+	if got := (MitigationSpec{}).EffectiveKind(); got != "falvolt" {
+		t.Errorf("EffectiveKind() = %q, want falvolt", got)
+	}
+}
+
+func TestSalvageCampaignSpecValidate(t *testing.T) {
+	if err := (SalvageCampaignSpec{}).Validate(); err != nil {
+		t.Fatalf("zero spec must validate via defaults: %v", err)
+	}
+	d := SalvageCampaignSpec{}.Defaulted()
+	if len(d.Models) == 0 || len(d.Mitigations) == 0 || len(d.Rates) == 0 {
+		t.Fatalf("defaults left an axis empty: %+v", d)
+	}
+	if d.Repeats != 2 || d.Array != 16 || d.BaseEpochs != 2 || d.Epochs != 2 || d.Batch != 32 {
+		t.Fatalf("unexpected defaults: %+v", d)
+	}
+
+	cases := []struct {
+		name string
+		s    SalvageCampaignSpec
+		ok   bool
+	}{
+		{"explicit valid", SalvageCampaignSpec{
+			Models:      []string{"stuckat", "transient"},
+			Mitigations: []MitigationSpec{{Kind: "fap"}, {Kind: "falvolt", Epochs: 1}},
+			Rates:       []float64{0.05},
+			Repeats:     1, Array: 8,
+		}, true},
+		{"unknown fault model", SalvageCampaignSpec{Models: []string{"gamma-ray"}}, false},
+		{"bad mitigation", SalvageCampaignSpec{Mitigations: []MitigationSpec{{Kind: "nosuch"}}}, false},
+		{"rate above 1", SalvageCampaignSpec{Rates: []float64{1.5}}, false},
+		{"negative rate", SalvageCampaignSpec{Rates: []float64{-0.1}}, false},
+		{"negative repeats", SalvageCampaignSpec{Repeats: -1}, false},
+		{"array too small", SalvageCampaignSpec{Array: 1}, false},
+		{"array too large", SalvageCampaignSpec{Array: 512}, false},
+		{"negative epochs", SalvageCampaignSpec{Epochs: -1}, false},
+	}
+	for _, tc := range cases {
+		err := tc.s.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: expected an error", tc.name)
+		}
+	}
+}
+
+func TestSiteSweepSpecValidate(t *testing.T) {
+	if err := (SiteSweepSpec{}).Validate(); err != nil {
+		t.Fatalf("zero spec must validate via defaults: %v", err)
+	}
+	d := SiteSweepSpec{}.Defaulted()
+	if d.Array != 8 || d.Pols != "both" || d.Batch != 4 || d.Timesteps != 2 || d.Density != 0.3 {
+		t.Fatalf("unexpected defaults: %+v", d)
+	}
+
+	cases := []struct {
+		name string
+		s    SiteSweepSpec
+		ok   bool
+	}{
+		{"explicit valid", SiteSweepSpec{Array: 4, Bits: []uint{0, 15, 31}, Pols: "sa1", Sample: 12}, true},
+		{"bit out of range", SiteSweepSpec{Bits: []uint{32}}, false},
+		{"unknown polarity", SiteSweepSpec{Pols: "sa2"}, false},
+		{"negative sample", SiteSweepSpec{Sample: -1}, false},
+		{"array too small", SiteSweepSpec{Array: 1}, false},
+		{"density above 1", SiteSweepSpec{Density: 1.5}, false},
+		{"negative density", SiteSweepSpec{Density: -0.2}, false},
+	}
+	for _, tc := range cases {
+		err := tc.s.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: expected an error", tc.name)
+		}
+	}
+}
+
+// TestSalvageSpecRoundTrip pins canonicalization: a salvage spec decodes,
+// canonicalizes and fingerprints stably, and defaults spelled out
+// explicitly fingerprint differently from an omitted field (literal
+// semantics).
+func TestSalvageSpecRoundTrip(t *testing.T) {
+	raw := []byte(`{
+  "version": 1,
+  "kind": "salvage",
+  "seed": 42,
+  "salvage": {
+    "models": ["stuckat"],
+    "mitigations": [{"kind": "fap"}, {"kind": "falvolt", "epochs": 2}],
+    "rates": [0.1],
+    "repeats": 1,
+    "array": 8
+  }
+}`)
+	s, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fp1, err := s.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := s2.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Fatalf("fingerprint unstable: %s vs %s", fp1, fp2)
+	}
+	// Spelling out a default changes the canonical bytes.
+	s3, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3.Salvage.Batch = 32
+	fp3, err := s3.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp3 == fp1 {
+		t.Fatal("explicit default should fingerprint differently (literal spec semantics)")
+	}
+}
+
+func TestSiteSweepSpecRoundTrip(t *testing.T) {
+	raw := []byte(`{
+  "version": 1,
+  "kind": "sitesweep",
+  "seed": 7,
+  "siteSweep": {"array": 4, "bits": [0, 31], "pols": "both"}
+}`)
+	s, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.SiteSweep == nil {
+		t.Fatal("siteSweep section did not decode")
+	}
+	if len(s.SiteSweep.Bits) != 2 {
+		t.Fatalf("bits = %v", s.SiteSweep.Bits)
+	}
+}

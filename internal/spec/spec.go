@@ -93,6 +93,12 @@ type Spec struct {
 	// FaultModel configures the systolic-level fault-model
 	// characterization campaign (kind "faultmodel").
 	FaultModel *FaultModelCampaignSpec `json:"faultModel,omitempty"`
+	// Salvage configures the head-to-head (fault model × mitigation)
+	// salvage benchmark (kind "salvage").
+	Salvage *SalvageCampaignSpec `json:"salvage,omitempty"`
+	// SiteSweep configures the exhaustive single-site vulnerability
+	// sweep (kind "sitesweep").
+	SiteSweep *SiteSweepSpec `json:"siteSweep,omitempty"`
 }
 
 // SuiteSpec scales the experiment suite behind the figure campaigns.
@@ -200,6 +206,11 @@ type FaultSimSpec struct {
 	// Train and Test are the dataset sizes (0 = 320 / 128).
 	Train int `json:"train,omitempty"`
 	Test  int `json:"test,omitempty"`
+	// Mitigate, when set, salvages the deployment with the selected
+	// strategy before each measurement instead of sweeping unmitigated
+	// (`faultsim -mitigate`). Omitted on old specs, so historical
+	// fingerprints are unchanged.
+	Mitigate *MitigationSpec `json:"mitigate,omitempty"`
 }
 
 // Defaulted returns a copy with every zero field replaced by its
@@ -540,6 +551,10 @@ func sectionFor(kind string) string {
 		return "faultsim"
 	case "faultmodel":
 		return "faultModel"
+	case "salvage":
+		return "salvage"
+	case "sitesweep":
+		return "siteSweep"
 	}
 	return "suite"
 }
@@ -577,6 +592,8 @@ func (s *Spec) Validate() error {
 		"pipeline":   s.Pipeline != nil,
 		"faultsim":   s.FaultSim != nil,
 		"faultModel": s.FaultModel != nil,
+		"salvage":    s.Salvage != nil,
+		"siteSweep":  s.SiteSweep != nil,
 	} {
 		if present && name != want {
 			return fmt.Errorf("spec: kind %q does not use the %s section (it reads %s) — wrong kind or leftover section?",
@@ -591,8 +608,23 @@ func (s *Spec) Validate() error {
 			return err
 		}
 	}
+	if s.FaultSim != nil && s.FaultSim.Mitigate != nil {
+		if err := s.FaultSim.Mitigate.Validate(); err != nil {
+			return err
+		}
+	}
 	if s.FaultModel != nil {
 		if err := s.FaultModel.Validate(); err != nil {
+			return err
+		}
+	}
+	if s.Salvage != nil {
+		if err := s.Salvage.Validate(); err != nil {
+			return err
+		}
+	}
+	if s.SiteSweep != nil {
+		if err := s.SiteSweep.Validate(); err != nil {
 			return err
 		}
 	}

@@ -73,6 +73,25 @@ func representative() map[string]*spec.Spec {
 				Batch: 4, Timesteps: 3, Density: 0.3,
 			},
 		},
+		"salvage": {
+			Version: spec.Version, Kind: "salvage", Seed: 7,
+			Salvage: &spec.SalvageCampaignSpec{
+				Models: []string{"stuckat", "transient"},
+				Mitigations: []spec.MitigationSpec{
+					{Kind: "falvolt", Epochs: 2}, {Kind: "respawn"},
+					{Kind: "rescuesnn", BypassBit: 20}, {Kind: "softsnn"},
+				},
+				Rates: []float64{0.05, 0.1}, Repeats: 2, Array: 16,
+				BaseEpochs: 2, Epochs: 2, Batch: 32,
+			},
+		},
+		"sitesweep": {
+			Version: spec.Version, Kind: "sitesweep", Seed: 7,
+			SiteSweep: &spec.SiteSweepSpec{
+				Array: 8, Bits: []uint{0, 16, 31}, Pols: "both",
+				Sample: 48, Batch: 4, Timesteps: 2, Density: 0.3,
+			},
+		},
 	}
 	return out
 }

@@ -77,8 +77,13 @@ type Array struct {
 	wFaulty    []bool
 
 	bypassOn bool
-	fmap     *faults.Map
-	wmap     *faults.Map
+	// bypMask optionally programs bypass muxes per PE (row-major):
+	// independent of the global bypassOn switch, a permanently faulty PE
+	// with its mask entry set is bypassed. RescueSNN-style selective
+	// bypass engages only the PEs whose faults are worth pruning.
+	bypMask []bool
+	fmap    *faults.Map
+	wmap    *faults.Map
 
 	// Weight-SRAM bit-flips (faults.BitFlipModel): applied to stored
 	// words on the compiled-tile path (compile.go) and per element on
@@ -350,6 +355,7 @@ func (a *Array) ClearFaults() {
 	a.mem = nil
 	a.transient = nil
 	a.step = 0
+	a.bypMask = nil
 	a.refresh()
 }
 
@@ -363,6 +369,39 @@ func (a *Array) SetBypass(on bool) {
 
 // BypassEnabled reports whether faulty PEs are currently bypassed.
 func (a *Array) BypassEnabled() bool { return a.bypassOn }
+
+// SetBypassMask programs the bypass multiplexers individually: a
+// permanently faulty PE i (row-major) is bypassed iff mask[i] is set or
+// the global SetBypass switch is on. Entries on healthy PEs are inert —
+// a bypass mux only exists to route around its own PE. A nil mask
+// removes per-PE selection; ClearFaults also clears it, so campaign
+// workers that clear-and-reinject between trials cannot leak a stale
+// mask across fault scenarios.
+func (a *Array) SetBypassMask(mask []bool) error {
+	if mask != nil && len(mask) != a.cfg.Rows*a.cfg.Cols {
+		return fmt.Errorf("systolic: bypass mask length %d does not match %dx%d array",
+			len(mask), a.cfg.Rows, a.cfg.Cols)
+	}
+	if mask == nil {
+		a.bypMask = nil
+	} else {
+		a.bypMask = append([]bool(nil), mask...)
+	}
+	a.refresh()
+	return nil
+}
+
+// BypassedPEs returns how many PEs currently have their bypass mux
+// engaged (the per-inference pruning cost a salvage report records).
+func (a *Array) BypassedPEs() int {
+	n := 0
+	for _, b := range a.bypassed {
+		if b {
+			n++
+		}
+	}
+	return n
+}
 
 // refreshState recomputes the effective per-PE fault state (permanent
 // masks plus transient strikes active at the current timestep), the
@@ -378,7 +417,7 @@ func (a *Array) refreshState() {
 		or, cl := a.pOr[i], a.pClear[i]
 		pf := or != 0 || cl != 0 || a.wFaulty[i]
 		a.permFaulty[i] = pf
-		a.bypassed[i] = pf && a.bypassOn
+		a.bypassed[i] = pf && (a.bypassOn || (a.bypMask != nil && a.bypMask[i]))
 		if a.transient != nil {
 			or |= a.tOr[i]
 			cl |= a.tClear[i]
