@@ -53,8 +53,9 @@ func getFixture(b *testing.B) *fixture {
 		if err != nil {
 			panic(err)
 		}
-		if _, err := core.TrainBaseline(model, ds.Train, ds.Test, 3, 0.02,
-			rand.New(rand.NewSource(2)), true); err != nil {
+		if _, err := core.TrainBaseline(model, ds.Train, ds.Test, core.BaselineConfig{
+			Epochs: 3, LR: 0.02, Rng: rand.New(rand.NewSource(2)),
+		}); err != nil {
 			panic(err)
 		}
 		fix = &fixture{model: model, state: model.Net.State(), ds: ds}
@@ -101,7 +102,7 @@ func BenchmarkFig2FixedVthRetrainEpoch(b *testing.B) {
 		f.restore(b)
 		if _, err := core.Mitigate(f.model, arr, fm, f.ds.Train[:48], f.ds.Test[:24], core.Config{
 			Method: core.FaPIT, Epochs: 1, FixedVth: 0.55, LR: 0.01, BatchSize: 16,
-			Rng: rand.New(rand.NewSource(int64(i))), Silent: true,
+			Rng: rand.New(rand.NewSource(int64(i))),
 		}); err != nil {
 			b.Fatal(err)
 		}
@@ -169,7 +170,7 @@ func BenchmarkFig6FalVoltEpoch(b *testing.B) {
 		f.restore(b)
 		if _, err := core.Mitigate(f.model, arr, fm, f.ds.Train[:48], f.ds.Test[:24], core.Config{
 			Method: core.FalVolt, Epochs: 1, LR: 0.01, BatchSize: 16,
-			Rng: rand.New(rand.NewSource(int64(i))), Silent: true,
+			Rng: rand.New(rand.NewSource(int64(i))),
 		}); err != nil {
 			b.Fatal(err)
 		}
@@ -186,7 +187,7 @@ func BenchmarkFig7FaP(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		f.restore(b)
 		if _, err := core.Mitigate(f.model, arr, fm, f.ds.Train[:48], f.ds.Test[:24], core.Config{
-			Method: core.FaP, Rng: rand.New(rand.NewSource(int64(i))), Silent: true,
+			Method: core.FaP, Rng: rand.New(rand.NewSource(int64(i))),
 		}); err != nil {
 			b.Fatal(err)
 		}
@@ -205,7 +206,7 @@ func BenchmarkFig8CurveEpoch(b *testing.B) {
 		if _, err := core.Mitigate(f.model, arr, fm, f.ds.Train[:48], f.ds.Test[:24], core.Config{
 			Method: core.FalVolt, Epochs: 1, LR: 0.01, BatchSize: 16,
 			TrackCurve: true, CurveEvalSize: 24,
-			Rng: rand.New(rand.NewSource(int64(i))), Silent: true,
+			Rng: rand.New(rand.NewSource(int64(i))),
 		}); err != nil {
 			b.Fatal(err)
 		}
@@ -220,7 +221,7 @@ func benchBaselineTrainEpoch(b *testing.B, eng tensor.Backend) {
 	for i := 0; i < b.N; i++ {
 		f.restore(b)
 		if _, err := snn.Train(f.model.Net, f.ds.Train[:48], snn.TrainConfig{
-			Epochs: 1, BatchSize: 16, LR: 0.01, Classes: 10, Silent: true,
+			Epochs: 1, BatchSize: 16, LR: 0.01, Classes: 10,
 			Rng: rand.New(rand.NewSource(int64(i))), Engine: eng,
 		}); err != nil {
 			b.Fatal(err)
@@ -234,6 +235,35 @@ func BenchmarkBaselineTrainEpoch(b *testing.B)       { benchBaselineTrainEpoch(b
 func BenchmarkBaselineTrainEpochSerial(b *testing.B) { benchBaselineTrainEpoch(b, tensor.Serial()) }
 func BenchmarkBaselineTrainEpochParallel(b *testing.B) {
 	benchBaselineTrainEpoch(b, tensor.NewParallel(0))
+}
+
+// benchBaselineTrainEpochReplicas measures the same epoch on the
+// data-parallel replica engine: each 48-sample batch splits into eight
+// 6-sample micro-batches dispatched over the engine's lanes, with
+// gradients reduced in fixed micro-batch order. The serial/parallel
+// pair isolates the lane speedup — both produce bit-identical weights.
+func benchBaselineTrainEpochReplicas(b *testing.B, eng tensor.Backend) {
+	f := getFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.restore(b)
+		if _, err := snn.Train(f.model.Net, f.ds.Train[:48], snn.TrainConfig{
+			Epochs: 1, BatchSize: 48, LR: 0.01, Classes: 10,
+			Rng: rand.New(rand.NewSource(int64(i))), Engine: eng,
+			Replicas: 8, MicroBatch: 6,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	f.model.Net.SetEngine(nil)
+}
+
+func BenchmarkBaselineTrainEpochReplicasSerial(b *testing.B) {
+	benchBaselineTrainEpochReplicas(b, tensor.Serial())
+}
+func BenchmarkBaselineTrainEpochReplicasParallel(b *testing.B) {
+	benchBaselineTrainEpochReplicas(b, tensor.NewParallel(0))
 }
 
 // --- micro-benchmarks of the hot paths ---
@@ -365,7 +395,7 @@ func benchSalvage(b *testing.B, mitSpec spec.MitigationSpec, epochs int) {
 		mit, err := mitigation.New(mitSpec.EffectiveKind(), mitigation.Options{
 			Train: f.ds.Train[:48], Test: f.ds.Test[:24],
 			Epochs: epochs, BatchSize: 16, LR: 0.01, ClipNorm: 5,
-			Rng: rand.New(rand.NewSource(int64(i))), Silent: true,
+			Rng: rand.New(rand.NewSource(int64(i))),
 		})
 		if err != nil {
 			b.Fatal(err)

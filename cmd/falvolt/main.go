@@ -156,8 +156,9 @@ func run(s *spec.Spec, stateOut string, showVths bool) error {
 	}
 
 	fmt.Printf("training baseline (%d samples, %d epochs)...\n", len(ds.Train), baseEpochs)
-	baseAcc, err := core.TrainBaseline(model, ds.Train, ds.Test, baseEpochs, 0.02,
-		rand.New(rand.NewSource(seed+1)), true)
+	baseAcc, err := core.TrainBaseline(model, ds.Train, ds.Test, core.BaselineConfig{
+		Epochs: baseEpochs, LR: 0.02, Rng: rand.New(rand.NewSource(seed + 1)),
+	})
 	if err != nil {
 		return err
 	}
@@ -186,6 +187,9 @@ func run(s *spec.Spec, stateOut string, showVths bool) error {
 	rep, err := core.Mitigate(model, arr, fm, ds.Train, ds.Test, core.Config{
 		Method: method, Epochs: epochs, LR: 0.01, BatchSize: 16, ClipNorm: 5,
 		Rng: rand.New(rand.NewSource(seed + 3)),
+		Progress: func(epoch int, loss float64) {
+			fmt.Printf("  [%s] epoch %2d loss %.4f\n", method, epoch, loss)
+		},
 	})
 	if err != nil {
 		return err

@@ -119,8 +119,21 @@ func main() {
 func run(s *spec.Spec) error {
 	f := s.FaultSim.Defaulted()
 	seed := s.Seed
-	arrayN, nFaults, repeats, baseEpochs := f.Array, f.Faults, f.Repeats, f.BaseEpochs
+	arrayN, nFaults, repeats := f.Array, f.Faults, f.Repeats
+	baseEpochs := f.EffectiveBaseEpochs()
 	trainN, testN := f.Train, f.Test
+	var bt spec.TrainSpec
+	if f.Training != nil {
+		bt = *f.Training
+	}
+	baseLoss, err := snn.LossByName(bt.Loss)
+	if err != nil {
+		return err
+	}
+	baseLR := bt.LR
+	if baseLR == 0 {
+		baseLR = 0.02
+	}
 
 	// Validate every user-named knob before the (expensive) baseline
 	// training, so misconfiguration fails in milliseconds.
@@ -181,8 +194,11 @@ func run(s *spec.Spec) error {
 		return err
 	}
 	fmt.Printf("training %s baseline...\n", dsName)
-	baseAcc, err := core.TrainBaseline(model, ds.Train, ds.Test, baseEpochs, 0.02,
-		rand.New(rand.NewSource(seed+1)), true)
+	baseAcc, err := core.TrainBaseline(model, ds.Train, ds.Test, core.BaselineConfig{
+		Epochs: baseEpochs, LR: baseLR, BatchSize: bt.Batch, ClipNorm: bt.ClipNorm,
+		Loss: baseLoss, Rng: rand.New(rand.NewSource(seed + 1)),
+		Replicas: bt.Replicas, MicroBatch: bt.MicroBatch,
+	})
 	if err != nil {
 		return err
 	}
@@ -207,16 +223,26 @@ func run(s *spec.Spec) error {
 		if err := inject(); err != nil {
 			return 0, err
 		}
-		epochs := mitSpec.Epochs
+		epochs := mitSpec.EffectiveEpochs()
 		if epochs == 0 {
 			epochs = 1
 		}
+		mt := mitSpec.TrainingOrZero()
+		batch, clip := mt.Batch, mt.ClipNorm
+		if batch == 0 {
+			batch = 16
+		}
+		if clip == 0 {
+			clip = 5
+		}
 		mitTrial++
 		mit, err := mitigation.New(mitSpec.EffectiveKind(), mitigation.Options{
-			Train: ds.Train, Test: ds.Test, Epochs: epochs, BatchSize: 16,
-			LR: mitSpec.LR, ClipNorm: 5, FixedVth: mitSpec.Vth,
-			Rng:       rand.New(rand.NewSource(seed + 7919*mitTrial)),
-			BypassBit: mitSpec.BypassBit, Silent: true,
+			Train: ds.Train, Test: ds.Test, Epochs: epochs, BatchSize: batch,
+			LR: mitSpec.EffectiveLR(), ClipNorm: clip, FixedVth: mitSpec.Vth,
+			Rng:        rand.New(rand.NewSource(seed + 7919*mitTrial)),
+			BypassBit:  mitSpec.BypassBit,
+			Replicas:   mt.Replicas,
+			MicroBatch: mt.MicroBatch,
 		})
 		if err != nil {
 			return 0, err

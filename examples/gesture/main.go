@@ -44,8 +44,9 @@ func main() {
 
 	fmt.Printf("training gesture classifier (%d classes: %v ...)\n",
 		ds.Classes, datasets.GestureClasses[:3])
-	baseAcc, err := core.TrainBaseline(model, ds.Train, ds.Test, 16, 0.02,
-		rand.New(rand.NewSource(seed+1)), true)
+	baseAcc, err := core.TrainBaseline(model, ds.Train, ds.Test, core.BaselineConfig{
+		Epochs: 16, LR: 0.02, Rng: rand.New(rand.NewSource(seed + 1)),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func main() {
 
 	rep, err := core.Mitigate(model, arr, fm, ds.Train, ds.Test, core.Config{
 		Method: core.FalVolt, Epochs: 10, LR: 0.01, BatchSize: 16, ClipNorm: 5,
-		Rng: rand.New(rand.NewSource(seed + 3)), Silent: true,
+		Rng: rand.New(rand.NewSource(seed + 3)),
 	})
 	if err != nil {
 		log.Fatal(err)

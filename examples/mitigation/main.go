@@ -36,8 +36,9 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("training baseline...")
-	baseAcc, err := core.TrainBaseline(model, ds.Train, ds.Test, 12, 0.02,
-		rand.New(rand.NewSource(seed+1)), true)
+	baseAcc, err := core.TrainBaseline(model, ds.Train, ds.Test, core.BaselineConfig{
+		Epochs: 12, LR: 0.02, Rng: rand.New(rand.NewSource(seed + 1)),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func main() {
 		rep, err := core.Mitigate(model, arr, fm, ds.Train, ds.Test, core.Config{
 			Method: method, Epochs: 10, LR: 0.01, BatchSize: 16, ClipNorm: 5,
 			TrackCurve: true, CurveEvalSize: 64,
-			Rng: rand.New(rand.NewSource(seed + 3)), Silent: true,
+			Rng: rand.New(rand.NewSource(seed + 3)),
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -40,8 +40,9 @@ func main() {
 
 	// 2. Train the fault-free baseline.
 	fmt.Println("training baseline...")
-	baseAcc, err := core.TrainBaseline(model, ds.Train, ds.Test, 12, 0.02,
-		rand.New(rand.NewSource(seed+1)), true)
+	baseAcc, err := core.TrainBaseline(model, ds.Train, ds.Test, core.BaselineConfig{
+		Epochs: 12, LR: 0.02, Rng: rand.New(rand.NewSource(seed + 1)),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func main() {
 	//    PEs, retrain the rest while learning each layer's threshold.
 	rep, err := core.Mitigate(model, arr, fm, ds.Train, ds.Test, core.Config{
 		Method: core.FalVolt, Epochs: 8, LR: 0.01, BatchSize: 16, ClipNorm: 5,
-		Rng: rand.New(rand.NewSource(seed + 3)), Silent: true,
+		Rng: rand.New(rand.NewSource(seed + 3)),
 	})
 	if err != nil {
 		log.Fatal(err)

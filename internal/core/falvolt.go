@@ -176,20 +176,59 @@ func EvaluateModelFaulty(model *snn.Model, arr *systolic.Array, fm faults.FaultM
 	return acc, nil
 }
 
+// BaselineConfig controls baseline (fault-free) training. Zero values
+// select the paper's defaults: batch 16, LR 0.02, gradient clip 5, the
+// classic serial loop on the process-default engine, and silence (install
+// a Hooks.Progress printer to observe the loss curve).
+type BaselineConfig struct {
+	// Epochs is the training budget.
+	Epochs int
+	// LR is the learning rate (0 selects 0.02).
+	LR float64
+	// BatchSize is the global batch size (0 selects 16).
+	BatchSize int
+	// ClipNorm caps the global gradient norm (0 selects 5).
+	ClipNorm float64
+	// Loss is the training objective (nil selects snn.MSERate, the
+	// paper's).
+	Loss snn.Loss
+	// Rng drives batch shuffling.
+	Rng *rand.Rand
+	// Engine is the compute backend (nil keeps the network's engine).
+	Engine tensor.Backend
+	// Replicas and MicroBatch select the data-parallel replica training
+	// engine (see snn.TrainConfig); zero keeps the classic serial loop.
+	// Replica count never changes results, only wall-clock.
+	Replicas   int
+	MicroBatch int
+	// Hooks observe the loop; the zero value trains silently.
+	Hooks snn.TrainHooks
+}
+
 // TrainBaseline trains a freshly built model to its fault-free baseline
-// (the paper's initial-training stage) and returns test accuracy. It
-// runs on the process-default engine; use snn.Train directly for an
-// explicit engine.
-func TrainBaseline(model *snn.Model, train, test []snn.Sample,
-	epochs int, lr float64, rng *rand.Rand, silent bool) (float64, error) {
+// (the paper's initial-training stage) and returns test accuracy.
+func TrainBaseline(model *snn.Model, train, test []snn.Sample, cfg BaselineConfig) (float64, error) {
+	if cfg.LR == 0 {
+		cfg.LR = 0.02
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.ClipNorm == 0 {
+		cfg.ClipNorm = 5
+	}
 	_, err := snn.Train(model.Net, train, snn.TrainConfig{
-		Epochs:    epochs,
-		BatchSize: 16,
-		LR:        lr,
-		Classes:   model.Spec.Classes,
-		ClipNorm:  5,
-		Rng:       rng,
-		Silent:    silent,
+		Epochs:     cfg.Epochs,
+		BatchSize:  cfg.BatchSize,
+		LR:         cfg.LR,
+		Classes:    model.Spec.Classes,
+		ClipNorm:   cfg.ClipNorm,
+		Loss:       cfg.Loss,
+		Rng:        cfg.Rng,
+		Engine:     cfg.Engine,
+		Replicas:   cfg.Replicas,
+		MicroBatch: cfg.MicroBatch,
+		Hooks:      cfg.Hooks,
 	})
 	if err != nil {
 		return 0, fmt.Errorf("core: baseline training: %w", err)

@@ -52,7 +52,7 @@ func newHarness(t *testing.T) *testHarness {
 			harnessErr = err
 			return
 		}
-		acc, err := TrainBaseline(model, ds.Train, ds.Test, 8, 0.02, rng, true)
+		acc, err := TrainBaseline(model, ds.Train, ds.Test, BaselineConfig{Epochs: 8, LR: 0.02, Rng: rng})
 		if err != nil {
 			harnessErr = err
 			return
@@ -130,7 +130,7 @@ func TestMitigationOrdering(t *testing.T) {
 		h.model.Net.Undeploy()
 		rep, err := Mitigate(h.model, h.arr, fm, h.train, h.test, Config{
 			Method: m, Epochs: epochs, BatchSize: 16, LR: 0.01, ClipNorm: 5,
-			Rng: rand.New(rand.NewSource(3)), Silent: true,
+			Rng: rand.New(rand.NewSource(3)),
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -185,7 +185,7 @@ func TestMitigateFixedVthSweep(t *testing.T) {
 	}
 	rep, err := Mitigate(h.model, h.arr, fm, h.train, h.test, Config{
 		Method: FaPIT, Epochs: 2, BatchSize: 16, LR: 0.01, FixedVth: 0.55,
-		Rng: rand.New(rand.NewSource(5)), Silent: true,
+		Rng: rand.New(rand.NewSource(5)),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -206,7 +206,7 @@ func TestMitigateTracksCurve(t *testing.T) {
 	rep, err := Mitigate(h.model, h.arr, fm, h.train, h.test, Config{
 		Method: FalVolt, Epochs: 3, BatchSize: 16, LR: 0.01,
 		TrackCurve: true, CurveEvalSize: 40,
-		Rng: rand.New(rand.NewSource(7)), Silent: true,
+		Rng: rand.New(rand.NewSource(7)),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -229,7 +229,7 @@ func TestStateRoundTripThroughMitigation(t *testing.T) {
 	before := snn.Evaluate(h.model.Net, h.test, 32)
 	fm := worstCaseFaults(t, 16, 16, 60, 8)
 	if _, err := Mitigate(h.model, h.arr, fm, h.train, h.test, Config{
-		Method: FaP, Rng: rand.New(rand.NewSource(9)), Silent: true,
+		Method: FaP, Rng: rand.New(rand.NewSource(9)),
 	}); err != nil {
 		t.Fatal(err)
 	}

@@ -240,25 +240,34 @@ func (w *salvageWorker) RunTrial(t campaign.Trial) (campaign.Result, error) {
 	// Salvage: the strategy owns deployment, bypass and retraining. The
 	// concrete accumulator fault map (empty for bitflip/transient, whose
 	// fault state lives elsewhere on the array) rides along.
-	epochs := ms.Epochs
+	epochs := ms.EffectiveEpochs()
 	if epochs == 0 {
 		epochs = d.Epochs
 	}
-	lr := ms.LR
+	lr := ms.EffectiveLR()
 	if lr == 0 {
 		lr = 0.01
 	}
+	mt := ms.TrainingOrZero()
+	batch, clip := mt.Batch, mt.ClipNorm
+	if batch == 0 {
+		batch = 16
+	}
+	if clip == 0 {
+		clip = 5
+	}
 	mit, err := mitigation.New(ms.EffectiveKind(), mitigation.Options{
-		Train:     w.c.deps.Train,
-		Test:      w.c.deps.Test,
-		Epochs:    epochs,
-		BatchSize: 16,
-		LR:        lr,
-		ClipNorm:  5,
-		FixedVth:  ms.Vth,
-		Rng:       rand.New(rand.NewSource(t.Seed + 1)),
-		BypassBit: ms.BypassBit,
-		Silent:    true,
+		Train:      w.c.deps.Train,
+		Test:       w.c.deps.Test,
+		Epochs:     epochs,
+		BatchSize:  batch,
+		LR:         lr,
+		ClipNorm:   clip,
+		FixedVth:   ms.Vth,
+		Rng:        rand.New(rand.NewSource(t.Seed + 1)),
+		BypassBit:  ms.BypassBit,
+		Replicas:   mt.Replicas,
+		MicroBatch: mt.MicroBatch,
 	})
 	if err != nil {
 		return campaign.Result{}, fmt.Errorf("core: trial %d: %w", t.ID, err)

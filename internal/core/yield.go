@@ -354,7 +354,6 @@ func (w *yieldWorker) RunTrial(t campaign.Trial) (campaign.Result, error) {
 		return campaign.Result{}, err
 	}
 	mcfg := w.cfg.Mitigation
-	mcfg.Silent = true
 	mcfg.Rng = rand.New(rand.NewSource(w.cfg.Seed + int64(t.ID)))
 	mrep, err := Mitigate(w.model, w.arr, fm, w.deps.Train, w.eval, mcfg)
 	if err != nil {
@@ -461,8 +460,9 @@ func SyntheticYieldBuild(seed int64, baseEpochs, arrayN int, threshold float64, 
 			return YieldDeps{}, err
 		}
 		logf("training baseline...\n")
-		baseAcc, err := TrainBaseline(model, ds.Train, ds.Test, baseEpochs, 0.02,
-			rand.New(rand.NewSource(seed+1)), true)
+		baseAcc, err := TrainBaseline(model, ds.Train, ds.Test, BaselineConfig{
+			Epochs: baseEpochs, LR: 0.02, Rng: rand.New(rand.NewSource(seed + 1)),
+		})
 		if err != nil {
 			return YieldDeps{}, err
 		}

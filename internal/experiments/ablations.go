@@ -60,8 +60,10 @@ func (s *Suite) AblationSurrogateWidth() (*Figure, error) {
 		if err != nil {
 			return 0, err
 		}
-		acc, err := core.TrainBaseline(model, ds.Train, ds.Test, sc.epochs, 0.02,
-			rand.New(rand.NewSource(s.Opt.Seed+61)), true)
+		acc, err := core.TrainBaseline(model, ds.Train, ds.Test, core.BaselineConfig{
+			Epochs: sc.epochs, LR: 0.02, Rng: rand.New(rand.NewSource(s.Opt.Seed + 61)),
+			Replicas: s.Opt.TrainReplicas, MicroBatch: s.Opt.TrainMicroBatch,
+		})
 		if err != nil {
 			return 0, err
 		}
@@ -108,7 +110,7 @@ func (s *Suite) AblationVthGradientForm() (*Figure, error) {
 		arr := s.NewArray()
 		rep, err := core.Mitigate(model, arr, fm, bl.Data.Train, bl.TestSlice(s.Opt.EvalSamples), core.Config{
 			Method: core.FalVolt, Epochs: s.Opt.RetrainEpochs, LR: 0.01, BatchSize: 16, ClipNorm: 5,
-			Rng: rand.New(rand.NewSource(s.Opt.Seed + 70)), Silent: true,
+			Rng: rand.New(rand.NewSource(s.Opt.Seed + 70)),
 		})
 		if err != nil {
 			return 0, err
@@ -229,8 +231,10 @@ func (s *Suite) AblationLIFvsPLIF() (*Figure, error) {
 		if err != nil {
 			return 0, err
 		}
-		acc, err := core.TrainBaseline(model, ds.Train, ds.Test, sc.epochs, 0.02,
-			rand.New(rand.NewSource(s.Opt.Seed+63)), true)
+		acc, err := core.TrainBaseline(model, ds.Train, ds.Test, core.BaselineConfig{
+			Epochs: sc.epochs, LR: 0.02, Rng: rand.New(rand.NewSource(s.Opt.Seed + 63)),
+			Replicas: s.Opt.TrainReplicas, MicroBatch: s.Opt.TrainMicroBatch,
+		})
 		if err != nil {
 			return 0, err
 		}

@@ -43,7 +43,8 @@ func (s *Suite) mitigateJob(bl *Baseline, fm *faults.Map, cfg core.Config) (*cor
 	if cfg.ClipNorm == 0 {
 		cfg.ClipNorm = 5
 	}
-	cfg.Silent = true
+	cfg.Replicas = s.Opt.TrainReplicas
+	cfg.MicroBatch = s.Opt.TrainMicroBatch
 	return core.Mitigate(model, arr, fm, bl.Data.Train, test, cfg)
 }
 

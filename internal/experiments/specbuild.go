@@ -42,8 +42,8 @@ func SuiteFromSpec(s *spec.Spec, opt spec.BuildOpts) (*Suite, error) {
 	if ss.Array > 0 {
 		o.ArrayRows, o.ArrayCols = ss.Array, ss.Array
 	}
-	if ss.Epochs > 0 {
-		o.RetrainEpochs = ss.Epochs
+	if e := ss.RetrainEpochs(); e > 0 {
+		o.RetrainEpochs = e
 	}
 	if ss.Repeats > 0 {
 		o.Repeats = ss.Repeats
@@ -51,10 +51,19 @@ func SuiteFromSpec(s *spec.Spec, opt spec.BuildOpts) (*Suite, error) {
 	if ss.Eval > 0 {
 		o.EvalSamples = ss.Eval
 	}
+	if ss.Training != nil {
+		o.TrainReplicas = ss.Training.Replicas
+		o.TrainMicroBatch = ss.Training.MicroBatch
+	}
 	o.CacheDir = opt.CacheDir
 	o.Log = opt.Log
-	key := fmt.Sprintf("quick=%v seed=%d array=%dx%d repeats=%d epochs=%d eval=%d cache=%q",
-		o.Quick, o.Seed, o.ArrayRows, o.ArrayCols, o.Repeats, o.RetrainEpochs, o.EvalSamples, o.CacheDir)
+	// TrainReplicas is execution-only (bit-identical results at any lane
+	// count) and excluded from the key, like the log writer: equivalent
+	// specs that differ only in replica count share one Suite, and the
+	// first build's lane count wins. The micro-batch partition changes
+	// results and is part of the key.
+	key := fmt.Sprintf("quick=%v seed=%d array=%dx%d repeats=%d epochs=%d eval=%d micro=%d cache=%q",
+		o.Quick, o.Seed, o.ArrayRows, o.ArrayCols, o.Repeats, o.RetrainEpochs, o.EvalSamples, o.TrainMicroBatch, o.CacheDir)
 	suiteCacheMu.Lock()
 	defer suiteCacheMu.Unlock()
 	if su, ok := suiteCache[key]; ok {

@@ -51,6 +51,13 @@ type Options struct {
 	// EvalSamples caps how many test samples deployed-array evaluations
 	// use (0 = all).
 	EvalSamples int
+	// TrainReplicas and TrainMicroBatch select the data-parallel replica
+	// training engine for baseline training and mitigation retraining
+	// (see snn.TrainConfig). Zero keeps the classic serial loop. Replica
+	// count never changes results, only wall-clock; the micro-batch size
+	// changes the loss-averaging partition and therefore results.
+	TrainReplicas   int
+	TrainMicroBatch int
 }
 
 // DefaultOptions returns the full-scale configuration.
@@ -259,8 +266,10 @@ func (s *Suite) trainBaseline(p datasetPlan) (*Baseline, error) {
 
 	s.logf("training %s baseline (%d samples, %d epochs)...\n", p.name, len(ds.Train), epochs)
 	start := time.Now()
-	acc, err := core.TrainBaseline(model, ds.Train, ds.Test, epochs, p.lr,
-		rand.New(rand.NewSource(s.Opt.Seed+7)), true)
+	acc, err := core.TrainBaseline(model, ds.Train, ds.Test, core.BaselineConfig{
+		Epochs: epochs, LR: p.lr, Rng: rand.New(rand.NewSource(s.Opt.Seed + 7)),
+		Replicas: s.Opt.TrainReplicas, MicroBatch: s.Opt.TrainMicroBatch,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: train %s: %w", p.name, err)
 	}

@@ -87,8 +87,14 @@ type Options struct {
 	// format's first integer bit (faults at or above the binary point
 	// trigger bypass); fractional-bit-only faults are left to the remap.
 	BypassBit int
-	// Silent suppresses retraining progress output.
-	Silent bool
+	// Replicas and MicroBatch select the data-parallel replica training
+	// engine for the retraining family (see snn.TrainConfig); zero keeps
+	// the classic serial loop. Replica count never changes results.
+	Replicas   int
+	MicroBatch int
+	// Progress observes retraining (epoch, mean loss); nil is silent —
+	// the library default. cmd tools install a printer.
+	Progress func(epoch int, loss float64)
 }
 
 // Names lists the registered mitigation names, sorted — the mitigation

@@ -85,8 +85,9 @@ func newNoopHarness(t *testing.T) *noopHarness {
 			noopErr = err
 			return
 		}
-		if _, err := core.TrainBaseline(model, ds.Train, ds.Test, 1, 0.02,
-			rand.New(rand.NewSource(22)), true); err != nil {
+		if _, err := core.TrainBaseline(model, ds.Train, ds.Test, core.BaselineConfig{
+			Epochs: 1, LR: 0.02, Rng: rand.New(rand.NewSource(22)),
+		}); err != nil {
 			noopErr = err
 			return
 		}
@@ -165,7 +166,7 @@ func TestNoOpInvariant(t *testing.T) {
 				mit, err := mitigation.New(name, mitigation.Options{
 					Train: h.train, Test: h.test,
 					Epochs: 2, BatchSize: 16, LR: 0.01, ClipNorm: 5,
-					Rng: rand.New(rand.NewSource(77)), Engine: e.eng, Silent: true,
+					Rng: rand.New(rand.NewSource(77)), Engine: e.eng,
 				})
 				if err != nil {
 					t.Fatal(err)

@@ -93,8 +93,14 @@ type Config struct {
 	// CurveEvalSize limits how many test samples the per-epoch curve uses
 	// (0 = all).
 	CurveEvalSize int
-	// Silent suppresses progress output.
-	Silent bool
+	// Replicas and MicroBatch select the data-parallel replica training
+	// engine for retraining (see snn.TrainConfig); zero keeps the classic
+	// serial loop. Replica count never changes results, only wall-clock.
+	Replicas   int
+	MicroBatch int
+	// Progress observes retraining (epoch, mean loss); nil is silent —
+	// the library default. cmd tools install a printer.
+	Progress func(epoch int, loss float64)
 }
 
 // EpochPoint is one point of a retraining convergence curve.
@@ -210,24 +216,27 @@ func Mitigate(model *snn.Model, arr *systolic.Array, fm *faults.Map,
 		}
 		start := time.Now()
 		_, err := snn.Train(net, train, snn.TrainConfig{
-			Epochs:    epochs,
-			BatchSize: cfg.BatchSize,
-			LR:        cfg.LR,
-			Classes:   model.Spec.Classes,
-			ClipNorm:  cfg.ClipNorm,
-			Rng:       cfg.Rng,
-			Silent:    true,
-			Engine:    eng,
-			AfterEpoch: func(epoch int, loss float64) {
-				// Algorithm 1 line 13: re-zero pruned weights.
-				applyMasks()
-				if cfg.TrackCurve {
-					acc := snn.EvaluateWith(eng, net, curveTest, cfg.BatchSize)
-					report.Curve = append(report.Curve, EpochPoint{Epoch: epoch, Loss: loss, Accuracy: acc})
-				}
-				if !cfg.Silent {
-					fmt.Printf("  [%s] epoch %2d loss %.4f\n", cfg.Method, epoch, loss)
-				}
+			Epochs:     epochs,
+			BatchSize:  cfg.BatchSize,
+			LR:         cfg.LR,
+			Classes:    model.Spec.Classes,
+			ClipNorm:   cfg.ClipNorm,
+			Rng:        cfg.Rng,
+			Engine:     eng,
+			Replicas:   cfg.Replicas,
+			MicroBatch: cfg.MicroBatch,
+			Hooks: snn.TrainHooks{
+				AfterEpoch: func(epoch int, loss float64) {
+					// Algorithm 1 line 13: re-zero pruned weights.
+					applyMasks()
+					if cfg.TrackCurve {
+						acc := snn.EvaluateWith(eng, net, curveTest, cfg.BatchSize)
+						report.Curve = append(report.Curve, EpochPoint{Epoch: epoch, Loss: loss, Accuracy: acc})
+					}
+					if cfg.Progress != nil {
+						cfg.Progress(epoch, loss)
+					}
+				},
 			},
 		})
 		if err != nil {
@@ -308,15 +317,17 @@ func (s *retrainStrategy) Apply(model *snn.Model, arr *systolic.Array, fm *fault
 		rng = rand.New(rand.NewSource(seed))
 	}
 	rep, err := Mitigate(model, arr, fm, s.opt.Train, s.opt.Test, Config{
-		Method:    s.method,
-		Epochs:    s.opt.Epochs,
-		BatchSize: s.opt.BatchSize,
-		LR:        s.opt.LR,
-		FixedVth:  s.opt.FixedVth,
-		ClipNorm:  s.opt.ClipNorm,
-		Rng:       rng,
-		Engine:    s.opt.Engine,
-		Silent:    s.opt.Silent,
+		Method:     s.method,
+		Epochs:     s.opt.Epochs,
+		BatchSize:  s.opt.BatchSize,
+		LR:         s.opt.LR,
+		FixedVth:   s.opt.FixedVth,
+		ClipNorm:   s.opt.ClipNorm,
+		Rng:        rng,
+		Engine:     s.opt.Engine,
+		Replicas:   s.opt.Replicas,
+		MicroBatch: s.opt.MicroBatch,
+		Progress:   s.opt.Progress,
 	})
 	if err != nil {
 		return nil, err

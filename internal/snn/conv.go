@@ -116,6 +116,14 @@ func (c *Conv2D) CloneInference() Layer {
 	return &Conv2D{Shape: c.Shape, weight: c.weight, bias: c.bias, deploy: c.deploy, eng: c.eng}
 }
 
+// CloneTraining implements Layer: weight/bias values are shared with
+// private gradient accumulators. The deployment is dropped — the training
+// forward never routes through the systolic array, and sharing it would
+// let concurrent replicas race on the array's timestep hook.
+func (c *Conv2D) CloneTraining() Layer {
+	return &Conv2D{Shape: c.Shape, weight: shadowParam(c.weight), bias: shadowParam(c.bias), eng: c.eng}
+}
+
 // Forward implements Layer. Input is [N, InC, InH, InW]; output
 // [N, OutC, OutH, OutW].
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
@@ -305,6 +313,11 @@ func (l *Linear) engine() tensor.Backend {
 // CloneInference implements Layer.
 func (l *Linear) CloneInference() Layer {
 	return &Linear{In: l.In, Out: l.Out, weight: l.weight, bias: l.bias, deploy: l.deploy, eng: l.eng}
+}
+
+// CloneTraining implements Layer (see Conv2D.CloneTraining).
+func (l *Linear) CloneTraining() Layer {
+	return &Linear{In: l.In, Out: l.Out, weight: shadowParam(l.weight), bias: shadowParam(l.bias), eng: l.eng}
 }
 
 // Forward implements Layer. Input may be rank 2 [N, In] or rank 4 (it is

@@ -218,7 +218,7 @@ func TestTrainingReducesLoss(t *testing.T) {
 
 	first := Evaluate(net, samples, 16)
 	lastLoss, err := Train(net, samples, TrainConfig{
-		Epochs: 12, BatchSize: 16, LR: 0.02, Classes: 3, Silent: true,
+		Epochs: 12, BatchSize: 16, LR: 0.02, Classes: 3,
 		Rng: rand.New(rand.NewSource(9)),
 	})
 	if err != nil {

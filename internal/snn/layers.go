@@ -21,6 +21,16 @@ type BatchNorm2D struct {
 
 	runMean, runVar []float64
 
+	// logStats switches a training replica into stat-log mode: training
+	// forward records each timestep's batch (mean, variance) per channel
+	// into meanLog/varLog instead of EMA-updating the shared
+	// runMean/runVar in place. The trainer drains the log per micro-batch
+	// and the primary replays it in micro-batch index order (see
+	// ReplayStats), reproducing the order-dependent EMA bit-exactly
+	// regardless of how many replicas ran concurrently.
+	logStats        bool
+	meanLog, varLog [][]float64
+
 	// Per-timestep caches.
 	xhat  cacheStack
 	stds  [][]float64
@@ -73,6 +83,10 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	xhat := tensor.New(x.Shape...)
 	means := make([]float64, c)
 	stds := make([]float64, c)
+	var logVars []float64
+	if bn.logStats {
+		logVars = make([]float64, c)
+	}
 	for ch := 0; ch < c; ch++ {
 		var sum float64
 		for bi := 0; bi < n; bi++ {
@@ -94,8 +108,12 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		std := math.Sqrt(variance + bn.Eps)
 		means[ch], stds[ch] = mean, std
 
-		bn.runMean[ch] = (1-bn.Momentum)*bn.runMean[ch] + bn.Momentum*mean
-		bn.runVar[ch] = (1-bn.Momentum)*bn.runVar[ch] + bn.Momentum*variance
+		if bn.logStats {
+			logVars[ch] = variance
+		} else {
+			bn.runMean[ch] = (1-bn.Momentum)*bn.runMean[ch] + bn.Momentum*mean
+			bn.runVar[ch] = (1-bn.Momentum)*bn.runVar[ch] + bn.Momentum*variance
+		}
 
 		g := float64(bn.gamma.Value.Data[ch])
 		b := float64(bn.beta.Value.Data[ch])
@@ -112,7 +130,36 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	bn.xhat.push(xhat)
 	bn.means = append(bn.means, means)
 	bn.stds = append(bn.stds, stds)
+	if bn.logStats {
+		// Backward only truncates bn.means, so the log can share the
+		// per-timestep slice.
+		bn.meanLog = append(bn.meanLog, means)
+		bn.varLog = append(bn.varLog, logVars)
+	}
 	return out
+}
+
+// DrainStats returns and clears the (mean, variance) pairs logged by a
+// training replica in stat-log mode, one entry per training timestep in
+// forward order. The trainer hands them to the primary's ReplayStats.
+func (bn *BatchNorm2D) DrainStats() (means, vars [][]float64) {
+	means, vars = bn.meanLog, bn.varLog
+	bn.meanLog, bn.varLog = nil, nil
+	return means, vars
+}
+
+// ReplayStats applies logged batch statistics to the running mean and
+// variance with the same EMA update the in-place training path uses. The
+// logged statistics do not depend on the running values, so replaying
+// micro-batch logs in index order reproduces the serial update sequence
+// bit-exactly no matter which replica computed each log.
+func (bn *BatchNorm2D) ReplayStats(means, vars [][]float64) {
+	for t := range means {
+		for ch := 0; ch < bn.C; ch++ {
+			bn.runMean[ch] = (1-bn.Momentum)*bn.runMean[ch] + bn.Momentum*means[t][ch]
+			bn.runVar[ch] = (1-bn.Momentum)*bn.runVar[ch] + bn.Momentum*vars[t][ch]
+		}
+	}
 }
 
 // Backward implements Layer (standard batch-norm gradient).
@@ -166,11 +213,25 @@ func (bn *BatchNorm2D) CloneInference() Layer {
 	}
 }
 
+// CloneTraining implements Layer: γ/β values are shared with private
+// gradients; the clone runs in stat-log mode so the shared running
+// statistics are never written concurrently (see DrainStats/ReplayStats).
+func (bn *BatchNorm2D) CloneTraining() Layer {
+	return &BatchNorm2D{
+		C: bn.C, Eps: bn.Eps, Momentum: bn.Momentum,
+		gamma: shadowParam(bn.gamma), beta: shadowParam(bn.beta),
+		runMean: bn.runMean, runVar: bn.runVar,
+		logStats: true,
+	}
+}
+
 // ResetState implements Layer.
 func (bn *BatchNorm2D) ResetState() {
 	bn.xhat.reset()
 	bn.means = bn.means[:0]
 	bn.stds = bn.stds[:0]
+	bn.meanLog = nil
+	bn.varLog = nil
 }
 
 // AvgPool2 is non-overlapping 2x2 average pooling.
@@ -201,6 +262,9 @@ func (p *AvgPool2) Params() []*Param { return nil }
 
 // CloneInference implements Layer.
 func (p *AvgPool2) CloneInference() Layer { return NewAvgPool2() }
+
+// CloneTraining implements Layer.
+func (p *AvgPool2) CloneTraining() Layer { return NewAvgPool2() }
 
 // ResetState implements Layer.
 func (p *AvgPool2) ResetState() { p.hw = p.hw[:0] }
@@ -235,6 +299,9 @@ func (f *Flatten) Params() []*Param { return nil }
 
 // CloneInference implements Layer.
 func (f *Flatten) CloneInference() Layer { return NewFlatten() }
+
+// CloneTraining implements Layer.
+func (f *Flatten) CloneTraining() Layer { return NewFlatten() }
 
 // ResetState implements Layer.
 func (f *Flatten) ResetState() { f.shapes = f.shapes[:0] }
@@ -301,6 +368,19 @@ func (d *Dropout) Params() []*Param { return nil }
 // so the clone only carries the configuration (the rng is shared but
 // untouched by inference-mode Forward).
 func (d *Dropout) CloneInference() Layer { return &Dropout{P: d.P, rng: d.rng} }
+
+// CloneTraining implements Layer: the clone starts with no rng — the
+// trainer must install a deterministically derived one via SetRng before
+// each micro-batch, so the mask depends only on the micro-batch identity
+// (never on which replica lane ran it, which would break replica-count
+// bit-identity; sharing the primary's rng across concurrent replicas
+// would be both racy and order-dependent).
+func (d *Dropout) CloneTraining() Layer { return &Dropout{P: d.P} }
+
+// SetRng replaces the mask source. The training engine derives one rng
+// per (step, micro-batch, dropout-layer ordinal) so masks are a pure
+// function of the micro-batch, independent of replica count.
+func (d *Dropout) SetRng(rng *rand.Rand) { d.rng = rng }
 
 // ResetState implements Layer: a fresh mask is drawn next sequence.
 func (d *Dropout) ResetState() {

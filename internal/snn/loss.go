@@ -73,6 +73,20 @@ func (CrossEntropy) Loss(pred, target *tensor.Tensor) (float64, *tensor.Tensor) 
 	return total / float64(n), grad
 }
 
+// LossByName resolves a training objective by its spec name: "mse"
+// (MSERate, the paper's objective and the default for "") or
+// "crossentropy". The set of names is mirrored by spec.TrainLosses so
+// the spec layer can validate without importing this package.
+func LossByName(name string) (Loss, error) {
+	switch name {
+	case "", "mse":
+		return MSERate{}, nil
+	case "crossentropy":
+		return CrossEntropy{}, nil
+	}
+	return nil, fmt.Errorf("snn: unknown loss %q (want mse or crossentropy)", name)
+}
+
 // OneHot encodes integer labels as a [N, classes] one-hot tensor.
 func OneHot(labels []int, classes int) *tensor.Tensor {
 	t := tensor.New(len(labels), classes)

@@ -84,6 +84,9 @@ func (p *MaxPool2) Params() []*Param { return nil }
 // CloneInference implements Layer.
 func (p *MaxPool2) CloneInference() Layer { return NewMaxPool2() }
 
+// CloneTraining implements Layer.
+func (p *MaxPool2) CloneTraining() Layer { return NewMaxPool2() }
+
 // ResetState implements Layer.
 func (p *MaxPool2) ResetState() {
 	p.argmax = p.argmax[:0]

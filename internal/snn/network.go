@@ -94,6 +94,23 @@ func (n *Network) InferenceClone() *Network {
 	return &Network{Layers: ls, T: n.T, eng: n.eng}
 }
 
+// TrainingClone returns a replica network for concurrent training: layers
+// share parameter values with the original but own private gradient
+// accumulators, recurrent state and caches (see Layer.CloneTraining).
+// Clone Params() are index-aligned with the primary's, so the trainer can
+// harvest a replica's gradients and reduce them into the primary's in a
+// deterministic micro-batch order. Buffer ownership is Into-style: the
+// clone writes only memory it allocated itself, so a device-offload
+// backend can place replica gradients in its own arenas without touching
+// the primary until the ordered reduction.
+func (n *Network) TrainingClone() *Network {
+	ls := make([]Layer, len(n.Layers))
+	for i, l := range n.Layers {
+		ls[i] = l.CloneTraining()
+	}
+	return &Network{Layers: ls, T: n.T, eng: n.eng}
+}
+
 // NewNetwork constructs a network over a fixed simulation horizon.
 func NewNetwork(t int, layers ...Layer) *Network {
 	if t <= 0 {

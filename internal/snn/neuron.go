@@ -251,6 +251,14 @@ func (n *PLIFNode) CloneInference() Layer {
 	return &PLIFNode{cfg: n.cfg, vth: n.vth, tauW: n.tauW}
 }
 
+// CloneTraining implements Layer: threshold and time-constant values are
+// shared with private gradient scalars; membrane state and BPTT caches
+// are private. cfg is copied, so the clone's Params() ordering matches
+// the primary's.
+func (n *PLIFNode) CloneTraining() Layer {
+	return &PLIFNode{cfg: n.cfg, vth: shadowParam(n.vth), tauW: shadowParam(n.tauW)}
+}
+
 // ResetState implements Layer.
 func (n *PLIFNode) ResetState() {
 	n.v = nil

@@ -9,6 +9,16 @@
 // is called once per timestep (caching what the backward pass needs) and
 // Backward is called T times in reverse order. ResetState clears membrane
 // potentials and caches between sequences.
+//
+// Training runs either as the classic serial mini-batch loop or on the
+// data-parallel replica engine (TrainConfig.Replicas/MicroBatch): each
+// global batch is split into fixed micro-batches trained on replicas
+// that share parameter values but hold private gradients
+// (Layer.CloneTraining), and the per-replica gradients are reduced in
+// micro-batch index order before each optimizer step — so trained
+// weights are bit-identical at any replica count on any engine. See
+// trainer.go for the engine and replica_test.go for the enforced
+// contract.
 package snn
 
 import (
@@ -31,6 +41,17 @@ func NewParam(name string, value *tensor.Tensor) *Param {
 
 // ZeroGrad clears the accumulated gradient.
 func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// shadowParam returns a parameter that shares p's value tensor but owns a
+// private, zeroed gradient accumulator — the training-replica seam: every
+// replica reads the same live weights while accumulating gradients
+// independently, so the trainer can reduce them in a deterministic order.
+func shadowParam(p *Param) *Param {
+	if p == nil {
+		return nil
+	}
+	return &Param{Name: p.Name, Value: p.Value, Grad: tensor.New(p.Value.Shape...)}
+}
 
 // String implements fmt.Stringer.
 func (p *Param) String() string {
@@ -60,6 +81,16 @@ type Layer interface {
 	// and caches. Concurrent Forward(train=false) calls on distinct
 	// clones are safe; training a clone is not supported.
 	CloneInference() Layer
+	// CloneTraining returns a replica for concurrent training: it shares
+	// parameter *values* with the receiver but owns private gradient
+	// accumulators (see shadowParam), private recurrent state and caches,
+	// and never mutates shared mutable state (batch-norm running
+	// statistics are logged for ordered replay instead of updated in
+	// place; systolic deployments are dropped — the training path never
+	// uses them). Concurrent Forward(train=true)/Backward on distinct
+	// clones are safe; the trainer harvests each clone's gradients and
+	// reduces them into the primary network in micro-batch index order.
+	CloneTraining() Layer
 }
 
 // cacheStack is a helper for per-timestep tensors pushed during forward

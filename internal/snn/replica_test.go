@@ -1,0 +1,222 @@
+package snn
+
+import (
+	"math/rand"
+	"testing"
+
+	"falvolt/internal/tensor"
+)
+
+// replicaNet builds a small network exercising every layer type the
+// training-clone seam must handle: conv, batch norm, PLIF, max pool,
+// average pool, dropout, flatten and linear.
+func replicaNet(t *testing.T, rng *rand.Rand, dropP float64) *Network {
+	t.Helper()
+	conv, err := NewConv2D(1, 8, 8, 4, 3, 1, 1, false, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewNetwork(2,
+		conv,
+		NewBatchNorm2D(4),
+		NewPLIFNode(DefaultNeuronConfig()),
+		NewMaxPool2(),
+		NewAvgPool2(),
+		NewDropout(dropP, rand.New(rand.NewSource(11))),
+		NewFlatten(),
+		NewLinear(4*2*2, 2, true, rng),
+		NewPLIFNode(DefaultNeuronConfig()),
+	)
+}
+
+func replicaSamples(n int, rng *rand.Rand) []Sample {
+	out := make([]Sample, n)
+	for i := range out {
+		x := tensor.New(1, 1, 8, 8)
+		for j := range x.Data {
+			x.Data[j] = float32(rng.NormFloat64())
+			if i%2 == 1 {
+				x.Data[j] += 0.5
+			}
+		}
+		out[i] = Sample{Seq: StaticSequence{X: x, T: 2}, Label: i % 2}
+	}
+	return out
+}
+
+type trainRun struct {
+	losses  []float64
+	final   float64
+	params  []*tensor.Tensor
+	runMean [][]float64
+	runVar  [][]float64
+}
+
+func runReplicaTraining(t *testing.T, eng tensor.Backend, replicas, microBatch int) trainRun {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	net := replicaNet(t, rng, 0.25)
+	samples := replicaSamples(24, rand.New(rand.NewSource(5)))
+	var run trainRun
+	final, err := Train(net, samples, TrainConfig{
+		Epochs: 2, BatchSize: 8, LR: 0.02, Classes: 2, ClipNorm: 5,
+		Rng:    rand.New(rand.NewSource(7)),
+		Engine: eng, Replicas: replicas, MicroBatch: microBatch,
+		Hooks: TrainHooks{AfterEpoch: func(_ int, loss float64) {
+			run.losses = append(run.losses, loss)
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.final = final
+	for _, p := range net.Params() {
+		run.params = append(run.params, p.Value.Clone())
+	}
+	for _, l := range net.Layers {
+		if bn, ok := l.(*BatchNorm2D); ok {
+			run.runMean = append(run.runMean, append([]float64(nil), bn.runMean...))
+			run.runVar = append(run.runVar, append([]float64(nil), bn.runVar...))
+		}
+	}
+	return run
+}
+
+func assertRunsIdentical(t *testing.T, name string, want, got trainRun) {
+	t.Helper()
+	if want.final != got.final {
+		t.Errorf("%s: final loss %v, want %v (bit-identical)", name, got.final, want.final)
+	}
+	for i := range want.losses {
+		if want.losses[i] != got.losses[i] {
+			t.Errorf("%s: epoch %d loss %v, want %v", name, i, got.losses[i], want.losses[i])
+		}
+	}
+	for pi := range want.params {
+		w, g := want.params[pi], got.params[pi]
+		for i := range w.Data {
+			if w.Data[i] != g.Data[i] {
+				t.Errorf("%s: param %d differs at %d: %v vs %v", name, pi, i, g.Data[i], w.Data[i])
+				break
+			}
+		}
+	}
+	for bi := range want.runMean {
+		for i := range want.runMean[bi] {
+			if want.runMean[bi][i] != got.runMean[bi][i] || want.runVar[bi][i] != got.runVar[bi][i] {
+				t.Errorf("%s: BN %d running stats differ at channel %d", name, bi, i)
+				break
+			}
+		}
+	}
+}
+
+// TestTrainReplicasEngineBitIdentical is the deterministic-reduction
+// property test: the replica engine must produce bit-identical loss
+// curves, final parameters and batch-norm running statistics across 1, 2
+// and 8 replicas, on both the serial and the parallel backend. The
+// micro-batch partition is fixed, so only lane scheduling varies — and
+// the fixed-order reduction makes that invisible.
+func TestTrainReplicasEngineBitIdentical(t *testing.T) {
+	ref := runReplicaTraining(t, tensor.Serial(), 1, 2)
+	if len(ref.params) == 0 || len(ref.losses) != 2 {
+		t.Fatalf("reference run incomplete: %d params, %d losses", len(ref.params), len(ref.losses))
+	}
+	engines := map[string]func() tensor.Backend{
+		"serial":   tensor.Serial,
+		"parallel": func() tensor.Backend { return tensor.NewParallel(4) },
+	}
+	for engName, mk := range engines {
+		for _, replicas := range []int{1, 2, 8} {
+			name := engName + "/replicas=" + string(rune('0'+replicas))
+			got := runReplicaTraining(t, mk(), replicas, 2)
+			assertRunsIdentical(t, name, ref, got)
+		}
+	}
+}
+
+// TestTrainReplicaEngineMatchesLegacyLoop pins the engine to the classic
+// loop on a dropout-free network: with one micro-batch per step
+// (MicroBatch = BatchSize) the replica engine performs exactly the same
+// float operations as the in-place loop, so final weights must be
+// bit-identical. (Dropout is excluded because the engine derives
+// per-micro-batch mask rngs instead of sharing the primary's.)
+func TestTrainReplicaEngineMatchesLegacyLoop(t *testing.T) {
+	train := func(replicas, microBatch int) trainRun {
+		rng := rand.New(rand.NewSource(42))
+		net := replicaNet(t, rng, 0)
+		samples := replicaSamples(24, rand.New(rand.NewSource(5)))
+		var run trainRun
+		final, err := Train(net, samples, TrainConfig{
+			Epochs: 2, BatchSize: 8, LR: 0.02, Classes: 2, ClipNorm: 5,
+			Rng:      rand.New(rand.NewSource(7)),
+			Replicas: replicas, MicroBatch: microBatch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		run.final = final
+		for _, p := range net.Params() {
+			run.params = append(run.params, p.Value.Clone())
+		}
+		return run
+	}
+	legacy := train(0, 0)
+	engine := train(1, 8) // MicroBatch == BatchSize: one micro-batch per step
+	if legacy.final != engine.final {
+		t.Errorf("final loss: engine %v, legacy %v", engine.final, legacy.final)
+	}
+	for pi := range legacy.params {
+		w, g := legacy.params[pi], engine.params[pi]
+		for i := range w.Data {
+			if w.Data[i] != g.Data[i] {
+				t.Errorf("param %d differs at %d: engine %v, legacy %v", pi, i, g.Data[i], w.Data[i])
+				break
+			}
+		}
+	}
+}
+
+// TestTrainEngineReplicaRace stress-drives concurrent training replicas
+// for the CI race job: many tiny micro-batches over 8 lanes on the
+// parallel backend, with dropout, batch-norm stat logging and gradient
+// harvesting all active.
+func TestTrainEngineReplicaRace(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := replicaNet(t, rng, 0.25)
+	samples := replicaSamples(32, rand.New(rand.NewSource(2)))
+	if _, err := Train(net, samples, TrainConfig{
+		Epochs: 2, BatchSize: 16, LR: 0.02, Classes: 2, ClipNorm: 5,
+		Rng:    rand.New(rand.NewSource(3)),
+		Engine: tensor.NewParallel(8), Replicas: 8, MicroBatch: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTrainBatchPoolSteadyStateAllocs asserts the per-step batching path
+// — the gathered batch slices and the per-timestep concat tensors — is
+// allocation-free once the pool is warm.
+func TestTrainBatchPoolSteadyStateAllocs(t *testing.T) {
+	samples := replicaSamples(16, rand.New(rand.NewSource(4)))
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	pool := &batchPool{}
+	warm := func() {
+		seq, labels := pool.gather(samples, idx[:8])
+		if len(labels) != 8 {
+			t.Fatalf("gathered %d labels, want 8", len(labels))
+		}
+		for ts := 0; ts < 2; ts++ {
+			if x := seq.At(ts); x.Shape[0] != 8 {
+				t.Fatalf("batch rows %d, want 8", x.Shape[0])
+			}
+		}
+	}
+	warm()
+	if allocs := testing.AllocsPerRun(50, warm); allocs > 0 {
+		t.Errorf("steady-state batching allocates %v objects per step, want 0", allocs)
+	}
+}

@@ -39,12 +39,14 @@ func TestTrainHooksFire(t *testing.T) {
 	var steps, epochs int
 	var lastLoss float64
 	_, err := Train(net, samples, TrainConfig{
-		Epochs: 2, BatchSize: 8, LR: 0.01, Classes: 2, Silent: true,
-		Rng:       rand.New(rand.NewSource(2)),
-		AfterStep: func() { steps++ },
-		AfterEpoch: func(epoch int, loss float64) {
-			epochs++
-			lastLoss = loss
+		Epochs: 2, BatchSize: 8, LR: 0.01, Classes: 2,
+		Rng: rand.New(rand.NewSource(2)),
+		Hooks: TrainHooks{
+			AfterStep: func() { steps++ },
+			AfterEpoch: func(epoch int, loss float64) {
+				epochs++
+				lastLoss = loss
+			},
 		},
 	})
 	if err != nil {
@@ -75,7 +77,7 @@ func TestTrainZeroEpochsIsNoop(t *testing.T) {
 	samples := toySamples(8, rng)
 	before := net.Params()[0].Value.Clone()
 	if _, err := Train(net, samples, TrainConfig{
-		Epochs: 0, BatchSize: 4, LR: 0.1, Classes: 2, Silent: true,
+		Epochs: 0, BatchSize: 4, LR: 0.1, Classes: 2,
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +111,7 @@ func TestTrainConvergesOnToy(t *testing.T) {
 	net := toyNet(rng)
 	samples := toySamples(48, rng)
 	if _, err := Train(net, samples, TrainConfig{
-		Epochs: 10, BatchSize: 8, LR: 0.02, Classes: 2, Silent: true, ClipNorm: 5,
+		Epochs: 10, BatchSize: 8, LR: 0.02, Classes: 2, ClipNorm: 5,
 		Rng: rand.New(rand.NewSource(7)),
 	}); err != nil {
 		t.Fatal(err)

@@ -30,6 +30,11 @@ func FuzzDecode(f *testing.F) {
 		[]byte(`{"version": 1, "kind": "faultmodel", "faultModel": {"model": {"kind": "transient", "strike": 2, "decay": 3}, "rates": [0.1]}}`),
 		[]byte(`{"version": 1, "kind": "faultsim", "faultsim": {"dataset": "mnist", "sweep": "model", "model": {"kind": "stuckat", "bit": 30}}}`),
 		[]byte(`{"version": 1, "kind": "faultmodel", "faultModel": {"model": {"bit": 99}}}`),
+		[]byte(`{"version": 1, "kind": "mitigation", "suite": {"quick": true, "training": {"epochs": 4, "replicas": 2, "microBatch": 8}}}`),
+		[]byte(`{"version": 1, "kind": "faultsim", "faultsim": {"training": {"batch": 16, "lr": 0.02, "loss": "mse", "replicas": 4, "microBatch": 4}}}`),
+		[]byte(`{"version": 1, "kind": "faultsim", "faultsim": {"baseEpochs": 4, "training": {"epochs": 4}}}`),
+		[]byte(`{"version": 1, "kind": "faultsim", "faultsim": {"mitigate": {"kind": "fap", "training": {"epochs": 2}}}}`),
+		[]byte(`{"version": 1, "kind": "salvage", "salvage": {"mitigations": [{"kind": "falvolt", "training": {"epochs": 2, "replicas": 8}}]}}`),
 		[]byte(`{"version": 99}`),
 		[]byte(`{"version": 1, "kind": "selftest"} trailing`),
 		[]byte(`not json at all`),

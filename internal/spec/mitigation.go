@@ -34,6 +34,13 @@ type MitigationSpec struct {
 	// at or above this position are bypassed (0 = the array format's
 	// first integer bit).
 	BypassBit int `json:"bypassBit,omitempty"`
+	// Training is the unified training section for the retraining loop
+	// (fapit/falvolt only). Its epochs and lr alias the legacy flat
+	// knobs (setting both spellings is an error); batch, clipNorm,
+	// replicas and microBatch configure the loop directly; loss is
+	// rejected — retraining keeps the paper's objective. Omitted on old
+	// specs, so historical fingerprints are unchanged.
+	Training *TrainSpec `json:"training,omitempty"`
 }
 
 // MitigationKinds lists the addressable mitigation names, sorted. It is
@@ -97,7 +104,51 @@ func (m MitigationSpec) Validate() error {
 	if kind != "rescuesnn" && m.BypassBit != 0 {
 		return fmt.Errorf("spec: mitigation %q does not use bypassBit (rescuesnn only)", kind)
 	}
+	if t := m.Training; t != nil {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		if !m.retrains() {
+			return fmt.Errorf("spec: mitigation %q does not retrain — drop the training section", kind)
+		}
+		if t.Epochs > 0 && m.Epochs > 0 {
+			return fmt.Errorf("spec: mitigation sets both epochs and training.epochs — drop one")
+		}
+		if t.LR != 0 && m.LR != 0 {
+			return fmt.Errorf("spec: mitigation sets both lr and training.lr — drop one")
+		}
+		if t.Loss != "" {
+			return fmt.Errorf("spec: mitigation training does not use loss (retraining keeps the paper's objective)")
+		}
+	}
 	return nil
+}
+
+// EffectiveEpochs resolves the retraining budget from whichever knob
+// is set (0 = the consuming campaign's budget).
+func (m MitigationSpec) EffectiveEpochs() int {
+	if m.Training != nil && m.Training.Epochs > 0 {
+		return m.Training.Epochs
+	}
+	return m.Epochs
+}
+
+// EffectiveLR resolves the retraining learning rate from whichever
+// knob is set (0 = the Algorithm-1 default).
+func (m MitigationSpec) EffectiveLR() float64 {
+	if m.Training != nil && m.Training.LR != 0 {
+		return m.Training.LR
+	}
+	return m.LR
+}
+
+// TrainingOrZero returns the training section, or a zero value when
+// absent, so consumers can read the replica knobs without nil checks.
+func (m MitigationSpec) TrainingOrZero() TrainSpec {
+	if m.Training == nil {
+		return TrainSpec{}
+	}
+	return *m.Training
 }
 
 // SalvageCampaignSpec sizes the head-to-head salvage benchmark (kind

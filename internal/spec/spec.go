@@ -117,6 +117,40 @@ type SuiteSpec struct {
 	Repeats int `json:"repeats,omitempty"`
 	// Eval caps test samples per deployed evaluation (0 = mode default).
 	Eval int `json:"eval,omitempty"`
+	// Training is the unified training section. The suite consumes its
+	// epochs (the retraining budget — an alias of the legacy Epochs
+	// knob, setting both is an error), replicas and microBatch; the
+	// remaining knobs are pinned by the figure campaigns and rejected.
+	// Omitted on old specs, so historical fingerprints are unchanged.
+	Training *TrainSpec `json:"training,omitempty"`
+}
+
+// validateTraining checks the suite's unified training section against
+// the legacy flat knobs.
+func (ss *SuiteSpec) validateTraining() error {
+	t := ss.Training
+	if t == nil {
+		return nil
+	}
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if t.Epochs > 0 && ss.Epochs > 0 {
+		return fmt.Errorf("spec: suite sets both epochs and training.epochs — drop one")
+	}
+	if t.Batch != 0 || t.LR != 0 || t.ClipNorm != 0 || t.Loss != "" {
+		return fmt.Errorf("spec: suite training consumes epochs/replicas/microBatch only (the figure campaigns pin the paper's batch, LR, clip norm and loss)")
+	}
+	return nil
+}
+
+// RetrainEpochs resolves the suite's retraining budget from whichever
+// knob is set (0 = mode default).
+func (ss *SuiteSpec) RetrainEpochs() int {
+	if ss.Training != nil && ss.Training.Epochs > 0 {
+		return ss.Training.Epochs
+	}
+	return ss.Epochs
 }
 
 // YieldSpec describes a manufacturing-yield study population and its
@@ -211,6 +245,40 @@ type FaultSimSpec struct {
 	// (`faultsim -mitigate`). Omitted on old specs, so historical
 	// fingerprints are unchanged.
 	Mitigate *MitigationSpec `json:"mitigate,omitempty"`
+	// Training is the unified training section for the baseline loop.
+	// Its epochs alias the legacy BaseEpochs knob (setting both is an
+	// error); batch, lr, clipNorm, loss, replicas and microBatch
+	// configure the loop directly. Omitted on old specs, so historical
+	// fingerprints are unchanged.
+	Training *TrainSpec `json:"training,omitempty"`
+}
+
+// validateTraining checks the sweep's unified training section against
+// the legacy flat knob.
+func (f *FaultSimSpec) validateTraining() error {
+	t := f.Training
+	if t == nil {
+		return nil
+	}
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if t.Epochs > 0 && f.BaseEpochs > 0 {
+		return fmt.Errorf("spec: faultsim sets both baseEpochs and training.epochs — drop one")
+	}
+	return nil
+}
+
+// EffectiveBaseEpochs resolves the baseline training budget from
+// whichever knob is set, applying the documented default (12).
+func (f *FaultSimSpec) EffectiveBaseEpochs() int {
+	if f.Training != nil && f.Training.Epochs > 0 {
+		return f.Training.Epochs
+	}
+	if f.BaseEpochs > 0 {
+		return f.BaseEpochs
+	}
+	return 12
 }
 
 // Defaulted returns a copy with every zero field replaced by its
@@ -600,6 +668,19 @@ func (s *Spec) Validate() error {
 				s.Kind, name, want)
 		}
 	}
+	// Training sections validate at the envelope so a bad knob (an
+	// unknown loss, a duplicated epoch budget) is rejected at Decode
+	// time, not first at build/run time.
+	if s.Suite != nil {
+		if err := s.Suite.validateTraining(); err != nil {
+			return err
+		}
+	}
+	if s.FaultSim != nil {
+		if err := s.FaultSim.validateTraining(); err != nil {
+			return err
+		}
+	}
 	// Fault-model selections validate at the envelope so a bad model
 	// (unknown kind, out-of-range bit) is rejected at Decode time, not
 	// first at build/run time.
@@ -689,6 +770,44 @@ func (s *Spec) Canonical() ([]byte, error) {
 	c := *s
 	c.Backend, c.Shard, c.Planner = "", "", ""
 	c.Name, c.Labels = "", nil
+	// Training replica counts are execution placement too — the
+	// deterministic reduction makes results bit-identical at any lane
+	// count — so clear them wherever a training section appears, on
+	// copies: canonicalization never mutates the source spec.
+	if su := c.Suite; su != nil && su.Training.canonical() != su.Training {
+		cp := *su
+		cp.Training = cp.Training.canonical()
+		c.Suite = &cp
+	}
+	if fs := c.FaultSim; fs != nil {
+		tr := fs.Training.canonical()
+		mit := fs.Mitigate
+		if mit != nil && mit.Training.canonical() != mit.Training {
+			mcp := *mit
+			mcp.Training = mcp.Training.canonical()
+			mit = &mcp
+		}
+		if tr != fs.Training || mit != fs.Mitigate {
+			cp := *fs
+			cp.Training, cp.Mitigate = tr, mit
+			c.FaultSim = &cp
+		}
+	}
+	if sa := c.Salvage; sa != nil {
+		for i := range sa.Mitigations {
+			if sa.Mitigations[i].Training.canonical() == sa.Mitigations[i].Training {
+				continue
+			}
+			cp := *sa
+			cp.Mitigations = make([]MitigationSpec, len(sa.Mitigations))
+			copy(cp.Mitigations, sa.Mitigations)
+			for j := range cp.Mitigations {
+				cp.Mitigations[j].Training = cp.Mitigations[j].Training.canonical()
+			}
+			c.Salvage = &cp
+			break
+		}
+	}
 	b, err := json.Marshal(&c)
 	if err != nil {
 		return nil, fmt.Errorf("spec: canonicalize: %w", err)

@@ -31,7 +31,10 @@ func representative() map[string]*spec.Spec {
 	suite := func(kind string) *spec.Spec {
 		return &spec.Spec{
 			Version: spec.Version, Kind: kind, Seed: 7,
-			Suite: &spec.SuiteSpec{Quick: true, Array: 64, Epochs: 6, Repeats: 3, Eval: 64},
+			Suite: &spec.SuiteSpec{
+				Quick: true, Array: 64, Epochs: 6, Repeats: 3, Eval: 64,
+				Training: &spec.TrainSpec{Replicas: 2, MicroBatch: 8},
+			},
 		}
 	}
 	out := map[string]*spec.Spec{
@@ -63,6 +66,7 @@ func representative() map[string]*spec.Spec {
 			FaultSim: &spec.FaultSimSpec{
 				Dataset: "mnist", Sweep: "bits", Array: 64, Faults: 16,
 				Repeats: 3, BaseEpochs: 12, Train: 320, Test: 128,
+				Training: &spec.TrainSpec{Batch: 16, LR: 0.02, Loss: "mse", Replicas: 2, MicroBatch: 8},
 			},
 		},
 		"faultmodel": {
@@ -78,7 +82,7 @@ func representative() map[string]*spec.Spec {
 			Salvage: &spec.SalvageCampaignSpec{
 				Models: []string{"stuckat", "transient"},
 				Mitigations: []spec.MitigationSpec{
-					{Kind: "falvolt", Epochs: 2}, {Kind: "respawn"},
+					{Kind: "falvolt", Training: &spec.TrainSpec{Epochs: 2, Replicas: 2}}, {Kind: "respawn"},
 					{Kind: "rescuesnn", BypassBit: 20}, {Kind: "softsnn"},
 				},
 				Rates: []float64{0.05, 0.1}, Repeats: 2, Array: 16,
