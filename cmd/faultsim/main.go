@@ -232,6 +232,9 @@ func run(s *spec.Spec) error {
 		if batch == 0 {
 			batch = 16
 		}
+		// clipNorm 0 always means the paper's clip of 5 (the same
+		// sentinel as core.BaselineConfig): gradient clipping cannot be
+		// disabled from a spec, only retuned.
 		if clip == 0 {
 			clip = 5
 		}

@@ -177,9 +177,9 @@ func EvaluateModelFaulty(model *snn.Model, arr *systolic.Array, fm faults.FaultM
 }
 
 // BaselineConfig controls baseline (fault-free) training. Zero values
-// select the paper's defaults: batch 16, LR 0.02, gradient clip 5, the
-// classic serial loop on the process-default engine, and silence (install
-// a Hooks.Progress printer to observe the loss curve).
+// select the paper's defaults: batch 16, LR 0.02, gradient clip 5, a
+// single training lane on the process-default engine, and silence
+// (install a Hooks.Progress printer to observe the loss curve).
 type BaselineConfig struct {
 	// Epochs is the training budget.
 	Epochs int
@@ -187,7 +187,11 @@ type BaselineConfig struct {
 	LR float64
 	// BatchSize is the global batch size (0 selects 16).
 	BatchSize int
-	// ClipNorm caps the global gradient norm (0 selects 5).
+	// ClipNorm caps the global gradient norm. 0 always selects the
+	// paper's clip of 5 — clipping cannot be disabled through
+	// BaselineConfig (or the spec layer above it), only retuned; a
+	// caller that needs it off uses snn.TrainConfig directly, where 0
+	// means no clipping.
 	ClipNorm float64
 	// Loss is the training objective (nil selects snn.MSERate, the
 	// paper's).
@@ -196,9 +200,10 @@ type BaselineConfig struct {
 	Rng *rand.Rand
 	// Engine is the compute backend (nil keeps the network's engine).
 	Engine tensor.Backend
-	// Replicas and MicroBatch select the data-parallel replica training
-	// engine (see snn.TrainConfig); zero keeps the classic serial loop.
-	// Replica count never changes results, only wall-clock.
+	// Replicas and MicroBatch configure the data-parallel replica
+	// training engine (see snn.TrainConfig; every configuration runs
+	// that engine — zero replicas means one lane). Replica count never
+	// changes results, only wall-clock.
 	Replicas   int
 	MicroBatch int
 	// Hooks observe the loop; the zero value trains silently.

@@ -54,14 +54,25 @@ func SuiteFromSpec(s *spec.Spec, opt spec.BuildOpts) (*Suite, error) {
 	if ss.Training != nil {
 		o.TrainReplicas = ss.Training.Replicas
 		o.TrainMicroBatch = ss.Training.MicroBatch
+		// Mirror TrainSpec.canonical(): the suite trains at the shared
+		// default batch, so a micro-batch covering the whole batch is
+		// the same one-micro-batch partition as unset — normalize it so
+		// the suite cache key (and disk baseline filename) agree with
+		// the spec's fingerprint identity.
+		if o.TrainMicroBatch >= spec.DefaultBatch {
+			o.TrainMicroBatch = 0
+		}
 	}
 	o.CacheDir = opt.CacheDir
 	o.Log = opt.Log
-	// TrainReplicas is execution-only (bit-identical results at any lane
-	// count) and excluded from the key, like the log writer: equivalent
-	// specs that differ only in replica count share one Suite, and the
-	// first build's lane count wins. The micro-batch partition changes
-	// results and is part of the key.
+	// TrainReplicas is execution-only and excluded from the key, like
+	// the log writer: equivalent specs that differ only in replica
+	// count share one Suite, and the first build's lane count wins.
+	// This is sound because snn.Train routes EVERY configuration —
+	// replicas 0 included — through the replica engine, whose results
+	// (dropout included) are bit-identical at any lane count
+	// (snn.TestTrainDefaultConfigIsReplicaEngine). The micro-batch
+	// partition changes results and is part of the key.
 	key := fmt.Sprintf("quick=%v seed=%d array=%dx%d repeats=%d epochs=%d eval=%d micro=%d cache=%q",
 		o.Quick, o.Seed, o.ArrayRows, o.ArrayCols, o.Repeats, o.RetrainEpochs, o.EvalSamples, o.TrainMicroBatch, o.CacheDir)
 	suiteCacheMu.Lock()

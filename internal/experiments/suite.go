@@ -51,11 +51,12 @@ type Options struct {
 	// EvalSamples caps how many test samples deployed-array evaluations
 	// use (0 = all).
 	EvalSamples int
-	// TrainReplicas and TrainMicroBatch select the data-parallel replica
-	// training engine for baseline training and mitigation retraining
-	// (see snn.TrainConfig). Zero keeps the classic serial loop. Replica
-	// count never changes results, only wall-clock; the micro-batch size
-	// changes the loss-averaging partition and therefore results.
+	// TrainReplicas and TrainMicroBatch configure the data-parallel
+	// replica training engine for baseline training and mitigation
+	// retraining (see snn.TrainConfig; every configuration runs that
+	// engine — zero means one lane). Replica count never changes
+	// results, only wall-clock; the micro-batch size changes the
+	// loss-averaging partition and therefore results.
 	TrainReplicas   int
 	TrainMicroBatch int
 }
@@ -295,7 +296,18 @@ func (s *Suite) cachePath(name string) string {
 	if s.Opt.Quick {
 		mode = "quick"
 	}
-	return filepath.Join(s.Opt.CacheDir, fmt.Sprintf("%s-%s-seed%d.gob", name, mode, s.Opt.Seed))
+	// The filename keys every result-affecting training knob: the
+	// micro-batch partition changes trained weights, so variants must
+	// not share a cached baseline (TrainReplicas is execution-only and
+	// rightly absent). The "t2" revision marks the unified replica
+	// trainer — dropout masks now derive from the training rng instead
+	// of the layers' own streams, so baselines cached by the pre-t2
+	// serial loop are not comparable and must retrain.
+	mb := ""
+	if s.Opt.TrainMicroBatch > 0 {
+		mb = fmt.Sprintf("-mb%d", s.Opt.TrainMicroBatch)
+	}
+	return filepath.Join(s.Opt.CacheDir, fmt.Sprintf("%s-%s-seed%d%s-t2.gob", name, mode, s.Opt.Seed, mb))
 }
 
 // Restore loads the baseline snapshot back into the model and removes any

@@ -87,9 +87,10 @@ type Options struct {
 	// format's first integer bit (faults at or above the binary point
 	// trigger bypass); fractional-bit-only faults are left to the remap.
 	BypassBit int
-	// Replicas and MicroBatch select the data-parallel replica training
-	// engine for the retraining family (see snn.TrainConfig); zero keeps
-	// the classic serial loop. Replica count never changes results.
+	// Replicas and MicroBatch configure the data-parallel replica
+	// training engine for the retraining family (see snn.TrainConfig;
+	// every configuration runs that engine — zero replicas means one
+	// lane). Replica count never changes results.
 	Replicas   int
 	MicroBatch int
 	// Progress observes retraining (epoch, mean loss); nil is silent —

@@ -93,9 +93,10 @@ type Config struct {
 	// CurveEvalSize limits how many test samples the per-epoch curve uses
 	// (0 = all).
 	CurveEvalSize int
-	// Replicas and MicroBatch select the data-parallel replica training
-	// engine for retraining (see snn.TrainConfig); zero keeps the classic
-	// serial loop. Replica count never changes results, only wall-clock.
+	// Replicas and MicroBatch configure the data-parallel replica
+	// training engine for retraining (see snn.TrainConfig; every
+	// configuration runs that engine — zero replicas means one lane).
+	// Replica count never changes results, only wall-clock.
 	Replicas   int
 	MicroBatch int
 	// Progress observes retraining (epoch, mean loss); nil is silent —

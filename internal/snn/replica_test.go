@@ -127,7 +127,7 @@ func TestTrainReplicasEngineBitIdentical(t *testing.T) {
 		"parallel": func() tensor.Backend { return tensor.NewParallel(4) },
 	}
 	for engName, mk := range engines {
-		for _, replicas := range []int{1, 2, 8} {
+		for _, replicas := range []int{0, 1, 2, 8} {
 			name := engName + "/replicas=" + string(rune('0'+replicas))
 			got := runReplicaTraining(t, mk(), replicas, 2)
 			assertRunsIdentical(t, name, ref, got)
@@ -135,22 +135,24 @@ func TestTrainReplicasEngineBitIdentical(t *testing.T) {
 	}
 }
 
-// TestTrainReplicaEngineMatchesLegacyLoop pins the engine to the classic
-// loop on a dropout-free network: with one micro-batch per step
-// (MicroBatch = BatchSize) the replica engine performs exactly the same
-// float operations as the in-place loop, so final weights must be
-// bit-identical. (Dropout is excluded because the engine derives
-// per-micro-batch mask rngs instead of sharing the primary's.)
-func TestTrainReplicaEngineMatchesLegacyLoop(t *testing.T) {
-	train := func(replicas, microBatch int) trainRun {
+// TestTrainDefaultConfigIsReplicaEngine pins the replicas==0 ↔
+// replicas>=1 boundary WITH dropout active: the zero TrainConfig
+// (Replicas 0, MicroBatch 0) is the same replica engine with one lane
+// and one micro-batch per step, not a separate serial code path, so its
+// final weights and loss must be bit-identical to any explicit replica
+// count sharing the same partition. This is the property that lets the
+// spec layer clear Replicas from canonical fingerprints and the suite
+// cache key unconditionally — dropout models included.
+func TestTrainDefaultConfigIsReplicaEngine(t *testing.T) {
+	train := func(replicas, microBatch int, eng tensor.Backend) trainRun {
 		rng := rand.New(rand.NewSource(42))
-		net := replicaNet(t, rng, 0)
+		net := replicaNet(t, rng, 0.25)
 		samples := replicaSamples(24, rand.New(rand.NewSource(5)))
 		var run trainRun
 		final, err := Train(net, samples, TrainConfig{
 			Epochs: 2, BatchSize: 8, LR: 0.02, Classes: 2, ClipNorm: 5,
-			Rng:      rand.New(rand.NewSource(7)),
-			Replicas: replicas, MicroBatch: microBatch,
+			Rng:    rand.New(rand.NewSource(7)),
+			Engine: eng, Replicas: replicas, MicroBatch: microBatch,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -161,17 +163,28 @@ func TestTrainReplicaEngineMatchesLegacyLoop(t *testing.T) {
 		}
 		return run
 	}
-	legacy := train(0, 0)
-	engine := train(1, 8) // MicroBatch == BatchSize: one micro-batch per step
-	if legacy.final != engine.final {
-		t.Errorf("final loss: engine %v, legacy %v", engine.final, legacy.final)
-	}
-	for pi := range legacy.params {
-		w, g := legacy.params[pi], engine.params[pi]
-		for i := range w.Data {
-			if w.Data[i] != g.Data[i] {
-				t.Errorf("param %d differs at %d: engine %v, legacy %v", pi, i, g.Data[i], w.Data[i])
-				break
+	def := train(0, 0, nil)
+	for _, tc := range []struct {
+		name                 string
+		replicas, microBatch int
+		eng                  tensor.Backend
+	}{
+		// MicroBatch == BatchSize is the same one-micro-batch partition
+		// as MicroBatch == 0.
+		{"one-lane", 1, 8, nil},
+		{"eight-lane-parallel", 8, 8, tensor.NewParallel(4)},
+	} {
+		got := train(tc.replicas, tc.microBatch, tc.eng)
+		if def.final != got.final {
+			t.Errorf("%s: final loss %v, default-config %v (want bit-identical)", tc.name, got.final, def.final)
+		}
+		for pi := range def.params {
+			w, g := def.params[pi], got.params[pi]
+			for i := range w.Data {
+				if w.Data[i] != g.Data[i] {
+					t.Errorf("%s: param %d differs at %d: %v vs %v", tc.name, pi, i, g.Data[i], w.Data[i])
+					break
+				}
 			}
 		}
 	}

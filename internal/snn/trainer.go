@@ -156,22 +156,23 @@ type TrainConfig struct {
 	// Training results are bit-identical on every engine; only
 	// wall-clock changes.
 	Engine tensor.Backend
-	// Replicas selects the data-parallel replica engine: each global
-	// batch is split into micro-batches dispatched onto up to Replicas
-	// concurrent training clones of the network (clamped to the
-	// engine's worker count), with per-replica gradient accumulation
-	// and a deterministic fixed-order reduction into the primary's
-	// gradients before each optimizer step. 0 keeps the classic
-	// in-place serial loop. Replicas never affects results, only
-	// wall-clock: loss curves and final weights are bit-identical
-	// across 1/2/8 replicas on any backend.
+	// Replicas is the concurrent lane count of the data-parallel
+	// replica engine: each global batch is split into micro-batches
+	// dispatched onto up to Replicas training clones of the network
+	// (clamped to the engine's worker count), with per-replica gradient
+	// accumulation and a deterministic fixed-order reduction into the
+	// primary's gradients before each optimizer step. ALL training runs
+	// this engine — 0 means one lane, not a different code path — so
+	// Replicas never affects results, only wall-clock: loss curves and
+	// final weights (dropout included) are bit-identical across 0/1/2/8
+	// replicas on any backend.
 	Replicas int
-	// MicroBatch is the micro-batch size for the replica engine (0 =
-	// BatchSize, one micro-batch per step). The micro-batch partition
-	// is a function of (BatchSize, MicroBatch) only — never of Replicas
-	// or the engine — which is what makes the replica count
-	// result-neutral. Setting MicroBatch (with Replicas 0) also selects
-	// the replica engine, with one lane.
+	// MicroBatch is the micro-batch size (0 = BatchSize, one
+	// micro-batch per step). The micro-batch partition is a function of
+	// (BatchSize, MicroBatch) only — never of Replicas or the engine —
+	// which is what makes the replica count result-neutral. Unlike
+	// Replicas, MicroBatch changes the loss-averaging partition and
+	// therefore the results.
 	MicroBatch int
 }
 
@@ -205,9 +206,12 @@ func (c *TrainConfig) Validate() error {
 }
 
 // Train runs the training loop over samples, updating net in place, and
-// returns the mean training loss of the final epoch. With Replicas or
-// MicroBatch set it runs the data-parallel replica engine (see
-// trainReplicas); otherwise the classic in-place loop.
+// returns the mean training loss of the final epoch. Every
+// configuration runs the data-parallel replica engine (see
+// trainReplicas) — the zero config is one lane with one micro-batch per
+// step — so the trained result is a pure function of the
+// result-affecting knobs (Epochs, BatchSize, MicroBatch, LR, ClipNorm,
+// Loss, Rng), never of Replicas or Engine.
 func Train(net *Network, samples []Sample, cfg TrainConfig) (float64, error) {
 	if err := cfg.Validate(); err != nil {
 		return 0, err
@@ -218,49 +222,7 @@ func Train(net *Network, samples []Sample, cfg TrainConfig) (float64, error) {
 	if cfg.Engine != nil {
 		net.SetEngine(cfg.Engine)
 	}
-	if cfg.Replicas > 0 || cfg.MicroBatch > 0 {
-		return trainReplicas(net, samples, cfg)
-	}
-	opt := NewAdam(net.Params(), cfg.LR)
-	idx := make([]int, len(samples))
-	for i := range idx {
-		idx[i] = i
-	}
-	pool := &batchPool{}
-	var lastLoss float64
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		cfg.Rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
-		var epochLoss float64
-		batches := 0
-		for start := 0; start < len(idx); start += cfg.BatchSize {
-			end := min(start+cfg.BatchSize, len(idx))
-			seq, labels := pool.gather(samples, idx[start:end])
-			target := OneHot(labels, cfg.Classes)
-
-			net.ResetState()
-			opt.ZeroGrad()
-			rate := net.Forward(seq, true)
-			loss, grad := cfg.Loss.Loss(rate, target)
-			net.Backward(grad)
-			if cfg.ClipNorm > 0 {
-				ClipGradNorm(net.Params(), cfg.ClipNorm)
-			}
-			opt.Step()
-			if cfg.Hooks.AfterStep != nil {
-				cfg.Hooks.AfterStep()
-			}
-			epochLoss += loss
-			batches++
-		}
-		lastLoss = epochLoss / float64(batches)
-		if cfg.Hooks.AfterEpoch != nil {
-			cfg.Hooks.AfterEpoch(epoch, lastLoss)
-		}
-		if cfg.Hooks.Progress != nil {
-			cfg.Hooks.Progress(epoch, lastLoss)
-		}
-	}
-	return lastLoss, nil
+	return trainReplicas(net, samples, cfg)
 }
 
 // replicaLane is one concurrent training lane: a training clone of the
@@ -300,18 +262,21 @@ type mbResult struct {
 	bnVars  [][][]float64    // per BN layer: per-timestep per-channel variances
 }
 
-// trainReplicas is the data-parallel training engine. Each global batch
-// is partitioned into fixed micro-batches (a function of BatchSize and
-// MicroBatch only), dispatched onto training clones over up to
-// cfg.Replicas concurrent lanes, and the per-micro-batch gradients are
-// summed into the primary's Param gradients in micro-batch index order —
-// never lane completion order — before each optimizer step. Because the
-// partition, the per-micro-batch float work and the reduction order are
-// all independent of the lane count, results are bit-identical across
-// replica counts and backends; only wall-clock changes. Per-micro-batch
-// losses are weighted by their share of the batch, and batch-norm
-// running statistics logged by the clones are replayed on the primary in
-// the same fixed order (see BatchNorm2D.ReplayStats).
+// trainReplicas is the data-parallel training engine — the only
+// training loop; Train routes every configuration here. Each global
+// batch is partitioned into fixed micro-batches (a function of
+// BatchSize and MicroBatch only), dispatched onto training clones over
+// up to cfg.Replicas concurrent lanes (minimum one), and the
+// per-micro-batch gradients are summed into the primary's Param
+// gradients in micro-batch index order — never lane completion order —
+// before each optimizer step. Because the partition, the
+// per-micro-batch float work (dropout masks included: see deriveSeed)
+// and the reduction order are all independent of the lane count,
+// results are bit-identical across replica counts and backends; only
+// wall-clock changes. Per-micro-batch losses are weighted by their
+// share of the batch, and batch-norm running statistics logged by the
+// clones are replayed on the primary in the same fixed order (see
+// BatchNorm2D.ReplayStats).
 func trainReplicas(net *Network, samples []Sample, cfg TrainConfig) (float64, error) {
 	eng := net.Engine()
 	params := net.Params()
@@ -350,8 +315,9 @@ func trainReplicas(net *Network, samples []Sample, cfg TrainConfig) (float64, er
 
 	// Dropout clones need a derived rng per (step, micro-batch, layer);
 	// the per-step seed is only drawn when an active dropout layer
-	// exists, so dropout-free training consumes cfg.Rng exactly like the
-	// classic loop (and stays bit-comparable to it).
+	// exists, so dropout-free training consumes cfg.Rng for batch
+	// shuffling only (preserving the shuffle stream of the pre-engine
+	// serial loop, which never drew from cfg.Rng inside a step).
 	activeDropout := false
 	for _, l := range net.Layers {
 		if d, ok := l.(*Dropout); ok && d.P > 0 {

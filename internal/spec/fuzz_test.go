@@ -35,6 +35,8 @@ func FuzzDecode(f *testing.F) {
 		[]byte(`{"version": 1, "kind": "faultsim", "faultsim": {"baseEpochs": 4, "training": {"epochs": 4}}}`),
 		[]byte(`{"version": 1, "kind": "faultsim", "faultsim": {"mitigate": {"kind": "fap", "training": {"epochs": 2}}}}`),
 		[]byte(`{"version": 1, "kind": "salvage", "salvage": {"mitigations": [{"kind": "falvolt", "training": {"epochs": 2, "replicas": 8}}]}}`),
+		[]byte(`{"version": 1, "kind": "faultsim", "faultsim": {"training": {"batch": 8, "microBatch": 8, "replicas": 4}}}`),
+		[]byte(`{"version": 1, "kind": "faultsim", "faultsim": {"training": {"microBatch": 64}}}`),
 		[]byte(`{"version": 99}`),
 		[]byte(`{"version": 1, "kind": "selftest"} trailing`),
 		[]byte(`not json at all`),

@@ -45,6 +45,10 @@ func TestTrainSpecValidation(t *testing.T) {
 		{`{"version": 1, "kind": "mitigation", "suite": {"training": {"epochs": -1}}}`, "negative"},
 		{`{"version": 1, "kind": "mitigation", "suite": {"training": {"replicas": -2}}}`, "negative"},
 		{`{"version": 1, "kind": "faultsim", "faultsim": {"training": {"batch": 8, "microBatch": 16}}}`, "exceeds batch"},
+		// With batch unset every consumer runs spec.DefaultBatch, so an
+		// oversized micro-batch would be silently clamped — reject it.
+		{`{"version": 1, "kind": "faultsim", "faultsim": {"training": {"microBatch": 64}}}`, "exceeds the default batch"},
+		{`{"version": 1, "kind": "mitigation", "suite": {"training": {"microBatch": 17}}}`, "exceeds the default batch"},
 		{`{"version": 1, "kind": "mitigation", "suite": {"epochs": 6, "training": {"epochs": 4}}}`, "drop one"},
 		{`{"version": 1, "kind": "mitigation", "suite": {"training": {"lr": 0.1}}}`, "epochs/replicas/microBatch only"},
 		{`{"version": 1, "kind": "faultsim", "faultsim": {"baseEpochs": 12, "training": {"epochs": 4}}}`, "drop one"},
@@ -134,6 +138,65 @@ func TestTrainSpecReplicasAreExecutionOnly(t *testing.T) {
 	fb, _ := b.Fingerprint()
 	if fa == fb {
 		t.Error("microBatch does not affect the fingerprint, but it changes results")
+	}
+}
+
+// TestTrainSpecNoopMicroBatchIsCanonicalized: a micro-batch equal to
+// the effective batch is a one-micro-batch-per-step partition —
+// bit-identical to leaving MicroBatch unset — so it must not
+// differentiate fingerprints, whether the batch is explicit or the
+// consumers' shared spec.DefaultBatch.
+func TestTrainSpecNoopMicroBatchIsCanonicalized(t *testing.T) {
+	cases := []struct {
+		name       string
+		noop, bare string
+	}{
+		{
+			"explicit batch",
+			`{"version": 1, "kind": "faultsim", "faultsim": {"training": {"batch": 8, "microBatch": 8}}}`,
+			`{"version": 1, "kind": "faultsim", "faultsim": {"training": {"batch": 8}}}`,
+		},
+		{
+			"default batch",
+			`{"version": 1, "kind": "mitigation", "suite": {"training": {"microBatch": 16}}}`,
+			`{"version": 1, "kind": "mitigation", "suite": {"training": {}}}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, err := spec.Decode([]byte(tc.noop))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := spec.Decode([]byte(tc.bare))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fa, _ := a.Fingerprint()
+			fb, _ := b.Fingerprint()
+			if fa != fb {
+				t.Errorf("no-op microBatch differentiates bit-identical runs: %s vs %s", fa, fb)
+			}
+			// Canonicalization must not mutate the decoded spec.
+			if _, err := a.Canonical(); err != nil {
+				t.Fatal(err)
+			}
+			enc, err := a.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(string(enc), `"microBatch"`) {
+				t.Error("Canonical mutated the source spec's microBatch")
+			}
+		})
+	}
+	// An effective micro-batch smaller than the batch stays, of course.
+	a, _ := spec.Decode([]byte(`{"version": 1, "kind": "faultsim", "faultsim": {"training": {"batch": 8, "microBatch": 4}}}`))
+	b, _ := spec.Decode([]byte(`{"version": 1, "kind": "faultsim", "faultsim": {"training": {"batch": 8}}}`))
+	fa, _ := a.Fingerprint()
+	fb, _ := b.Fingerprint()
+	if fa == fb {
+		t.Error("effective microBatch canonicalized away")
 	}
 }
 
